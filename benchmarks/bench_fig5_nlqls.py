@@ -1,0 +1,41 @@
+"""Figure 5: SVW's impact on NLQ-LS.
+
+Regenerates both panels -- % of retired loads re-executed (top) and %
+speedup over the 1-LQ-port baseline (bottom) -- for the configurations
+NLQ / +SVW-UPD / +SVW+UPD / +PERFECT.
+
+Paper shapes asserted:
+- SVW removes the large majority of NLQ's re-executions (85%+ class);
+- the +UPD forwarding update removes more than -UPD alone;
+- with SVW, NLQ performs close to ideal (zero-cost) re-execution.
+"""
+
+from repro.harness.figures import figure5
+from repro.harness.report import render_claims, render_figure
+
+from benchmarks.conftest import BENCH_INSTS, BENCH_SUBSET, BENCH_WARMUP
+
+
+def _run():
+    return figure5(benchmarks=BENCH_SUBSET, n_insts=BENCH_INSTS)
+
+
+def test_figure5(benchmark):
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print()
+    print(render_figure(result))
+    print(render_claims(result))
+
+    nlq_rate = result.avg_reexec_rate("NLQ")
+    upd_rate = result.avg_reexec_rate("+SVW+UPD")
+    noupd_rate = result.avg_reexec_rate("+SVW-UPD")
+    assert nlq_rate > 0.01, "NLQ's natural filter should still mark loads"
+    assert upd_rate <= noupd_rate + 1e-9, "+UPD must not increase re-executions"
+    assert upd_rate < nlq_rate * 0.4, "SVW should filter most re-executions"
+
+    svw_speedup = result.avg_speedup_pct("+SVW+UPD")
+    perfect_speedup = result.avg_speedup_pct("+PERFECT")
+    assert abs(perfect_speedup - svw_speedup) < 6.0, (
+        "SVW should perform close to ideal re-execution "
+        f"(svw={svw_speedup:+.1f}%, perfect={perfect_speedup:+.1f}%)"
+    )

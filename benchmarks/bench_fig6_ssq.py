@@ -1,0 +1,37 @@
+"""Figure 6: SVW's impact on the speculative store queue.
+
+SSQ has no natural re-execution filter: it re-executes 100% of loads, and
+without SVW that cost produces significant slowdowns -- SVW is an
+*enabler* here, not an enhancer.  The paper's vortex pathology (it needs
+more ordered-forwarding capacity than a 16-entry FSQ provides, so it loses
+even with perfect re-execution) is asserted too.
+"""
+
+from repro.harness.figures import figure6
+from repro.harness.report import render_claims, render_figure
+
+from benchmarks.conftest import BENCH_INSTS, BENCH_SUBSET
+
+
+def _run():
+    return figure6(benchmarks=BENCH_SUBSET, n_insts=BENCH_INSTS)
+
+
+def test_figure6(benchmark):
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print()
+    print(render_figure(result))
+    print(render_claims(result))
+
+    assert result.avg_reexec_rate("SSQ") == 1.0, "SSQ re-executes every load"
+    svw_rate = result.avg_reexec_rate("+SVW+UPD")
+    assert svw_rate < 0.35, f"SVW should filter most SSQ re-executions ({svw_rate:.1%})"
+
+    ssq_speedup = result.avg_speedup_pct("SSQ")
+    svw_speedup = result.avg_speedup_pct("+SVW+UPD")
+    perfect_speedup = result.avg_speedup_pct("+PERFECT")
+    assert ssq_speedup < 0, "unfiltered SSQ posts slowdowns"
+    assert svw_speedup > ssq_speedup, "SVW recovers part of the rex cost"
+    assert abs(perfect_speedup - svw_speedup) < 8.0, "SVW tracks perfect rex"
+    # vortex: pathological even with ideal re-execution (FSQ capacity).
+    assert result.speedup_pct("vortex", "+PERFECT") < 0

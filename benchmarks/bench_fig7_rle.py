@@ -1,0 +1,36 @@
+"""Figure 7: SVW's impact on redundant load elimination.
+
+RLE's natural filter is exact (only eliminated loads re-execute) but
+elimination rates of 25-40% still produce a heavy re-execution stream on
+the 4-wide machine.  The ``+SVW-SQU`` configuration additionally disables
+squash reuse: re-executions drop markedly but a little performance is
+forfeited with them -- "eliminating a few last re-executions does not
+justify forfeiting squash reuse."
+"""
+
+from repro.harness.figures import figure7
+from repro.harness.report import render_claims, render_figure
+
+from benchmarks.conftest import BENCH_INSTS, BENCH_SUBSET
+
+
+def _run():
+    return figure7(benchmarks=BENCH_SUBSET, n_insts=BENCH_INSTS)
+
+
+def test_figure7(benchmark):
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print()
+    print(render_figure(result))
+    print(render_claims(result))
+
+    rle_rate = result.avg_reexec_rate("RLE")
+    svw_rate = result.avg_reexec_rate("+SVW")
+    squ_rate = result.avg_reexec_rate("+SVW-SQU")
+    assert 0.05 < rle_rate < 0.60, f"elimination rate out of band: {rle_rate:.1%}"
+    assert svw_rate < rle_rate * 0.5, "SVW filters most eliminated-load re-executions"
+    assert squ_rate < svw_rate, "disabling squash reuse removes the residue"
+
+    rle_speedup = result.avg_speedup_pct("RLE")
+    svw_speedup = result.avg_speedup_pct("+SVW")
+    assert svw_speedup > rle_speedup, "SVW recovers re-execution cost"

@@ -1,0 +1,34 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one of the paper's tables/figures on a reduced
+sample (fewer instructions, representative benchmark subset) so the whole
+suite completes in minutes.  Full-suite regeneration at larger instruction
+budgets is available through the CLI::
+
+    svw-repro fig5 --insts 60000
+    svw-repro all
+
+Each benchmark prints the regenerated rows (run pytest with ``-s`` to see
+them) and asserts the paper's qualitative shape.
+"""
+
+import pytest
+
+#: Instruction budget per simulation inside pytest-benchmark runs.
+BENCH_INSTS = 12_000
+BENCH_WARMUP = 4_000
+
+#: Representative benchmark subset: one streaming (bzip2), one
+#: forwarding-heavy/high-IPC (vortex), one ambiguous-store-heavy (twolf),
+#: one branchy low-IPC (gcc).
+BENCH_SUBSET = ["bzip2", "vortex", "twolf", "gcc"]
+
+
+@pytest.fixture(scope="session")
+def bench_insts():
+    return BENCH_INSTS
+
+
+@pytest.fixture(scope="session")
+def bench_subset():
+    return list(BENCH_SUBSET)

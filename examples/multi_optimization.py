@@ -1,0 +1,41 @@
+#!/usr/bin/env python
+"""Composing load optimizations (section 3.5).
+
+SSQ and RLE run simultaneously on the 8-wide machine.  Composing the
+re-execution streams is trivial (a load re-executes if any optimization
+marks it -- and SSQ marks them all); composing the SVW definitions uses
+the MIN rule: a load under several optimizations is vulnerable to the
+largest window.
+"""
+
+from repro import Processor, generate_trace, spec_profile
+from repro.harness.configs import composition_configs
+from repro.pipeline.stats import speedup
+
+
+def main() -> None:
+    trace = generate_trace(spec_profile("gcc"), 20_000)
+    configs = composition_configs()
+    print("composition: SSQ (speculative store queue) + RLE (load elimination)")
+    print(f"workload: {trace.name}")
+    print()
+
+    baseline = Processor(configs["baseline"], trace, warmup=5_000).run()
+    print(f"conventional baseline: IPC {baseline.ipc:.3f}")
+
+    for name in ("combined", "+SVW"):
+        stats = Processor(configs[name], trace, warmup=5_000).run()
+        print(
+            f"{name:9s} IPC {stats.ipc:.3f} ({speedup(baseline, stats):+.1f}%)  "
+            f"marked {stats.marked_rate:6.1%}, re-executed {stats.reexec_rate:6.1%}, "
+            f"eliminated {stats.elimination_rate:5.1%}"
+        )
+    print()
+    print(
+        "Both optimizations verify through one re-execution stream; one\n"
+        "SVW filter covers them both (per-load windows compose with MIN)."
+    )
+
+
+if __name__ == "__main__":
+    main()

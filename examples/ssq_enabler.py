@@ -1,0 +1,42 @@
+#!/usr/bin/env python
+"""SVW as an *enabler*: the speculative store queue story (Figure 6).
+
+SSQ replaces the slow associative SQ with a fast non-associative RSQ plus
+a small FSQ, cutting load latency in half -- but it has no natural
+re-execution filter: every load re-executes.  Without SVW the re-execution
+traffic swamps the benefit; with SVW the design becomes viable.  This
+example reproduces that crossover on a forwarding-heavy workload.
+"""
+
+from repro import Processor, generate_trace, spec_profile
+from repro.harness.configs import fig6_configs
+from repro.pipeline.stats import speedup
+
+
+def main() -> None:
+    trace = generate_trace(spec_profile("gcc"), 20_000)
+    configs = fig6_configs()
+    print(f"workload: {trace.name} ({len(trace)} instructions)")
+    print()
+
+    baseline = Processor(configs["baseline"], trace, warmup=5_000).run()
+    print(f"baseline (4-cycle loads through the associative SQ): IPC {baseline.ipc:.3f}")
+    print()
+
+    for name in ("SSQ", "+SVW+UPD", "+PERFECT"):
+        stats = Processor(configs[name], trace, warmup=5_000).run()
+        print(
+            f"{name:10s} IPC {stats.ipc:.3f} ({speedup(baseline, stats):+.1f}%)  "
+            f"re-executed {stats.reexec_rate:6.1%} of loads, "
+            f"filtered {stats.filtered_loads}, "
+            f"FSQ loads {stats.fsq_loads}"
+        )
+    print()
+    print(
+        "Without SVW, SSQ re-executes 100% of loads and pays for it;\n"
+        "with SVW it approaches the ideal-re-execution machine."
+    )
+
+
+if __name__ == "__main__":
+    main()

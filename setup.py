@@ -1,0 +1,8 @@
+"""Shim for legacy editable installs (offline environments without wheel).
+
+All project metadata lives in pyproject.toml; setuptools >= 61 reads it.
+"""
+
+from setuptools import setup
+
+setup()

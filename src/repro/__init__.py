@@ -1,0 +1,47 @@
+"""Reproduction of Roth, "Store Vulnerability Window (SVW): Re-Execution
+Filtering for Enhanced Load Optimization" (ISCA 2005).
+
+Quickstart::
+
+    from repro import Processor, eight_wide, spec_profile, generate_trace
+    from repro.core import SVWConfig
+    from repro.pipeline.config import LSUKind, RexMode
+
+    trace = generate_trace(spec_profile("gcc"), 30_000)
+    config = eight_wide(
+        "nlq+svw",
+        lsu=LSUKind.NLQ,
+        rex_mode=RexMode.REEXECUTE,
+        rex_stages=2,
+        svw=SVWConfig(),
+    )
+    stats = Processor(config, trace).run()
+    print(stats.summary())
+
+See :mod:`repro.harness` for the paper's named configurations and the
+per-figure experiment drivers.
+"""
+
+from repro.core import SVWConfig, SVWEngine
+from repro.isa import DynInst, Trace
+from repro.pipeline import MachineConfig, Processor, RexMode, SimStats, eight_wide, four_wide
+from repro.workloads import generate_trace, kernel_trace, spec_profile
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DynInst",
+    "MachineConfig",
+    "Processor",
+    "RexMode",
+    "SVWConfig",
+    "SVWEngine",
+    "SimStats",
+    "Trace",
+    "__version__",
+    "eight_wide",
+    "four_wide",
+    "generate_trace",
+    "kernel_trace",
+    "spec_profile",
+]

@@ -1,0 +1,153 @@
+"""The SVW filter engine (paper section 3).
+
+SVW associates with each dynamic load a *store vulnerability window*: the
+window of older stores the load optimization has made it vulnerable to.
+Operationally a load's SVW field holds "the SSN of the youngest older store
+to which the load is **not** vulnerable".  The re-execution filter test is
+
+    ``SSBF[ld.addr] > ld.SVW``  -->  re-execute
+
+A positive test means a store the load was vulnerable to *probably* wrote a
+conflicting address (Bloom aliasing can only raise SSBF entries).  A
+negative test unambiguously means no conflict occurred, so the load can
+skip re-execution and commit.
+
+Per-optimization SVW establishment (sections 3.1-3.4):
+
+=========  ================================================================
+NLQ-LS     ``ld.SVW = SSN_RETIRE`` at dispatch; store-load forwarding
+           shrinks the window: ``ld.SVW = st.SSN`` (the ``+UPD`` variant)
+NLQ-SM     same dispatch rule; an invalidation acts as an asynchronous
+           store and writes ``SSN_RENAME + 1`` into every bank at its line
+SSQ        identical to NLQ-LS (but SVW is an *enabler*, not an enhancer:
+           without it SSQ re-executes every load)
+RLE        an eliminated load is vulnerable from the original load onward:
+           ``ld.SVW = IT-entry.SSN`` (captured at IT-entry creation)
+=========  ================================================================
+
+Composition (section 3.5): a load subject to several optimizations is
+vulnerable to the largest window, i.e. ``SVW = MIN(svw_a, svw_b)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.ssbf import SSBFBase, make_ssbf
+from repro.core.ssn import SSNState
+
+
+def compose_svw(*svws: int) -> int:
+    """Compose per-optimization SVW definitions (section 3.5): MIN wins."""
+    if not svws:
+        raise ValueError("need at least one SVW value")
+    return min(svws)
+
+
+@dataclass(frozen=True, slots=True)
+class SVWConfig:
+    """Configuration of the SVW mechanism.
+
+    Attributes:
+        enabled: Master switch; disabled means every marked load re-executes.
+        update_on_forward: Apply the "update SVW on store-forward"
+            optimization (the paper's ``+UPD`` configurations).
+        ssn_bits: SSN width; ``None`` = infinite (no wrap drains).
+        ssbf_kind: ``simple`` / ``dual`` / ``infinite`` / ``banked``.
+        ssbf_entries: Entry count for table organizations.
+        ssbf_granularity: Conflict-tracking granularity in bytes (8 default;
+            4 removes sub-quadword false sharing).
+        speculative_updates: Stores update the SSBF as they pass the SVW
+            stage, before older loads have finished re-executing (section
+            3.6).  Disabling forces atomic update order, which lengthens
+            the serialization the filter exists to remove.
+    """
+
+    enabled: bool = True
+    update_on_forward: bool = True
+    ssn_bits: int | None = 16
+    ssbf_kind: str = "simple"
+    ssbf_entries: int = 512
+    ssbf_granularity: int = 8
+    speculative_updates: bool = True
+
+    def build_ssbf(self) -> SSBFBase:
+        return make_ssbf(self.ssbf_kind, self.ssbf_entries, self.ssbf_granularity)
+
+
+class SVWEngine:
+    """Run-time SVW state: SSN counters, the SSBF, and the filter test."""
+
+    def __init__(self, config: SVWConfig | None = None) -> None:
+        self.config = config or SVWConfig()
+        self.ssn = SSNState(self.config.ssn_bits)
+        self.ssbf = self.config.build_ssbf()
+        #: Hooks run at wrap-around drains (e.g. RLE flash-clears its IT).
+        self.on_drain: list[Callable[[], None]] = []
+        # Statistics.
+        self.filter_tests = 0
+        self.filter_hits = 0  # positive tests: load must re-execute
+        self.invalidations = 0
+
+    # -- load-side interface -----------------------------------------------------
+
+    def svw_at_dispatch(self) -> int:
+        """Baseline vulnerability window for NLQ-LS / NLQ-SM / SSQ loads."""
+        return self.ssn.retire
+
+    def svw_after_forward(self, current_svw: int, store_ssn: int) -> int:
+        """Shrink the window after store-load forwarding (``+UPD``).
+
+        Reading from the in-flight store with ``store_ssn`` makes the load
+        invulnerable to that store and everything older.
+        """
+        if not self.config.update_on_forward:
+            return current_svw
+        return max(current_svw, store_ssn)
+
+    def must_reexecute(self, addr: int, size: int, svw: int) -> bool:
+        """The re-execution filter test: ``SSBF[ld.addr] > ld.SVW``."""
+        if not self.config.enabled:
+            return True
+        self.filter_tests += 1
+        hit = self.ssbf.lookup(addr, size) > svw
+        if hit:
+            self.filter_hits += 1
+        return hit
+
+    # -- store-side interface --------------------------------------------------------
+
+    def record_store(self, addr: int, size: int, ssn: int) -> None:
+        """A store passed the SVW stage: ``SSBF[st.addr] = st.SSN``."""
+        if self.config.enabled:
+            self.ssbf.update(addr, size, ssn)
+
+    def record_invalidation(self, line_addr: int, line_bytes: int = 64) -> None:
+        """A coherence invalidation (NLQ-SM): pretend an asynchronous store
+        younger than everything in flight wrote the whole line."""
+        self.invalidations += 1
+        if self.config.enabled:
+            self.ssbf.invalidate_line(line_addr, line_bytes, self.ssn.rename + 1)
+
+    # -- wrap-around drains -------------------------------------------------------------
+
+    @property
+    def wrap_pending(self) -> bool:
+        return self.ssn.wrap_pending
+
+    def drain(self) -> None:
+        """Wrap-around drain: reset SSNs, flash-clear SSBF, notify hooks."""
+        self.ssn.drain()
+        self.ssbf.flash_clear()
+        for hook in self.on_drain:
+            hook()
+
+    # -- statistics -----------------------------------------------------------------------
+
+    @property
+    def filter_rate(self) -> float:
+        """Fraction of tested loads the filter excused from re-execution."""
+        if not self.filter_tests:
+            return 0.0
+        return 1.0 - (self.filter_hits / self.filter_tests)

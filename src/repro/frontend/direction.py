@@ -1,0 +1,110 @@
+"""Branch direction predictors.
+
+A classic hybrid (a.k.a. "combining" or McFarling) predictor: a bimodal
+table captures per-branch bias, a gshare table captures correlated history,
+and a chooser table of 2-bit counters picks between them per branch.
+All tables use saturating 2-bit counters.
+"""
+
+from __future__ import annotations
+
+
+def _saturate_up(counter: int) -> int:
+    return counter + 1 if counter < 3 else 3
+
+
+def _saturate_down(counter: int) -> int:
+    return counter - 1 if counter > 0 else 0
+
+
+class Bimodal:
+    """PC-indexed table of 2-bit saturating counters."""
+
+    def __init__(self, entries: int = 8192) -> None:
+        if entries & (entries - 1):
+            raise ValueError("entries must be a power of two")
+        self._mask = entries - 1
+        self._table = [1] * entries  # weakly not-taken
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) & self._mask
+
+    def predict(self, pc: int) -> bool:
+        return self._table[self._index(pc)] >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        i = self._index(pc)
+        counter = self._table[i]
+        self._table[i] = _saturate_up(counter) if taken else _saturate_down(counter)
+
+
+class Gshare:
+    """Global-history-xor-PC indexed table of 2-bit counters."""
+
+    def __init__(self, entries: int = 8192, history_bits: int = 12) -> None:
+        if entries & (entries - 1):
+            raise ValueError("entries must be a power of two")
+        self._mask = entries - 1
+        self._table = [1] * entries
+        self._history = 0
+        self._history_mask = (1 << history_bits) - 1
+
+    def _index(self, pc: int) -> int:
+        return ((pc >> 2) ^ self._history) & self._mask
+
+    def predict(self, pc: int) -> bool:
+        return self._table[self._index(pc)] >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        i = self._index(pc)
+        counter = self._table[i]
+        self._table[i] = _saturate_up(counter) if taken else _saturate_down(counter)
+        self._history = ((self._history << 1) | int(taken)) & self._history_mask
+
+
+class HybridPredictor:
+    """McFarling-style chooser between bimodal and gshare components.
+
+    ``predict`` returns the chosen direction; ``update`` trains both
+    components and moves the chooser toward whichever component was right.
+    """
+
+    def __init__(self, entries: int = 8192, history_bits: int = 12) -> None:
+        self.bimodal = Bimodal(entries)
+        self.gshare = Gshare(entries, history_bits)
+        self._chooser = [1] * entries  # <2 prefers bimodal, >=2 prefers gshare
+        self._mask = entries - 1
+        self.lookups = 0
+        self.mispredictions = 0
+
+    def predict(self, pc: int) -> bool:
+        if self._chooser[(pc >> 2) & self._mask] >= 2:
+            return self.gshare.predict(pc)
+        return self.bimodal.predict(pc)
+
+    def predict_and_update(self, pc: int, taken: bool) -> bool:
+        """Predict ``pc``, then train with the actual outcome.
+
+        Returns True when the prediction was *correct*.
+        """
+        self.lookups += 1
+        bimodal_pred = self.bimodal.predict(pc)
+        gshare_pred = self.gshare.predict(pc)
+        i = (pc >> 2) & self._mask
+        use_gshare = self._chooser[i] >= 2
+        prediction = gshare_pred if use_gshare else bimodal_pred
+        if bimodal_pred != gshare_pred:
+            if gshare_pred == taken:
+                self._chooser[i] = _saturate_up(self._chooser[i])
+            else:
+                self._chooser[i] = _saturate_down(self._chooser[i])
+        self.bimodal.update(pc, taken)
+        self.gshare.update(pc, taken)
+        correct = prediction == taken
+        if not correct:
+            self.mispredictions += 1
+        return correct
+
+    @property
+    def mispredict_rate(self) -> float:
+        return self.mispredictions / self.lookups if self.lookups else 0.0

@@ -1,0 +1,44 @@
+"""Experiment harness: the paper's named configurations and figure drivers.
+
+- :mod:`repro.harness.configs` -- the machine configurations of Figures 5-8.
+- :mod:`repro.harness.runner` -- config x benchmark sweep execution.
+- :mod:`repro.harness.figures` -- one driver per table/figure; each returns
+  a :class:`~repro.harness.runner.FigureResult` with the same rows/series
+  the paper reports.
+- :mod:`repro.harness.paper_data` -- the paper's published numbers
+  (text-stated averages, maxima and named data points), used for
+  paper-vs-measured reporting.
+- :mod:`repro.harness.report` -- ASCII rendering and claim checking.
+- :mod:`repro.harness.cli` -- ``svw-repro`` command-line entry point.
+"""
+
+from repro.harness.configs import (
+    fig5_configs,
+    fig6_configs,
+    fig7_configs,
+    fig8_ssbf_variants,
+)
+from repro.harness.figures import (
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    spec_updates_experiment,
+    ssn_width_experiment,
+)
+from repro.harness.runner import FigureResult, run_matrix
+
+__all__ = [
+    "FigureResult",
+    "fig5_configs",
+    "fig6_configs",
+    "fig7_configs",
+    "fig8_ssbf_variants",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "run_matrix",
+    "spec_updates_experiment",
+    "ssn_width_experiment",
+]

@@ -1,0 +1,85 @@
+"""``svw-repro`` command-line interface.
+
+Examples::
+
+    svw-repro fig5                         # full Figure 5 sweep
+    svw-repro fig6 --insts 60000           # bigger samples
+    svw-repro fig7 --benchmarks crafty,vortex
+    svw-repro all --insts 20000            # every experiment
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable
+
+from repro.harness import figures
+from repro.harness.report import render_claims, render_figure
+from repro.harness.runner import DEFAULT_INSTS, FigureResult
+
+_EXPERIMENTS: dict[str, Callable[..., FigureResult]] = {
+    "fig5": figures.figure5,
+    "fig6": figures.figure6,
+    "fig7": figures.figure7,
+    "fig8": figures.figure8,
+    "ssn-width": figures.ssn_width_experiment,
+    "spec-updates": figures.spec_updates_experiment,
+    "composition": figures.composition_experiment,
+    "svw-replacement": figures.svw_replacement_experiment,
+}
+
+
+def _progress(message: str) -> None:
+    print(f"  ... {message}", file=sys.stderr, flush=True)
+
+
+def run_experiment(name: str, benchmarks: list[str] | None, n_insts: int, quiet: bool) -> None:
+    driver = _EXPERIMENTS[name]
+    started = time.time()
+    result = driver(
+        benchmarks=benchmarks, n_insts=n_insts, progress=None if quiet else _progress
+    )
+    print(render_figure(result))
+    print()
+    print(render_claims(result))
+    print(f"[{name}: {time.time() - started:.1f}s]")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="svw-repro",
+        description="Reproduce the experiments of Roth, 'Store Vulnerability "
+        "Window (SVW)', ISCA 2005.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(_EXPERIMENTS) + ["all"],
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument(
+        "--insts",
+        type=int,
+        default=DEFAULT_INSTS,
+        help=f"dynamic instructions per run (default {DEFAULT_INSTS})",
+    )
+    parser.add_argument(
+        "--benchmarks",
+        type=str,
+        default=None,
+        help="comma-separated benchmark list (full or short names); "
+        "default is each experiment's own suite",
+    )
+    parser.add_argument("--quiet", action="store_true", help="suppress progress output")
+    args = parser.parse_args(argv)
+
+    benchmarks = args.benchmarks.split(",") if args.benchmarks else None
+    names = sorted(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        run_experiment(name, benchmarks, args.insts, args.quiet)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

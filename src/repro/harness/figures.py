@@ -1,0 +1,131 @@
+"""One driver per table/figure in the paper's evaluation (section 4).
+
+Each function runs the sweep and returns a
+:class:`~repro.harness.runner.FigureResult`; rendering lives in
+:mod:`repro.harness.report`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Iterable
+
+from repro.core.svw import SVWConfig
+from repro.harness.configs import (
+    composition_configs,
+    fig5_configs,
+    fig6_configs,
+    fig7_configs,
+    fig8_configs,
+    svw_replacement_configs,
+)
+from repro.harness.runner import DEFAULT_INSTS, FigureResult, run_matrix
+
+#: The benchmark subset Figure 8 uses.
+FIG8_BENCHMARKS = ["crafty", "gcc", "perl.diffmail", "vortex", "vpr.route"]
+
+
+def figure5(
+    benchmarks: Iterable[str] | None = None,
+    n_insts: int = DEFAULT_INSTS,
+    progress=None,
+) -> FigureResult:
+    """Figure 5: NLQ-LS re-execution rate (top) and speedup (bottom)."""
+    return run_matrix("fig5", fig5_configs(), benchmarks, n_insts, progress=progress)
+
+
+def figure6(
+    benchmarks: Iterable[str] | None = None,
+    n_insts: int = DEFAULT_INSTS,
+    progress=None,
+) -> FigureResult:
+    """Figure 6: SSQ re-execution rate (top) and speedup (bottom)."""
+    return run_matrix("fig6", fig6_configs(), benchmarks, n_insts, progress=progress)
+
+
+def figure7(
+    benchmarks: Iterable[str] | None = None,
+    n_insts: int = DEFAULT_INSTS,
+    progress=None,
+) -> FigureResult:
+    """Figure 7: RLE re-execution rate (top) and speedup (bottom)."""
+    return run_matrix("fig7", fig7_configs(), benchmarks, n_insts, progress=progress)
+
+
+def figure8(
+    benchmarks: Iterable[str] | None = None,
+    n_insts: int = DEFAULT_INSTS,
+    progress=None,
+) -> FigureResult:
+    """Figure 8: SSBF organization vs SSQ re-execution rate."""
+    if benchmarks is None:
+        benchmarks = FIG8_BENCHMARKS
+    return run_matrix("fig8", fig8_configs(), benchmarks, n_insts, progress=progress)
+
+
+def ssn_width_experiment(
+    benchmarks: Iterable[str] | None = None,
+    n_insts: int = DEFAULT_INSTS,
+    widths: Iterable[int | None] = (8, 10, 12, 16, None),
+    progress=None,
+) -> FigureResult:
+    """Section 3.6: SSN width vs performance.
+
+    Narrow SSNs force frequent wrap-around drains; the paper reports that
+    16-bit SSNs (drains every 64K stores) cost only 0.2% versus
+    infinite-width SSNs.
+    """
+    nlq_svw = fig5_configs()["+SVW+UPD"]
+    configs = {"baseline": replace(nlq_svw, name="ssn-infinite", svw=SVWConfig(ssn_bits=None))}
+    for bits in widths:
+        if bits is None:
+            continue
+        configs[f"{bits}-bit"] = replace(
+            nlq_svw, name=f"ssn-{bits}", svw=SVWConfig(ssn_bits=bits)
+        )
+    return run_matrix("ssn_width", configs, benchmarks, n_insts, progress=progress)
+
+
+def spec_updates_experiment(
+    benchmarks: Iterable[str] | None = None,
+    n_insts: int = DEFAULT_INSTS,
+    progress=None,
+) -> FigureResult:
+    """Section 3.6: speculative vs atomic SSBF updates.
+
+    Speculative updates let stores write the SSBF before older loads have
+    finished re-executing; squashes then leave stale high SSNs behind,
+    causing a small relative increase in re-executions -- the price for
+    avoiding elongated serializations.
+    """
+    ssq_svw = fig6_configs()["+SVW+UPD"]
+    configs = {
+        "baseline": replace(ssq_svw, name="atomic", svw=SVWConfig(speculative_updates=False)),
+        "speculative": replace(
+            ssq_svw,
+            name="speculative",
+            svw=SVWConfig(speculative_updates=True),
+            wrong_path_injection=True,
+        ),
+    }
+    return run_matrix("spec_updates", configs, benchmarks, n_insts, progress=progress)
+
+
+def composition_experiment(
+    benchmarks: Iterable[str] | None = None,
+    n_insts: int = DEFAULT_INSTS,
+    progress=None,
+) -> FigureResult:
+    """Section 3.5: SSQ + RLE composed, with and without SVW."""
+    return run_matrix("composition", composition_configs(), benchmarks, n_insts, progress=progress)
+
+
+def svw_replacement_experiment(
+    benchmarks: Iterable[str] | None = None,
+    n_insts: int = DEFAULT_INSTS,
+    progress=None,
+) -> FigureResult:
+    """Section 6 future work: SVW as a replacement for re-execution."""
+    return run_matrix(
+        "svw_replacement", svw_replacement_configs(), benchmarks, n_insts, progress=progress
+    )

@@ -1,0 +1,113 @@
+"""The paper's published numbers, as stated in its text.
+
+Only quantities the text states explicitly are recorded (averages, maxima,
+and named per-benchmark data points) -- per-benchmark bar heights are *not*
+hand-digitized from the figures.  Each :class:`PaperClaim` carries the
+quantity our harness measures so EXPERIMENTS.md can compare claim by claim.
+
+All rates are fractions of retired loads; speedups are percent IPC
+improvement over the figure's baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class PaperClaim:
+    """One quantitative statement from the paper."""
+
+    experiment: str  # e.g. "fig5"
+    metric: str  # e.g. "reexec_rate", "speedup_pct"
+    config: str  # configuration name within the experiment
+    scope: str  # "avg", "max", or a benchmark name
+    value: float
+    source: str  # where in the paper the number is stated
+
+
+PAPER_CLAIMS: list[PaperClaim] = [
+    # ---------------------------------------------------------------- Figure 5
+    PaperClaim("fig5", "reexec_rate", "NLQ", "avg", 0.074,
+               "4.1: 'the average re-execution rate is 7.4%'"),
+    PaperClaim("fig5", "reexec_rate", "NLQ", "twolf", 0.20,
+               "4.1: 'only twolf re-executes 20%'"),
+    PaperClaim("fig5", "reexec_rate", "+SVW-UPD", "avg", 0.020,
+               "4.1: 'reduces the average load re-execution rate from 7.4% to 2.0%'"),
+    PaperClaim("fig5", "reexec_rate", "+SVW-UPD", "max", 0.081,
+               "4.1: 'with a maximum of 8.1% (perl.d)'"),
+    PaperClaim("fig5", "reexec_rate", "+SVW+UPD", "avg", 0.006,
+               "4.1: 'reduces re-executions further to 0.6% of all loads'"),
+    PaperClaim("fig5", "reexec_rate", "+SVW+UPD", "max", 0.026,
+               "4.1: 'with a maximum of 2.6% (again perl.d)'"),
+    PaperClaim("fig5", "speedup_pct", "NLQ", "avg", 0.3,
+               "4.1: 'the average gain from the additional store port are 0.3%'"),
+    PaperClaim("fig5", "speedup_pct", "NLQ", "parser", -3.5,
+               "4.1: 'parser shows a 3.5% slowdown stemming from an 8.5% re-execution rate'"),
+    PaperClaim("fig5", "speedup_pct", "+SVW+UPD", "avg", 1.3,
+               "4.1: 'performance improvement climbs to 1.3%'"),
+    PaperClaim("fig5", "speedup_pct", "+SVW+UPD", "gzip", -0.2,
+               "4.1: 'only one program (gzip) showing a slowdown of -0.2%'"),
+    PaperClaim("fig5", "speedup_pct", "+PERFECT", "avg", 1.4,
+               "4.1: 'average performance improvement of the ideal NLQLS is 1.4%'"),
+    # ---------------------------------------------------------------- Figure 6
+    PaperClaim("fig6", "reexec_rate", "SSQ", "avg", 1.00,
+               "2.3/4.2: SSQ has no natural filter; it re-executes 100% of loads"),
+    PaperClaim("fig6", "reexec_rate", "+SVW-UPD", "avg", 0.15,
+               "4.2: 'average re-execution rates ... are 15% and 13%'"),
+    PaperClaim("fig6", "reexec_rate", "+SVW+UPD", "avg", 0.13,
+               "4.2: 'average re-execution rates ... are 15% and 13%'"),
+    PaperClaim("fig6", "reexec_rate", "+SVW+UPD", "max", 0.33,
+               "4.2: 'maximum rates of 33% and 33% (both eon.cook)'"),
+    PaperClaim("fig6", "speedup_pct", "SSQ", "avg", -16.0,
+               "4.2: 'yields an average slowdown of 16%'"),
+    PaperClaim("fig6", "speedup_pct", "SSQ", "vortex", -83.0,
+               "4.2: 'the maximum slowdown is 83% (vortex)'"),
+    PaperClaim("fig6", "speedup_pct", "+SVW+UPD", "avg", 1.2,
+               "4.2: 'average performance impact of SSQ turns from a 16% loss to a 1.2% gain'"),
+    PaperClaim("fig6", "speedup_pct", "+SVW+UPD", "vortex", -41.0,
+               "4.2: 'vortex posts a 41% loss'"),
+    PaperClaim("fig6", "speedup_pct", "+PERFECT", "avg", 4.0,
+               "4.2: 'close to the 4% improvement SSQ can achieve even with perfect re-execution'"),
+    PaperClaim("fig6", "speedup_pct", "+PERFECT", "vortex", -32.0,
+               "4.2: 'even with perfect re-execution, vortex posts a 32% slowdown'"),
+    # ---------------------------------------------------------------- Figure 7
+    PaperClaim("fig7", "reexec_rate", "RLE", "avg", 0.28,
+               "4.3: 'RLE eliminates an average of 28% of the loads ... this is also the re-execution rate'"),
+    PaperClaim("fig7", "reexec_rate", "RLE", "vortex", 0.42,
+               "4.3: 'the maximum rate is 42% for vortex'"),
+    PaperClaim("fig7", "reexec_rate", "+SVW", "avg", 0.063,
+               "4.3: 'average re-execution rate drops to 6.3%, a 78% relative reduction'"),
+    PaperClaim("fig7", "reexec_rate", "+SVW-SQU", "avg", 0.012,
+               "4.3: 're-executions drop markedly (from 6.3% to 1.2%)'"),
+    PaperClaim("fig7", "speedup_pct", "RLE", "avg", 2.6,
+               "4.3: 'corresponding average performance improvement is 2.6%'"),
+    PaperClaim("fig7", "speedup_pct", "RLE", "vortex", -16.0,
+               "4.3: 'the only program to post a slowdown is vortex (16%)'"),
+    PaperClaim("fig7", "speedup_pct", "+SVW", "avg", 5.7,
+               "4.3: 'average performance climbs to 5.7%'"),
+    PaperClaim("fig7", "speedup_pct", "+SVW", "max", 10.5,
+               "4.3: 'with a peak of 10.5% (crafty)'"),
+    PaperClaim("fig7", "speedup_pct", "+SVW-SQU", "avg", 5.1,
+               "4.3: 'performance also drops slightly (from 5.7% to 5.1%)'"),
+    PaperClaim("fig7", "speedup_pct", "+PERFECT", "avg", 6.3,
+               "4.3: 'with perfect re-execution ... 6.3%'"),
+    # ---------------------------------------------------------------- Figure 8
+    PaperClaim("fig8", "reexec_rate_delta", "512-vs-Infinite", "avg", 0.003,
+               "4.4: 'the average is 0.3%' (512-entry 8B vs infinite 4B)"),
+    PaperClaim("fig8", "reexec_rate_delta", "512-vs-Infinite", "max", 0.016,
+               "4.4: 'largest performance difference ... is 1.6% (vpr.r)'"),
+    # ---------------------------------------------------------------- Section 3.6
+    PaperClaim("ssn_width", "slowdown_pct", "16-bit-vs-infinite", "avg", 0.2,
+               "3.6: 'performance with 16-bit SSNs ... is only 0.2% lower than with infinite'"),
+    PaperClaim("spec_updates", "relative_reexec_increase", "speculative-vs-atomic", "avg", 0.015,
+               "3.6: 'speculative SSBF updates increase re-executions relatively by 1-2%'"),
+    # ---------------------------------------------------------------- Abstract
+    PaperClaim("overall", "reexec_reduction", "SVW", "avg", 0.85,
+               "abstract: 'SVW reduces re-executions by an average of 85%' across the three optimizations"),
+]
+
+
+def claims_for(experiment: str) -> list[PaperClaim]:
+    """All claims recorded for one experiment id."""
+    return [claim for claim in PAPER_CLAIMS if claim.experiment == experiment]

@@ -1,0 +1,36 @@
+"""Dynamic-instruction IR, static programs, and the golden functional model.
+
+The timing simulator (:mod:`repro.pipeline`) and every load optimization it
+hosts operate on *dynamic instruction records* (:class:`~repro.isa.inst.DynInst`)
+rather than on an encoded machine ISA.  This mirrors what the paper's
+mechanisms actually observe: operation class, register dataflow, PCs,
+effective addresses, access sizes, and store values.
+
+Three layers live here:
+
+- :mod:`repro.isa.ops` -- operation classes and their execution latencies.
+- :mod:`repro.isa.inst` -- the :class:`DynInst` record and trace containers.
+- :mod:`repro.isa.program` / :mod:`repro.isa.golden` -- a small assembler for
+  register-level kernel programs and a functional executor that both produces
+  dynamic traces from them and defines architecturally-correct results for
+  end-to-end verification.
+"""
+
+from repro.isa.golden import GoldenResult, golden_execute, golden_memory_image
+from repro.isa.inst import DynInst, Trace
+from repro.isa.ops import OpClass, latency_of
+from repro.isa.program import Label, Op, Program, ProgramBuilder
+
+__all__ = [
+    "DynInst",
+    "GoldenResult",
+    "Label",
+    "Op",
+    "OpClass",
+    "Program",
+    "ProgramBuilder",
+    "Trace",
+    "golden_execute",
+    "golden_memory_image",
+    "latency_of",
+]

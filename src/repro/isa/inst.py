@@ -1,0 +1,169 @@
+"""Dynamic instruction records and traces.
+
+A :class:`DynInst` is one *dynamic* instruction: a single execution of a
+static instruction at a given PC.  Traces are program-ordered sequences of
+dynamic instructions.  The record is deliberately immutable -- per-execution
+timing state lives in the pipeline's in-flight wrappers so that a trace can
+be replayed across machine configurations (and re-fetched after squashes)
+without copying.
+
+Register dataflow is pre-resolved into *producer sequence numbers*:
+``src_seqs`` names the dynamic instructions whose results this instruction
+consumes.  This is exactly the information register renaming would recover
+and lets the scheduler model wakeup without simulating a register file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from repro.isa.ops import OpClass
+
+#: Sentinel producer index meaning "value ready at fetch" (architectural
+#: state older than the trace window).
+NO_PRODUCER = -1
+
+
+@dataclass(frozen=True, slots=True)
+class DynInst:
+    """One dynamic instruction.
+
+    Attributes:
+        seq: Position in the dynamic trace (0-based, monotonic).
+        pc: Static PC; indexes predictors, store-sets, steering bits, SPCT.
+        op: Scheduling class.
+        src_seqs: Dynamic seq numbers of register producers (``NO_PRODUCER``
+            entries are already-ready operands and are dropped by the trace
+            builders; they never appear here).
+        dst_reg: Architectural destination register, or -1 if none.  Used by
+            RLE's integration signatures and by debugging output only.
+        addr: Effective address for memory ops (4-byte aligned), else 0.
+        size: Access size in bytes for memory ops (4 or 8), else 0.
+        store_value: Value written by stores, else 0.
+        store_data_seq: For stores, the producer seq of the *data* operand
+            (distinct from address operands; speculative memory bypassing
+            links a redundant load to this producer), else ``NO_PRODUCER``.
+        taken: Branch outcome for branches, else False.
+        base_seq: Producer seq of the base-address register for memory ops
+            (register-integration signatures key on this), else
+            ``NO_PRODUCER``.
+        offset: Address-generation immediate for memory ops.
+    """
+
+    seq: int
+    pc: int
+    op: OpClass
+    src_seqs: tuple[int, ...] = ()
+    dst_reg: int = -1
+    addr: int = 0
+    size: int = 0
+    store_value: int = 0
+    store_data_seq: int = NO_PRODUCER
+    taken: bool = False
+    base_seq: int = NO_PRODUCER
+    offset: int = 0
+
+    @property
+    def is_load(self) -> bool:
+        return self.op is OpClass.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.op is OpClass.STORE
+
+    @property
+    def is_branch(self) -> bool:
+        return self.op is OpClass.BRANCH
+
+    @property
+    def is_mem(self) -> bool:
+        return self.op is OpClass.LOAD or self.op is OpClass.STORE
+
+    def words(self) -> tuple[int, ...]:
+        """The 4-byte-aligned word addresses this memory op touches."""
+        if self.size <= 4:
+            return (self.addr,)
+        return (self.addr, self.addr + 4)
+
+
+@dataclass(slots=True)
+class Trace:
+    """A program-ordered dynamic instruction stream plus provenance.
+
+    Attributes:
+        name: Workload name (benchmark profile or kernel).
+        insts: The dynamic instructions, ``insts[i].seq == i``.
+        initial_memory: Word-granularity initial memory image
+            (4-byte-aligned address -> 32-bit value); absent words read 0.
+        wrong_path_addrs: For each dynamic branch/flush point the workload
+            generator can supply plausible wrong-path store addresses used to
+            model speculative SSBF pollution (see DESIGN.md).  Keyed by the
+            seq at which a flush might occur.
+    """
+
+    name: str
+    insts: list[DynInst]
+    initial_memory: dict[int, int] = field(default_factory=dict)
+    wrong_path_addrs: dict[int, tuple[int, ...]] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.insts)
+
+    def __iter__(self) -> Iterator[DynInst]:
+        return iter(self.insts)
+
+    def __getitem__(self, i: int) -> DynInst:
+        return self.insts[i]
+
+    def validate(self) -> None:
+        """Check internal consistency; raises ``ValueError`` on violation.
+
+        Invariants: seq numbering is dense; producers strictly precede
+        consumers; memory ops have aligned addresses and sane sizes; and
+        address-generation is register-consistent -- two memory ops with
+        the same (base producer, offset) compute the same address, which
+        is what register-integration signatures rely on.
+        """
+        signatures: dict[tuple[int, int], int] = {}
+        for i, inst in enumerate(self.insts):
+            if inst.seq != i:
+                raise ValueError(f"inst {i} has seq {inst.seq}")
+            for src in inst.src_seqs:
+                if not 0 <= src < i:
+                    raise ValueError(f"inst {i} consumes future/invalid producer {src}")
+            if inst.base_seq != NO_PRODUCER and not 0 <= inst.base_seq < i:
+                raise ValueError(f"inst {i} has invalid base producer {inst.base_seq}")
+            if inst.is_mem:
+                if inst.size not in (4, 8):
+                    raise ValueError(f"mem inst {i} has size {inst.size}")
+                if inst.addr % 4 != 0:
+                    raise ValueError(f"mem inst {i} unaligned addr {inst.addr:#x}")
+                if inst.size == 8 and inst.addr % 8 != 0:
+                    raise ValueError(f"mem inst {i} unaligned 8B addr {inst.addr:#x}")
+                if inst.base_seq != NO_PRODUCER:
+                    key = (inst.base_seq, inst.offset)
+                    previous = signatures.setdefault(key, inst.addr)
+                    if previous != inst.addr:
+                        raise ValueError(
+                            f"mem inst {i}: signature {key} maps to both "
+                            f"{previous:#x} and {inst.addr:#x}"
+                        )
+
+    def stats(self) -> dict[str, float]:
+        """Aggregate mix statistics (fractions of the dynamic stream)."""
+        counts: dict[OpClass, int] = {}
+        for inst in self.insts:
+            counts[inst.op] = counts.get(inst.op, 0) + 1
+        total = max(1, len(self.insts))
+        return {
+            "insts": float(total),
+            "load_frac": counts.get(OpClass.LOAD, 0) / total,
+            "store_frac": counts.get(OpClass.STORE, 0) / total,
+            "branch_frac": counts.get(OpClass.BRANCH, 0) / total,
+        }
+
+
+def producers_of(insts: Sequence[DynInst], seq: int) -> tuple[int, ...]:
+    """Convenience accessor used by analysis tools."""
+    return insts[seq].src_seqs

@@ -1,0 +1,64 @@
+"""Operation classes and execution latencies.
+
+The paper's machine issues instructions from five scheduling classes per
+cycle (integer, floating-point, load, store, branch).  We keep integer
+multiply/divide as a distinct :class:`OpClass` because its longer latency
+shapes the dataflow height of real kernels, but it shares the integer issue
+ports.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class OpClass(enum.IntEnum):
+    """Scheduling class of a dynamic instruction."""
+
+    IALU = 0
+    IMUL = 1
+    FALU = 2
+    LOAD = 3
+    STORE = 4
+    BRANCH = 5
+    NOP = 6
+
+    @property
+    def is_mem(self) -> bool:
+        return self in (OpClass.LOAD, OpClass.STORE)
+
+
+#: Execution latencies in cycles (excluding cache access for memory ops).
+#: Loads/stores listed here cover address generation; the memory hierarchy
+#: adds its own access latency on top.
+_LATENCY = {
+    OpClass.IALU: 1,
+    OpClass.IMUL: 7,
+    OpClass.FALU: 4,
+    OpClass.LOAD: 1,
+    OpClass.STORE: 1,
+    OpClass.BRANCH: 1,
+    OpClass.NOP: 1,
+}
+
+#: Issue-port class used for bandwidth accounting.  IMUL shares the integer
+#: issue ports; everything else maps to itself.
+_ISSUE_CLASS = {
+    OpClass.IALU: OpClass.IALU,
+    OpClass.IMUL: OpClass.IALU,
+    OpClass.FALU: OpClass.FALU,
+    OpClass.LOAD: OpClass.LOAD,
+    OpClass.STORE: OpClass.STORE,
+    OpClass.BRANCH: OpClass.BRANCH,
+    OpClass.NOP: OpClass.IALU,
+}
+
+
+def latency_of(op: OpClass) -> int:
+    """Execution latency of ``op`` in cycles."""
+    return _LATENCY[op]
+
+
+def issue_class_of(op: OpClass) -> OpClass:
+    """The issue-bandwidth class ``op`` draws a slot from."""
+    return _ISSUE_CLASS[op]

@@ -1,0 +1,233 @@
+"""A tiny register-level program representation and builder.
+
+Real algorithmic kernels (linked lists, hash tables, sorts -- see
+:mod:`repro.workloads.kernels`) are written against this builder, then run
+through the functional executor in :mod:`repro.isa.golden` to produce dynamic
+traces with genuine dataflow, address streams, and branch behaviour.  This is
+the stand-in for the paper's Alpha binaries: the timing model and the SVW
+machinery only ever see the resulting :class:`~repro.isa.inst.DynInst`
+stream.
+
+The instruction set is a minimal load/store RISC:
+
+==============  =======================================================
+``addi/add``    integer ALU (immediate / register forms)
+``mul``         integer multiply (long latency)
+``fadd``        floating-point ALU class (operates on ints functionally)
+``load``        ``rd <- mem[rb + offset]`` (size 4 or 8)
+``store``       ``mem[rb + offset] <- rs`` (size 4 or 8)
+``beq/bne/blt/bge``  conditional branches to labels
+``jump``        unconditional branch
+``halt``        stop execution
+==============  =======================================================
+
+Register 0 is hardwired to zero, as in most RISC ISAs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Mnemonic(enum.Enum):
+    ADDI = "addi"
+    ADD = "add"
+    SUB = "sub"
+    AND = "and"
+    XOR = "xor"
+    SHR = "shr"
+    MUL = "mul"
+    FADD = "fadd"
+    LOAD = "load"
+    STORE = "store"
+    BEQ = "beq"
+    BNE = "bne"
+    BLT = "blt"
+    BGE = "bge"
+    JUMP = "jump"
+    HALT = "halt"
+
+
+@dataclass(frozen=True, slots=True)
+class Label:
+    """A branch target; resolved to a static PC when the program is sealed."""
+
+    name: str
+
+
+@dataclass(slots=True)
+class Op:
+    """One static instruction."""
+
+    mnemonic: Mnemonic
+    rd: int = 0
+    rs: int = 0
+    rt: int = 0
+    imm: int = 0
+    size: int = 8
+    target: Label | int | None = None
+
+
+@dataclass(slots=True)
+class Program:
+    """A sealed static program: instructions plus resolved label map."""
+
+    name: str
+    ops: list[Op]
+    labels: dict[str, int]
+    num_regs: int
+    initial_memory: dict[int, int] = field(default_factory=dict)
+
+    def target_pc(self, op: Op) -> int:
+        if isinstance(op.target, Label):
+            return self.labels[op.target.name]
+        if op.target is None:
+            raise ValueError(f"{op.mnemonic} has no target")
+        return op.target
+
+
+class ProgramBuilder:
+    """Fluent builder for :class:`Program`.
+
+    Example::
+
+        b = ProgramBuilder("sum", num_regs=8)
+        loop = b.label("loop")
+        b.load(3, base=1, offset=0)
+        b.add(2, 2, 3)
+        b.addi(1, 1, 8)
+        b.blt(1, 4, loop)
+        b.halt()
+        program = b.build()
+    """
+
+    def __init__(self, name: str, num_regs: int = 32) -> None:
+        if num_regs < 2:
+            raise ValueError("need at least two registers")
+        self._name = name
+        self._num_regs = num_regs
+        self._ops: list[Op] = []
+        self._labels: dict[str, int] = {}
+        self._initial_memory: dict[int, int] = {}
+
+    # -- label management ---------------------------------------------------
+
+    def label(self, name: str) -> Label:
+        """Bind ``name`` to the *current* position and return a Label."""
+        if name in self._labels:
+            raise ValueError(f"duplicate label {name!r}")
+        self._labels[name] = len(self._ops)
+        return Label(name)
+
+    def forward_label(self, name: str) -> Label:
+        """Reference a label to be placed later with :meth:`place`."""
+        return Label(name)
+
+    def place(self, label: Label) -> None:
+        """Bind a forward label to the current position."""
+        if label.name in self._labels:
+            raise ValueError(f"duplicate label {label.name!r}")
+        self._labels[label.name] = len(self._ops)
+
+    # -- memory initialisation ---------------------------------------------
+
+    def poke(self, addr: int, value: int, size: int = 4) -> None:
+        """Set initial memory (word granularity)."""
+        if addr % 4:
+            raise ValueError("unaligned poke")
+        self._initial_memory[addr] = value & 0xFFFF_FFFF
+        if size == 8:
+            self._initial_memory[addr + 4] = (value >> 32) & 0xFFFF_FFFF
+
+    # -- instruction emitters ------------------------------------------------
+
+    def _check_reg(self, *regs: int) -> None:
+        for r in regs:
+            if not 0 <= r < self._num_regs:
+                raise ValueError(f"register r{r} out of range")
+
+    def _emit(self, op: Op) -> "ProgramBuilder":
+        self._ops.append(op)
+        return self
+
+    def addi(self, rd: int, rs: int, imm: int) -> "ProgramBuilder":
+        self._check_reg(rd, rs)
+        return self._emit(Op(Mnemonic.ADDI, rd=rd, rs=rs, imm=imm))
+
+    def add(self, rd: int, rs: int, rt: int) -> "ProgramBuilder":
+        self._check_reg(rd, rs, rt)
+        return self._emit(Op(Mnemonic.ADD, rd=rd, rs=rs, rt=rt))
+
+    def sub(self, rd: int, rs: int, rt: int) -> "ProgramBuilder":
+        self._check_reg(rd, rs, rt)
+        return self._emit(Op(Mnemonic.SUB, rd=rd, rs=rs, rt=rt))
+
+    def and_(self, rd: int, rs: int, rt: int) -> "ProgramBuilder":
+        self._check_reg(rd, rs, rt)
+        return self._emit(Op(Mnemonic.AND, rd=rd, rs=rs, rt=rt))
+
+    def xor(self, rd: int, rs: int, rt: int) -> "ProgramBuilder":
+        self._check_reg(rd, rs, rt)
+        return self._emit(Op(Mnemonic.XOR, rd=rd, rs=rs, rt=rt))
+
+    def shr(self, rd: int, rs: int, imm: int) -> "ProgramBuilder":
+        self._check_reg(rd, rs)
+        return self._emit(Op(Mnemonic.SHR, rd=rd, rs=rs, imm=imm))
+
+    def mul(self, rd: int, rs: int, rt: int) -> "ProgramBuilder":
+        self._check_reg(rd, rs, rt)
+        return self._emit(Op(Mnemonic.MUL, rd=rd, rs=rs, rt=rt))
+
+    def fadd(self, rd: int, rs: int, rt: int) -> "ProgramBuilder":
+        self._check_reg(rd, rs, rt)
+        return self._emit(Op(Mnemonic.FADD, rd=rd, rs=rs, rt=rt))
+
+    def load(self, rd: int, base: int, offset: int = 0, size: int = 8) -> "ProgramBuilder":
+        self._check_reg(rd, base)
+        if size not in (4, 8):
+            raise ValueError("load size must be 4 or 8")
+        return self._emit(Op(Mnemonic.LOAD, rd=rd, rs=base, imm=offset, size=size))
+
+    def store(self, rs: int, base: int, offset: int = 0, size: int = 8) -> "ProgramBuilder":
+        self._check_reg(rs, base)
+        if size not in (4, 8):
+            raise ValueError("store size must be 4 or 8")
+        return self._emit(Op(Mnemonic.STORE, rs=rs, rt=base, imm=offset, size=size))
+
+    def beq(self, rs: int, rt: int, target: Label) -> "ProgramBuilder":
+        self._check_reg(rs, rt)
+        return self._emit(Op(Mnemonic.BEQ, rs=rs, rt=rt, target=target))
+
+    def bne(self, rs: int, rt: int, target: Label) -> "ProgramBuilder":
+        self._check_reg(rs, rt)
+        return self._emit(Op(Mnemonic.BNE, rs=rs, rt=rt, target=target))
+
+    def blt(self, rs: int, rt: int, target: Label) -> "ProgramBuilder":
+        self._check_reg(rs, rt)
+        return self._emit(Op(Mnemonic.BLT, rs=rs, rt=rt, target=target))
+
+    def bge(self, rs: int, rt: int, target: Label) -> "ProgramBuilder":
+        self._check_reg(rs, rt)
+        return self._emit(Op(Mnemonic.BGE, rs=rs, rt=rt, target=target))
+
+    def jump(self, target: Label) -> "ProgramBuilder":
+        return self._emit(Op(Mnemonic.JUMP, target=target))
+
+    def halt(self) -> "ProgramBuilder":
+        return self._emit(Op(Mnemonic.HALT))
+
+    # -- sealing --------------------------------------------------------------
+
+    def build(self) -> Program:
+        """Seal the program, checking that every referenced label exists."""
+        for op in self._ops:
+            if isinstance(op.target, Label) and op.target.name not in self._labels:
+                raise ValueError(f"undefined label {op.target.name!r}")
+        return Program(
+            name=self._name,
+            ops=list(self._ops),
+            labels=dict(self._labels),
+            num_regs=self._num_regs,
+            initial_memory=dict(self._initial_memory),
+        )

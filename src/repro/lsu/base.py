@@ -1,0 +1,162 @@
+"""LSU interface and shared forwarding helpers.
+
+The processor owns the functional state (committed memory, the in-flight
+store index); LSU variants implement *visibility*: which older stores a
+load can see at execution time.  Getting visibility wrong is never fatal --
+it produces a stale value that the re-execution machinery must catch,
+which is precisely the speculation the paper studies.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Callable
+
+from repro.pipeline.inflight import InFlight
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.pipeline.processor import Processor
+
+#: word_sources value meaning "word came from committed memory".
+FROM_MEMORY = -1
+
+
+def store_word_value(store: InFlight, word: int) -> int:
+    """The 32-bit value ``store`` writes to 4-byte-aligned ``word``."""
+    inst = store.inst
+    if word == inst.addr:
+        return inst.store_value & 0xFFFF_FFFF
+    return (inst.store_value >> 32) & 0xFFFF_FFFF
+
+
+class LoadStoreUnit(abc.ABC):
+    """One load-store unit organization."""
+
+    def __init__(self, proc: "Processor") -> None:
+        self.proc = proc
+
+    # -- dispatch hooks ---------------------------------------------------------
+
+    def store_dispatch_ready(self, store: InFlight) -> bool:
+        """False if structural state (e.g. a full FSQ) must stall dispatch."""
+        return True
+
+    def on_store_dispatch(self, store: InFlight) -> None:
+        """Allocate variant-specific store state."""
+
+    def on_load_dispatch(self, load: InFlight) -> None:
+        """Allocate variant-specific load state."""
+
+    # -- execution hooks -----------------------------------------------------------
+
+    def load_uses_fsq(self, load: InFlight) -> bool:
+        """Does this load need an FSQ port to issue?"""
+        return False
+
+    @abc.abstractmethod
+    def execute_load(self, load: InFlight) -> None:
+        """Produce the load's execution-time value.
+
+        Must set ``exec_value``, ``word_sources`` and ``forwarded_ssn``;
+        may set ``marked`` (natural re-execution filter) and ``fsq``.
+        """
+
+    def on_store_resolved(self, store: InFlight) -> InFlight | None:
+        """Store address generation finished (data may still be pending).
+
+        Returns the oldest load that violated ordering against this store
+        (conventional LQ search), or None.
+        """
+        return None
+
+    def on_store_forwardable(self, store: InFlight) -> None:
+        """Store address *and* data are now available."""
+
+    def load_must_wait(self, load: InFlight) -> InFlight | None:
+        """A store the load must wait for before issuing, or None.
+
+        An SQ CAM match against a store whose address is known but whose
+        data has not arrived cannot forward; the load replays until the
+        data shows up.  Variants without an associative SQ return None
+        (the load proceeds and re-execution cleans up).
+        """
+        return None
+
+    def _sq_data_blocker(self, load: InFlight) -> InFlight | None:
+        """Shared implementation of :meth:`load_must_wait` for CAM-SQ LSUs."""
+        for word in load.inst.words():
+            stores = self.proc.store_words.get(word)
+            if not stores:
+                continue
+            for store in reversed(stores):
+                if store.seq >= load.seq or store.squashed or not store.issued:
+                    continue  # younger, gone, or address unknown to the CAM
+                if not store.done:
+                    return store  # CAM match without data yet: replay
+                break  # youngest older CAM match can forward
+        return None
+
+    # -- retirement hooks ----------------------------------------------------------------
+
+    def on_store_commit(self, store: InFlight) -> None:
+        """Free variant-specific store state."""
+
+    def on_load_commit(self, load: InFlight) -> None:
+        """Free variant-specific load state."""
+
+    def on_squash(self, entry: InFlight) -> None:
+        """Entry squashed; release its variant-specific state."""
+
+    def on_rex_failure(self, load: InFlight, store_pc: int | None) -> None:
+        """Re-execution caught a stale load; train steering/dependence state."""
+
+    # -- shared helpers ----------------------------------------------------------------------
+
+    def _word_from_stores(
+        self,
+        word: int,
+        before_seq: int,
+        visible: Callable[[InFlight], bool],
+    ) -> tuple[int, InFlight | None]:
+        """Value of ``word`` seen by a load at ``before_seq``.
+
+        Searches in-flight stores older than ``before_seq`` satisfying
+        ``visible`` (youngest first); falls back to committed memory.
+        Returns ``(value, supplying_store_or_None)``.
+        """
+        stores = self.proc.store_words.get(word)
+        if stores:
+            for store in reversed(stores):
+                if store.seq < before_seq and not store.squashed and visible(store):
+                    return store_word_value(store, word), store
+        return self.proc.committed_memory.read(word, 4), None
+
+    def _assemble(
+        self,
+        load: InFlight,
+        visible: Callable[[InFlight], bool],
+    ) -> None:
+        """Per-word value assembly with the given store-visibility rule."""
+        inst = load.inst
+        sources = []
+        forwarded_ssns = []
+        value = 0
+        for shift, word in enumerate(inst.words()):
+            word_value, store = self._word_from_stores(word, load.seq, visible)
+            value |= word_value << (32 * shift)
+            if store is None:
+                sources.append(FROM_MEMORY)
+                forwarded_ssns.append(0)
+            else:
+                sources.append(store.seq)
+                forwarded_ssns.append(store.ssn)
+        if inst.size == 4:
+            value &= 0xFFFF_FFFF
+        load.exec_value = value
+        load.word_sources = tuple(sources)
+        # Conservative multi-word rule: the load only becomes invulnerable
+        # up to the *oldest* contributing store; any memory-supplied word
+        # means no shrink at all (ssn 0).
+        load.forwarded_ssn = min(forwarded_ssns)
+        if load.forwarded_ssn > 0:
+            self.proc.stats.forwarded_loads += 1

@@ -1,0 +1,89 @@
+"""Conventional load-store unit (Figure 2a).
+
+An associative SQ forwards from every resolved older in-flight store; an
+associative LQ enforces intra-thread ordering: when a store resolves its
+address, it searches the LQ for younger loads to the same address that
+issued prematurely, and a match flushes the load and everything younger.
+The LQ's single associative port is what limits the baseline machine to
+one store issue per cycle in the Figure 5 experiments.
+"""
+
+from __future__ import annotations
+
+from repro.lsu.base import LoadStoreUnit, store_word_value
+from repro.pipeline.inflight import InFlight
+
+
+def _store_visible(store: InFlight) -> bool:
+    return store.done  # address resolved and data present
+
+
+class ConventionalLSU(LoadStoreUnit):
+    """Associative SQ + associative LQ."""
+
+    def __init__(self, proc) -> None:
+        super().__init__(proc)
+        # Issued speculative loads indexed by word, for the LQ search.
+        self._loads_by_word: dict[int, list[InFlight]] = {}
+
+    def load_must_wait(self, load: InFlight) -> InFlight | None:
+        return self._sq_data_blocker(load)
+
+    def execute_load(self, load: InFlight) -> None:
+        self._assemble(load, _store_visible)
+        for word in load.inst.words():
+            self._loads_by_word.setdefault(word, []).append(load)
+
+    def on_store_resolved(self, store: InFlight) -> InFlight | None:
+        """LQ search: oldest younger load that issued with a stale source.
+
+        The search is value-aware (section 2.2: "If the LQ contains values
+        in addition to addresses, some flushes may be avoided as the search
+        procedure could ignore ordering violations from silent stores"): a
+        younger load whose read already matches what the store writes is
+        not flushed.
+        """
+        victim: InFlight | None = None
+        for word in store.inst.words():
+            loads = self._loads_by_word.get(word)
+            if not loads:
+                continue
+            live = [ld for ld in loads if not ld.squashed and ld.issued]
+            if len(live) != len(loads):
+                self._loads_by_word[word] = live
+            written = store_word_value(store, word)
+            for load in live:
+                if load.seq <= store.seq or load.word_sources is None:
+                    continue
+                index = index_of_word(load, word)
+                source = load.word_sources[index]
+                observed = (load.exec_value >> (32 * index)) & 0xFFFF_FFFF
+                if (
+                    source < store.seq
+                    and observed != written
+                    and (victim is None or load.seq < victim.seq)
+                ):
+                    victim = load
+        return victim
+
+    def _drop(self, load: InFlight) -> None:
+        if load.inst.is_load and load.word_sources is not None:
+            for word in load.inst.words():
+                loads = self._loads_by_word.get(word)
+                if loads is not None:
+                    try:
+                        loads.remove(load)
+                    except ValueError:
+                        pass
+
+    def on_load_commit(self, load: InFlight) -> None:
+        self._drop(load)
+
+    def on_squash(self, entry: InFlight) -> None:
+        if entry.inst.is_load:
+            self._drop(entry)
+
+
+def index_of_word(load: InFlight, word: int) -> int:
+    """Position of ``word`` in the load's word tuple (0 or 1)."""
+    return 0 if word == load.inst.addr else 1

@@ -1,0 +1,40 @@
+"""Non-associative load queue (Figure 2b; Cain & Lipasti, ISCA 2004).
+
+The LQ's associative search port is removed: stores no longer search the
+LQ when their addresses resolve, which frees the machine to issue two
+stores per cycle.  Ordering violations are instead caught by in-order
+pre-commit load re-execution.  The *natural re-execution filter* is the
+scheduler: "only loads that issued in the presence of older stores with
+unresolved addresses are re-executed" -- these are the *marked* loads.
+
+Store-load pair training uses the SPCT (section 2.2): on a flush, the
+conflicting store's PC is retrieved from the SPCT using the load address
+and fed to store-sets.
+"""
+
+from __future__ import annotations
+
+from repro.lsu.base import LoadStoreUnit
+from repro.pipeline.inflight import InFlight
+
+
+def _store_visible(store: InFlight) -> bool:
+    return store.done  # address resolved and data present
+
+
+class NonAssociativeLQ(LoadStoreUnit):
+    """Associative SQ for forwarding; re-execution for ordering."""
+
+    def load_must_wait(self, load: InFlight) -> InFlight | None:
+        return self._sq_data_blocker(load)
+
+    def execute_load(self, load: InFlight) -> None:
+        self._assemble(load, _store_visible)
+        # Natural filter: mark loads issuing past unresolved older stores.
+        if self.proc.older_unresolved_store_exists(load.seq):
+            load.marked = True
+
+    def on_rex_failure(self, load: InFlight, store_pc: int | None) -> None:
+        """Train a precise store-load pair through the SPCT."""
+        if store_pc is not None and self.proc.store_sets is not None:
+            self.proc.store_sets.train(load.inst.pc, store_pc)

@@ -1,0 +1,5 @@
+"""Shared-memory extension: NLQ-SM with synthetic invalidation streams."""
+
+from repro.multi.invalidation import nlqsm_config, run_nlqsm_experiment
+
+__all__ = ["nlqsm_config", "run_nlqsm_experiment"]

@@ -1,0 +1,119 @@
+"""Mutable per-dynamic-instruction pipeline state.
+
+A fresh :class:`InFlight` wraps a :class:`~repro.isa.inst.DynInst` every
+time it is dispatched (including re-dispatch after a squash); all timing
+and speculation state lives here, never in the immutable trace.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.isa.inst import DynInst
+
+
+class RexState(enum.IntEnum):
+    """Verification status of an in-flight instruction."""
+
+    NOT_NEEDED = 0  # unmarked: flows through the re-execution pipe for free
+    PENDING = 1  # marked, waiting to reach the re-execution frontier
+    IN_FLIGHT = 2  # marked, data-cache re-access in progress
+    DONE_OK = 3  # verified (re-executed and matched, or never marked)
+    FILTERED = 4  # marked, excused by the SVW filter test
+    FAILED = 5  # re-executed and mismatched: flush when this commits
+    SVW_FLUSH = 6  # svw-only mode: positive test, flush-and-refetch
+
+
+class InFlight:
+    """Pipeline state of one dispatched dynamic instruction."""
+
+    __slots__ = (
+        "inst",
+        "seq",
+        "squashed",
+        "pending_srcs",
+        "data_pending",
+        "waiters",
+        "issued",
+        "dispatch_cycle",
+        "complete_cycle",
+        "done",
+        "rex_state",
+        "rex_done_cycle",
+        "marked",
+        "svw",
+        "exec_value",
+        "rex_value",
+        "word_sources",
+        "forwarded_ssn",
+        "ssn",
+        "resolved",
+        "fsq",
+        "eliminated",
+        "elim_bypass",
+        "squash_reuse",
+        "it_signature",
+        "mispredicted",
+    )
+
+    def __init__(self, inst: DynInst, dispatch_cycle: int) -> None:
+        self.inst = inst
+        self.seq = inst.seq
+        self.squashed = False
+        self.pending_srcs = 0
+        #: Stores: 1 while the store-data producer is outstanding.  Store
+        #: address generation (STA) and data (STD) are split as in real
+        #: machines: AGEN issues on address operands alone.
+        self.data_pending = 0
+        #: Waiters as (role, entry): role 0 = register operand, 1 = store data.
+        self.waiters: list[tuple[int, InFlight]] | None = None
+        self.issued = False
+        self.dispatch_cycle = dispatch_cycle
+        self.complete_cycle = -1
+        self.done = False
+        self.rex_state = RexState.NOT_NEEDED
+        self.rex_done_cycle = -1
+        self.marked = False
+        #: SSN of the youngest older store this load is NOT vulnerable to.
+        self.svw = 0
+        #: Value obtained at execution (loads) -- possibly mis-speculated.
+        self.exec_value = 0
+        #: Architecturally-correct value found at re-execution.
+        self.rex_value = 0
+        #: For issued loads: per-word seq of the supplying store (-1 = memory).
+        self.word_sources: tuple[int, ...] | None = None
+        #: SSN of the youngest store that forwarded any word (0 = none).
+        self.forwarded_ssn = 0
+        #: Store sequence number (stores only).
+        self.ssn = 0
+        #: Store address generation done (stores only).
+        self.resolved = False
+        #: SSQ steering: this load/store uses the FSQ.
+        self.fsq = False
+        #: RLE: load removed from the execution engine.
+        self.eliminated = False
+        #: RLE: elimination came from a store (bypassing) vs a load (reuse).
+        self.elim_bypass = False
+        #: RLE: the matched IT entry's creator was squashed.
+        self.squash_reuse = False
+        #: RLE: signature of the IT entry this load integrated with.
+        self.it_signature: tuple[int, int, int] | None = None
+        #: Branches: direction or target misprediction.
+        self.mispredicted = False
+
+    def __lt__(self, other: "InFlight") -> bool:
+        """Age order; ties (a squashed and a refetched incarnation of the
+        same seq inside a lazy heap) break arbitrarily but deterministically."""
+        return self.seq < other.seq or (self.seq == other.seq and self.squashed)
+
+    def add_waiter(self, waiter: "InFlight", role: int = 0) -> None:
+        if self.waiters is None:
+            self.waiters = [(role, waiter)]
+        else:
+            self.waiters.append((role, waiter))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"InFlight(seq={self.seq}, op={self.inst.op.name}, issued={self.issued}, "
+            f"done={self.done}, rex={self.rex_state.name})"
+        )

@@ -1,0 +1,880 @@
+"""The cycle-driven out-of-order processor model.
+
+Per-cycle stage order (backwards through the pipe, standard practice so
+that results produced this cycle are visible downstream next cycle, except
+wakeup/select which is same-cycle for back-to-back execution):
+
+1. **complete** -- finish executions scheduled for this cycle, wake
+   dependents, resolve store addresses (conventional LQ search happens
+   here), release branch redirects;
+2. **commit** -- in-order retirement from the ROB head; stores arbitrate
+   for the single data-cache read/write port with priority over load
+   re-execution; re-execution verdicts (flush on mismatch) act here;
+3. **re-execute** -- the in-order pre-commit re-execution pipe: SVW stage
+   (SSBF update for stores, filter test for marked loads), then data-cache
+   re-access for loads that must re-execute, using whatever port capacity
+   store commit left over;
+4. **issue** -- age-ordered select over ready instructions subject to
+   per-class issue bandwidth, cache banks, and the FSQ port;
+5. **dispatch** -- in-order entry into the window subject to ROB/IQ/LQ/SQ
+   occupancy, branch redirects, FSQ allocation stalls, and SSN wrap drains.
+
+The functional story runs alongside the timing story: loads compute values
+at issue from whatever stores their LSU variant lets them see (possibly
+stale -- that is the point), re-execution recomputes the program-order
+value, and commit repairs any divergence by flushing.  A run can therefore
+be checked against the golden functional execution, and the test suite
+does so for every configuration.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+
+from repro.core.ssn import SSNState
+from repro.core.svw import SVWEngine
+from repro.deps.spct import SPCT
+from repro.deps.storesets import StoreSets
+from repro.frontend.btb import BTB
+from repro.frontend.direction import HybridPredictor
+from repro.isa.golden import golden_execute
+from repro.isa.inst import Trace
+from repro.isa.ops import OpClass, issue_class_of, latency_of
+from repro.lsu.base import FROM_MEMORY, LoadStoreUnit, store_word_value
+from repro.lsu.conventional import ConventionalLSU
+from repro.lsu.nlq import NonAssociativeLQ
+from repro.lsu.ssq import SpeculativeSQ
+from repro.memsys.hierarchy import MemoryHierarchy
+from repro.memsys.memimg import MemoryImage
+from repro.pipeline.config import LSUKind, MachineConfig, RexMode
+from repro.pipeline.inflight import InFlight, RexState
+from repro.pipeline.stats import SimStats
+from repro.rle.integration import IntegrationTable, signature_of
+
+_WATCHDOG_CYCLES = 100_000
+
+
+class SimulationError(RuntimeError):
+    """The simulation reached an inconsistent or deadlocked state."""
+
+
+class Processor:
+    """One machine configuration executing one trace."""
+
+    def __init__(
+        self,
+        config: MachineConfig,
+        trace: Trace,
+        validate: bool = False,
+        warmup: int = 0,
+    ) -> None:
+        """Args:
+        config: The machine to model.
+        trace: The dynamic instruction stream to execute.
+        validate: Check every committed load value against the golden
+            functional execution (slower; used by the test suite).
+        warmup: Number of committed instructions to exclude from the
+            statistics (predictor/cache warm-up, as in the paper's
+            sampling methodology).
+        """
+        self.config = config
+        self.trace = trace
+        self.warmup = min(warmup, max(0, len(trace) - 1))
+        self._warmup_cycle = 0
+        self.stats = SimStats(config_name=config.name, workload=trace.name)
+
+        # Functional state.
+        self.committed_memory = MemoryImage(trace.initial_memory)
+        self._golden = golden_execute(trace) if validate else None
+
+        # Substrates.
+        self.hierarchy = MemoryHierarchy(config.hierarchy)
+        self.predictor = HybridPredictor(config.predictor_entries)
+        self.btb = BTB(config.btb_entries)
+        self.store_sets: StoreSets | None = StoreSets() if config.store_sets else None
+        self.spct = SPCT()
+        self.svw: SVWEngine | None = SVWEngine(config.svw) if config.svw else None
+        self.ssn: SSNState = self.svw.ssn if self.svw else SSNState(None)
+        self.it: IntegrationTable | None = (
+            IntegrationTable(config.it_entries, config.it_assoc) if config.rle else None
+        )
+        if self.svw is not None and self.it is not None:
+            self.svw.on_drain.append(self.it.flash_clear)
+        self.lsu: LoadStoreUnit = {
+            LSUKind.CONVENTIONAL: ConventionalLSU,
+            LSUKind.NLQ: NonAssociativeLQ,
+            LSUKind.SSQ: SpeculativeSQ,
+        }[config.lsu](self)
+
+        # Dynamic state.
+        self.cycle = 0
+        self.fetch_seq = 0
+        self.fetch_resume = 0
+        self.fetch_blocker: InFlight | None = None
+        self.drain_wait = False
+        self.rob: deque[InFlight] = deque()
+        self.inflight_by_seq: dict[int, InFlight] = {}
+        self.iq_occ = 0
+        self.lq_occ = 0
+        self.sq_occ = 0
+        self.reg_occ = 0
+        self._ready: list[tuple[int, int, InFlight]] = []
+        self._tiebreak = itertools.count()
+        self._completes: dict[int, list[InFlight]] = {}
+        self.rex_queue: deque[InFlight] = deque()
+        #: The shared D$ read/write port is occupied for the full duration
+        #: of a re-execution access (it is a retirement-side port, not a
+        #: pipelined execution port) -- this is what turns load re-execution
+        #: into the paper's store-commit critical loop.
+        self._rex_port_busy_until = 0
+        #: In-flight stores indexed by 4-byte word (dispatch order).
+        self.store_words: dict[int, list[InFlight]] = {}
+        self._unresolved: list[tuple[int, InFlight]] = []
+        self._uncommitted_loads: deque[int] = deque()
+        self._last_commit_cycle = 0
+        self._committed_total = 0
+
+    # ------------------------------------------------------------------ helpers
+
+    def older_unresolved_store_exists(self, seq: int) -> bool:
+        """Is any older in-flight store's address still unknown?
+
+        This is the NLQ-LS natural-filter condition the scheduler evaluates.
+        A store's address is known to the scheduler once the store issues
+        (AGEN happens in the issue cycle).
+        """
+        heap = self._unresolved
+        while heap:
+            _, store = heap[0]
+            if store.squashed or store.issued:
+                heapq.heappop(heap)
+                continue
+            return heap[0][0] < seq
+        return False
+
+    def _push_ready(self, entry: InFlight) -> None:
+        heapq.heappush(self._ready, (entry.seq, next(self._tiebreak), entry))
+
+    def _schedule_completion(self, entry: InFlight, when: int) -> None:
+        entry.complete_cycle = when
+        self._completes.setdefault(when, []).append(entry)
+
+    def _wake(self, producer: InFlight) -> None:
+        waiters = producer.waiters
+        if not waiters:
+            return
+        producer.waiters = None
+        for role, waiter in waiters:
+            if waiter.squashed:
+                continue
+            if role == 1:
+                waiter.data_pending = 0
+                self._store_maybe_done(waiter)
+                continue
+            waiter.pending_srcs -= 1
+            if waiter.pending_srcs == 0:
+                if waiter.eliminated:
+                    # Integrated loads "complete" as soon as their value does.
+                    self._schedule_completion(waiter, self.cycle + 1)
+                else:
+                    self._push_ready(waiter)
+
+    def _store_maybe_done(self, store: InFlight) -> None:
+        """A store is fully done once its address and its data both exist."""
+        if store.resolved and store.data_pending == 0 and not store.done:
+            store.done = True
+            self.lsu.on_store_forwardable(store)
+            self._wake(store)
+
+    def _program_order_value(self, load: InFlight) -> int:
+        """The architecturally-correct value at the load's position.
+
+        Valid whenever all older instructions are complete (true at the
+        re-execution frontier and at commit): every older store is either
+        still in ``store_words`` or already merged into committed memory.
+        """
+        inst = load.inst
+        value = 0
+        for shift, word in enumerate(inst.words()):
+            word_value = None
+            stores = self.store_words.get(word)
+            if stores:
+                for store in reversed(stores):
+                    if store.seq < load.seq and not store.squashed:
+                        word_value = store_word_value(store, word)
+                        break
+            if word_value is None:
+                word_value = self.committed_memory.read(word, 4)
+            value |= word_value << (32 * shift)
+        if inst.size == 4:
+            value &= 0xFFFF_FFFF
+        return value
+
+    # ------------------------------------------------------------------ main loop
+
+    def run(self, max_cycles: int | None = None) -> SimStats:
+        """Simulate until the whole trace commits; returns statistics."""
+        total = len(self.trace)
+        while self._committed_total < total:
+            if max_cycles is not None and self.cycle >= max_cycles:
+                break
+            self.cycle += 1
+            self._do_complete()
+            port_budget = self._do_commit()
+            self._do_rex(port_budget)
+            self._do_issue()
+            self._do_dispatch()
+            if (
+                self.config.invalidation_interval
+                and self.cycle % self.config.invalidation_interval == 0
+            ):
+                self._inject_invalidation()
+            if self.cycle - self._last_commit_cycle > _WATCHDOG_CYCLES:
+                head = self.rob[0] if self.rob else None
+                raise SimulationError(
+                    f"no commit for {_WATCHDOG_CYCLES} cycles at cycle {self.cycle}; "
+                    f"head={head!r} fetch_seq={self.fetch_seq} "
+                    f"rex_queue={len(self.rex_queue)} drain_wait={self.drain_wait}"
+                )
+        self.stats.cycles = self.cycle - self._warmup_cycle
+        if self.svw is not None:
+            self.stats.ssn_drains += self.svw.ssn.drains
+        return self.stats
+
+    # ------------------------------------------------------------------ complete
+
+    def _do_complete(self) -> None:
+        events = self._completes.pop(self.cycle, None)
+        if not events:
+            return
+        for entry in events:
+            if entry.squashed:
+                continue
+            inst = entry.inst
+            if inst.is_store:
+                # Address generation finished (STA); data may still be
+                # outstanding (STD) -- the store is done when both are.
+                entry.resolved = True
+                victim = self.lsu.on_store_resolved(entry)
+                if victim is not None and not victim.squashed:
+                    self._ordering_flush(victim, entry)
+                self._store_maybe_done(entry)
+                continue
+            entry.done = True
+            if inst.is_branch:
+                if entry.mispredicted and self.fetch_blocker is entry:
+                    self.fetch_resume = max(
+                        self.fetch_resume, self.cycle + self.config.mispredict_penalty
+                    )
+                    self.fetch_blocker = None
+            self._wake(entry)
+
+    # ------------------------------------------------------------------ commit
+
+    def _commit_ready(self, head: InFlight) -> bool:
+        if not head.done:
+            return False
+        return self.cycle >= head.complete_cycle + self.config.commit_depth
+
+    def _do_commit(self) -> int:
+        """Commit up to ``width``; returns leftover D$ port capacity."""
+        config = self.config
+        port_budget = config.store_retire_ports
+        commits = 0
+        while self.rob and commits < config.width:
+            head = self.rob[0]
+            if not self._commit_ready(head):
+                break
+            inst = head.inst
+            if inst.is_load:
+                if config.uses_rex:
+                    state = head.rex_state
+                    if state in (RexState.PENDING, RexState.IN_FLIGHT):
+                        if config.rex_mode is RexMode.PERFECT:
+                            self._perfect_verify(head)
+                            state = head.rex_state
+                        else:
+                            self.stats.serialization_stalls += 1
+                            break
+                    if state is RexState.FAILED:
+                        self._commit_load(head)
+                        self._pop_head(head)
+                        commits += 1
+                        self._rex_failure_flush(head)
+                        break
+                    if state is RexState.SVW_FLUSH:
+                        self._svw_only_flush(head)
+                        break
+                self._commit_load(head)
+            elif inst.is_store:
+                if config.uses_rex and head.rex_state is not RexState.DONE_OK:
+                    # Store may not commit until it (and all older loads)
+                    # cleared the re-execution pipe -- the critical loop.
+                    if config.rex_mode is RexMode.PERFECT:
+                        head.rex_state = RexState.DONE_OK
+                    else:
+                        self.stats.serialization_stalls += 1
+                        break
+                if port_budget <= 0:
+                    break
+                if self.cycle < self._rex_port_busy_until:
+                    # A load re-execution holds the shared D$ port.
+                    self.stats.rex_port_stalls += 1
+                    break
+                port_budget -= 1
+                self._commit_store(head)
+            elif inst.is_branch:
+                self.stats.committed_branches += 1
+            self._pop_head(head)
+            commits += 1
+        if commits:
+            self._last_commit_cycle = self.cycle
+        return port_budget
+
+    def _pop_head(self, head: InFlight) -> None:
+        self.rob.popleft()
+        del self.inflight_by_seq[head.seq]
+        self._committed_total += 1
+        self.stats.committed += 1
+        if head.inst.dst_reg >= 0:
+            self.reg_occ -= 1
+        if self._committed_total == self.warmup:
+            self._begin_measurement()
+
+    def _begin_measurement(self) -> None:
+        """Discard warm-up statistics; measurement starts now."""
+        self.stats = SimStats(
+            config_name=self.config.name, workload=self.trace.name
+        )
+        self._warmup_cycle = self.cycle
+        if self.svw is not None:
+            self.stats.ssn_drains = -self.svw.ssn.drains
+
+    def _commit_load(self, head: InFlight) -> None:
+        stats = self.stats
+        stats.committed_loads += 1
+        self.lq_occ -= 1
+        if self._uncommitted_loads and self._uncommitted_loads[0] == head.seq:
+            self._uncommitted_loads.popleft()
+        if head.marked:
+            stats.marked_loads += 1
+            state = head.rex_state
+            if state is RexState.FILTERED:
+                stats.filtered_loads += 1
+            elif self.config.rex_mode in (RexMode.REEXECUTE, RexMode.PERFECT):
+                stats.reexecuted_loads += 1
+            if state is RexState.FAILED:
+                stats.rex_failures += 1
+                head.exec_value = head.rex_value  # corrected at commit
+        if head.fsq:
+            stats.fsq_loads += 1
+        if head.eliminated:
+            if head.elim_bypass:
+                stats.eliminated_bypass += 1
+            else:
+                stats.eliminated_reuse += 1
+            if head.squash_reuse:
+                stats.squash_reuse_loads += 1
+        self.lsu.on_load_commit(head)
+        if self._golden is not None:
+            expected = self._golden.load_values[head.seq]
+            if head.exec_value != expected:
+                raise SimulationError(
+                    f"load seq={head.seq} committed {head.exec_value:#x}, "
+                    f"golden value is {expected:#x} (config {self.config.name})"
+                )
+
+    def _commit_store(self, head: InFlight) -> None:
+        inst = head.inst
+        self.stats.committed_stores += 1
+        self.sq_occ -= 1
+        self.hierarchy.store_access(inst.addr)
+        self.committed_memory.write(inst.addr, inst.store_value, inst.size)
+        self.ssn.retire_store()
+        self.spct.record(inst.addr, inst.size, inst.pc)
+        for word in inst.words():
+            stores = self.store_words.get(word)
+            if stores:
+                if stores[0] is head:
+                    stores.pop(0)
+                else:  # pragma: no cover - defensive
+                    stores.remove(head)
+                if not stores:
+                    del self.store_words[word]
+        if self.store_sets is not None:
+            self.store_sets.store_done(inst.pc, head.seq)
+        if head.fsq:
+            self.stats.fsq_stores += 1
+        self.lsu.on_store_commit(head)
+
+    def _perfect_verify(self, load: InFlight) -> None:
+        """Ideal re-execution: zero latency, infinite bandwidth."""
+        if not load.marked:
+            load.rex_state = RexState.DONE_OK
+            return
+        load.rex_value = self._program_order_value(load)
+        load.rex_state = (
+            RexState.DONE_OK if load.rex_value == load.exec_value else RexState.FAILED
+        )
+
+    # ------------------------------------------------------------------ re-execution
+
+    def _do_rex(self, port_budget: int) -> None:
+        config = self.config
+        if config.rex_mode not in (RexMode.REEXECUTE, RexMode.SVW_ONLY):
+            return
+        queue = self.rex_queue
+        svw = self.svw
+        atomic = svw is not None and not svw.config.speculative_updates
+        budget = config.width
+        index = 0
+        processed = 0
+        while index < len(queue) and processed < budget:
+            entry = queue[index]
+            if not entry.done:
+                break
+            inst = entry.inst
+            if inst.is_store:
+                if entry.rex_state is RexState.NOT_NEEDED:
+                    if atomic and self._uncommitted_loads and self._uncommitted_loads[0] < entry.seq:
+                        # Atomic updates: the store (and everything behind
+                        # it in the SVW stage) waits until every older load
+                        # has retired -- the elongated serialization the
+                        # paper warns about.
+                        break
+                    if svw is not None:
+                        svw.record_store(inst.addr, inst.size, entry.ssn)
+                    entry.rex_state = RexState.DONE_OK
+                index += 1
+                processed += 1
+                continue
+            # Loads.
+            state = entry.rex_state
+            if state is RexState.PENDING:
+                if not entry.marked:
+                    entry.rex_state = RexState.DONE_OK
+                elif config.rex_mode is RexMode.SVW_ONLY:
+                    assert svw is not None
+                    if svw.must_reexecute(inst.addr, inst.size, entry.svw):
+                        entry.rex_state = RexState.SVW_FLUSH
+                    else:
+                        entry.rex_state = RexState.FILTERED
+                elif svw is not None and not svw.must_reexecute(
+                    inst.addr, inst.size, entry.svw
+                ):
+                    entry.rex_state = RexState.FILTERED
+                else:
+                    # Needs the shared data-cache port for the full access.
+                    if port_budget <= 0 or self.cycle < self._rex_port_busy_until:
+                        self.stats.rex_port_stalls += 1
+                        break  # in-order start
+                    entry.rex_state = RexState.IN_FLIGHT
+                    access = self.hierarchy.rex_access(inst.addr)
+                    # RLE's elongated pipe (register-file address/value
+                    # reads) adds latency but does not hold the D$ port.
+                    extra = 2 if entry.eliminated else 0
+                    entry.rex_done_cycle = self.cycle + access + extra
+                    self._rex_port_busy_until = self.cycle + access
+            if entry.rex_state is RexState.IN_FLIGHT:
+                if self.cycle >= entry.rex_done_cycle:
+                    entry.rex_value = self._program_order_value(entry)
+                    entry.rex_state = (
+                        RexState.DONE_OK
+                        if entry.rex_value == entry.exec_value
+                        else RexState.FAILED
+                    )
+                else:
+                    index += 1
+                    continue  # access still in flight; younger entries may start
+            index += 1
+            processed += 1
+        # Retire verified entries from the front, in order.
+        while queue and queue[0].rex_state in (
+            RexState.DONE_OK,
+            RexState.FILTERED,
+            RexState.FAILED,
+            RexState.SVW_FLUSH,
+        ):
+            queue.popleft()
+
+    # ------------------------------------------------------------------ issue
+
+    def _do_issue(self) -> None:
+        config = self.config
+        slots = {
+            OpClass.IALU: config.int_issue,
+            OpClass.FALU: config.fp_issue,
+            OpClass.LOAD: config.load_issue,
+            OpClass.STORE: config.store_issue,
+            OpClass.BRANCH: config.branch_issue,
+        }
+        banks_used: set[int] = set()
+        fsq_budget = config.fsq_ports
+        deferred: list[tuple[int, int, InFlight]] = []
+        max_pops = 3 * config.width + 8
+        pops = 0
+        ready = self._ready
+        while ready and pops < max_pops:
+            pops += 1
+            item = heapq.heappop(ready)
+            entry = item[2]
+            if entry.squashed or entry.issued or entry.pending_srcs > 0:
+                continue
+            inst = entry.inst
+            op_class = issue_class_of(inst.op)
+            if slots[op_class] <= 0:
+                deferred.append(item)
+                continue
+            if inst.is_load:
+                if self.lsu.load_uses_fsq(entry):
+                    if fsq_budget <= 0:
+                        deferred.append(item)
+                        continue
+                if self.lsu.load_must_wait(entry) is not None:
+                    # SQ CAM hit on a store without data: replay next cycle.
+                    deferred.append(item)
+                    continue
+                bank = self.hierarchy.load_bank(inst.addr)
+                if bank in banks_used:
+                    deferred.append(item)
+                    continue
+                banks_used.add(bank)
+                if self.lsu.load_uses_fsq(entry):
+                    fsq_budget -= 1
+                self._issue_load(entry)
+            elif inst.is_store:
+                self._issue_store(entry)
+            else:
+                entry.issued = True
+                self.iq_occ -= 1
+                self._schedule_completion(entry, self.cycle + latency_of(inst.op))
+            slots[op_class] -= 1
+        for item in deferred:
+            heapq.heappush(ready, item)
+
+    def _issue_load(self, load: InFlight) -> None:
+        load.issued = True
+        self.iq_occ -= 1
+        inst = load.inst
+        self.lsu.execute_load(load)
+        if self.svw is not None and load.forwarded_ssn > 0:
+            load.svw = self.svw.svw_after_forward(load.svw, load.forwarded_ssn)
+        # Timing: the configured load-to-use latency covers the L1D + SQ
+        # path; anything beyond the L1 adds the hierarchy's miss penalty.
+        total = self.hierarchy.load_access(inst.addr)
+        miss_extra = total - self.config.hierarchy.l1d.latency
+        self._schedule_completion(load, self.cycle + self.config.load_latency + miss_extra)
+
+    def _issue_store(self, store: InFlight) -> None:
+        store.issued = True
+        self.iq_occ -= 1
+        self._schedule_completion(store, self.cycle + latency_of(OpClass.STORE))
+
+    # ------------------------------------------------------------------ dispatch
+
+    def _dispatch_blocked_reason(self, inst) -> str | None:
+        config = self.config
+        if len(self.rob) >= config.rob_size:
+            return "rob"
+        if self.iq_occ >= config.iq_size:
+            return "iq"
+        if inst.is_load and self.lq_occ >= config.lq_size:
+            return "lq"
+        if inst.is_store and self.sq_occ >= config.sq_size:
+            return "sq"
+        if inst.dst_reg >= 0 and self.reg_occ >= config.num_regs:
+            return "regs"
+        return None
+
+    def _do_dispatch(self) -> None:
+        config = self.config
+        stats = self.stats
+        if self.cycle < self.fetch_resume:
+            stats.note_dispatch_stall("frontend")
+            return
+        if self.fetch_blocker is not None:
+            stats.note_dispatch_stall("branch")
+            return
+        if self.drain_wait:
+            if not self.rob:
+                assert self.svw is not None
+                self.svw.drain()
+                self.drain_wait = False
+            else:
+                stats.note_dispatch_stall("drain")
+                return
+        trace = self.trace
+        dispatched = 0
+        taken_branches = 0
+        while self.fetch_seq < len(trace) and dispatched < config.width:
+            inst = trace[self.fetch_seq]
+            reason = self._dispatch_blocked_reason(inst)
+            if reason is not None:
+                stats.note_dispatch_stall(reason)
+                return
+            if inst.is_store:
+                if self.ssn.wrap_pending and self.svw is not None:
+                    self.drain_wait = True
+                    stats.note_dispatch_stall("drain")
+                    return
+            if inst.is_branch and inst.taken and taken_branches >= 1 and dispatched > 0:
+                # Can fetch past one taken branch per cycle.
+                return
+            entry = InFlight(inst, self.cycle)
+            if inst.is_store and not self.lsu.store_dispatch_ready(entry):
+                stats.note_dispatch_stall("fsq")
+                return
+            # Register dataflow.  Stores split address (issue-gating) from
+            # data (commit/forwarding-gating) operands.
+            if inst.is_store:
+                addr_producer = self.inflight_by_seq.get(inst.base_seq)
+                if addr_producer is not None and not addr_producer.done:
+                    entry.pending_srcs += 1
+                    addr_producer.add_waiter(entry)
+                data_producer = self.inflight_by_seq.get(inst.store_data_seq)
+                if data_producer is not None and not data_producer.done:
+                    entry.data_pending = 1
+                    data_producer.add_waiter(entry, role=1)
+            else:
+                for src in inst.src_seqs:
+                    producer = self.inflight_by_seq.get(src)
+                    if producer is not None and not producer.done:
+                        entry.pending_srcs += 1
+                        producer.add_waiter(entry)
+            dispatch_done = self._dispatch_one(entry)
+            if not dispatch_done:
+                return
+            dispatched += 1
+            self.fetch_seq += 1
+            if inst.is_branch and inst.taken:
+                taken_branches += 1
+            if entry.mispredicted:
+                return
+
+    def _dispatch_one(self, entry: InFlight) -> bool:
+        """Place ``entry`` into the window.  Returns False to stall instead."""
+        inst = entry.inst
+        if inst.is_load:
+            self._dispatch_load(entry)
+        elif inst.is_store:
+            self._dispatch_store(entry)
+        elif inst.is_branch:
+            self._dispatch_branch(entry)
+            self.iq_occ += 1
+        else:
+            self.iq_occ += 1
+        self.rob.append(entry)
+        self.inflight_by_seq[entry.seq] = entry
+        if inst.dst_reg >= 0:
+            self.reg_occ += 1
+        if not entry.eliminated and not entry.issued and entry.pending_srcs == 0:
+            self._push_ready(entry)
+        return True
+
+    def _dispatch_branch(self, entry: InFlight) -> None:
+        inst = entry.inst
+        correct = self.predictor.predict_and_update(inst.pc, inst.taken)
+        btb_hit = self.btb.lookup_and_update(inst.pc) if inst.taken else True
+        if not correct:
+            entry.mispredicted = True
+            self.stats.branch_mispredicts += 1
+            self.fetch_blocker = entry
+        elif not btb_hit:
+            self.stats.btb_misfetches += 1
+            self.fetch_resume = max(
+                self.fetch_resume, self.cycle + self.config.btb_penalty
+            )
+
+    def _dispatch_load(self, entry: InFlight) -> None:
+        inst = entry.inst
+        self.lq_occ += 1
+        self._uncommitted_loads.append(entry.seq)
+        if self.config.uses_rex:
+            entry.rex_state = RexState.PENDING
+        if self.svw is not None:
+            entry.svw = self.svw.svw_at_dispatch()
+        # RLE: try to integrate before doing anything else.
+        if self.it is not None and self._try_integrate(entry):
+            self.rex_queue.append(entry)
+            return
+        self.iq_occ += 1
+        # Memory dependence prediction.
+        if self.store_sets is not None:
+            store_seq = self.store_sets.load_dependence(inst.pc)
+            if store_seq is not None:
+                blocker = self.inflight_by_seq.get(store_seq)
+                if blocker is not None and blocker.inst.is_store and not blocker.done:
+                    entry.pending_srcs += 1
+                    blocker.add_waiter(entry)
+                    self.stats.store_set_waits += 1
+        self.lsu.on_load_dispatch(entry)
+        if self.config.uses_rex:
+            self.rex_queue.append(entry)
+
+    def _try_integrate(self, entry: InFlight) -> bool:
+        """RLE at rename: eliminate the load if the IT has its signature."""
+        assert self.it is not None
+        signature = signature_of(entry.inst)
+        if signature is None:
+            return False
+        it_entry = self.it.lookup(signature)
+        if it_entry is None:
+            self.it.create(signature, entry, ssn=self.ssn.rename, from_store=False)
+            return False
+        entry.eliminated = True
+        entry.issued = True  # never enters the issue queue
+        entry.marked = True
+        entry.elim_bypass = it_entry.from_store
+        entry.it_signature = signature
+        entry.squash_reuse = it_entry.creator_squashed or it_entry.creator.seq == entry.seq
+        entry.exec_value = it_entry.value
+        if entry.inst.size == 4:
+            entry.exec_value &= 0xFFFF_FFFF
+        if entry.squash_reuse:
+            # SVW cannot cover squash reuse (section 4.3 corner case).
+            entry.svw = -1
+        else:
+            entry.svw = it_entry.ssn
+        if it_entry.creator.done or it_entry.creator.squashed:
+            self._schedule_completion(entry, self.cycle + 1)
+        else:
+            entry.pending_srcs += 1
+            it_entry.creator.add_waiter(entry)
+        return True
+
+    def _dispatch_store(self, entry: InFlight) -> None:
+        inst = entry.inst
+        self.sq_occ += 1
+        self.iq_occ += 1
+        entry.ssn = self.ssn.dispatch_store()
+        for word in inst.words():
+            self.store_words.setdefault(word, []).append(entry)
+        heapq.heappush(self._unresolved, (entry.seq, entry))
+        if self.store_sets is not None:
+            previous = self.store_sets.store_dispatched(inst.pc, entry.seq)
+            if previous is not None:
+                blocker = self.inflight_by_seq.get(previous)
+                if blocker is not None and blocker.inst.is_store and not blocker.done:
+                    entry.pending_srcs += 1
+                    blocker.add_waiter(entry)
+        self.lsu.on_store_dispatch(entry)
+        if self.it is not None:
+            signature = signature_of(inst)
+            if signature is not None:
+                self.it.create(signature, entry, ssn=entry.ssn, from_store=True)
+        if self.config.uses_rex:
+            self.rex_queue.append(entry)
+
+    # ------------------------------------------------------------------ flushes
+
+    def _ordering_flush(self, victim: InFlight, store: InFlight) -> None:
+        """Conventional LQ search hit: flush the load and younger."""
+        self.stats.ordering_flushes += 1
+        if self.store_sets is not None:
+            self.store_sets.train(victim.inst.pc, store.inst.pc)
+        self._squash_from(victim.seq)
+
+    def _rex_failure_flush(self, load: InFlight) -> None:
+        """Re-execution mismatch: the load commits corrected; flush younger."""
+        store_pc = self.spct.lookup(load.inst.addr)
+        self.lsu.on_rex_failure(load, store_pc)
+        if self.it is not None and load.it_signature is not None:
+            self.it.invalidate(load.it_signature)
+        self._squash_from(load.seq + 1)
+
+    def _svw_only_flush(self, load: InFlight) -> None:
+        """SVW-as-replacement mode: positive test flushes and refetches."""
+        self.stats.svw_only_flushes += 1
+        store_pc = self.spct.lookup(load.inst.addr)
+        self.lsu.on_rex_failure(load, store_pc)
+        if self.store_sets is not None and store_pc is not None:
+            self.store_sets.train(load.inst.pc, store_pc)
+        self._squash_from(load.seq)
+
+    def _squash_from(self, flush_seq: int) -> None:
+        """Remove every in-flight instruction with seq >= flush_seq."""
+        self.stats.flushes += 1
+        rob = self.rob
+        while rob and rob[-1].seq >= flush_seq:
+            entry = rob.pop()
+            entry.squashed = True
+            del self.inflight_by_seq[entry.seq]
+            inst = entry.inst
+            if not entry.issued and not entry.eliminated:
+                self.iq_occ -= 1
+            if inst.dst_reg >= 0:
+                self.reg_occ -= 1
+            if inst.is_load:
+                self.lq_occ -= 1
+                self.lsu.on_squash(entry)
+            elif inst.is_store:
+                self.sq_occ -= 1
+                for word in inst.words():
+                    stores = self.store_words.get(word)
+                    if stores:
+                        if stores[-1] is entry:
+                            stores.pop()
+                        else:  # pragma: no cover - defensive
+                            try:
+                                stores.remove(entry)
+                            except ValueError:
+                                pass
+                        if not stores:
+                            del self.store_words[word]
+                if self.store_sets is not None:
+                    self.store_sets.store_done(inst.pc, entry.seq)
+                self.lsu.on_squash(entry)
+        while self._uncommitted_loads and self._uncommitted_loads[-1] >= flush_seq:
+            self._uncommitted_loads.pop()
+        while self.rex_queue and self.rex_queue[-1].seq >= flush_seq:
+            self.rex_queue.pop()
+        self.ssn.squash_to(self.sq_occ)
+        if self.it is not None:
+            self.it.on_squash(flush_seq, keep_squash_reuse=self.config.squash_reuse)
+        if self.fetch_blocker is not None and self.fetch_blocker.squashed:
+            self.fetch_blocker = None
+        self.fetch_seq = flush_seq
+        self.fetch_resume = max(self.fetch_resume, self.cycle + self.config.flush_penalty)
+        if (
+            self.config.wrong_path_injection
+            and self.svw is not None
+            and self.svw.config.speculative_updates
+        ):
+            self._inject_wrong_path_updates(flush_seq)
+
+    def _inject_invalidation(self) -> None:
+        """Synthetic NLQ-SM coherence invalidation (see DESIGN.md).
+
+        A remote agent invalidates the line of a recently-touched load
+        address.  All in-flight loads become vulnerable (the NLQ-SM
+        natural filter marks them); the SSBF receives a pretend-store of
+        ``SSN_RENAME + 1`` covering every word of the line.  The
+        invalidation is *silent* -- it carries no remote data -- so
+        single-thread functional correctness is preserved while the
+        re-execution cost is measured faithfully.
+        """
+        line_addr = None
+        for entry in reversed(self.rob):
+            if entry.inst.is_load and entry.issued:
+                line_addr = entry.inst.addr & ~63
+                break
+        if line_addr is None:
+            return
+        self.hierarchy.invalidate(line_addr)
+        if self.svw is not None:
+            self.svw.record_invalidation(line_addr)
+        for entry in self.rob:
+            if entry.inst.is_load and entry.rex_state is RexState.PENDING:
+                entry.marked = True
+
+    def _inject_wrong_path_updates(self, flush_seq: int) -> None:
+        """Model SSBF pollution by wrong-path stores (see DESIGN.md)."""
+        assert self.svw is not None
+        for seq in range(flush_seq, min(flush_seq + 8, len(self.trace))):
+            addrs = self.trace.wrong_path_addrs.get(seq)
+            if addrs:
+                for addr in addrs:
+                    self.svw.record_store(addr, 8, self.ssn.rename + 1)
+                break

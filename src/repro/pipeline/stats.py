@@ -1,0 +1,111 @@
+"""Simulation statistics.
+
+All load-percentage statistics follow the paper's convention: percentages
+of *retired* (committed) loads.  Wrong-path work (squashed instructions)
+consumes bandwidth in the timing model but does not appear in the rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(slots=True)
+class SimStats:
+    """Counters collected by one :class:`~repro.pipeline.processor.Processor` run."""
+
+    config_name: str = ""
+    workload: str = ""
+
+    cycles: int = 0
+    committed: int = 0
+    committed_loads: int = 0
+    committed_stores: int = 0
+    committed_branches: int = 0
+
+    # -- re-execution accounting (committed loads only) -------------------------
+    #: Loads marked for potential re-execution by the active optimizations.
+    marked_loads: int = 0
+    #: Marked loads that actually re-executed (accessed the data cache).
+    reexecuted_loads: int = 0
+    #: Marked loads the SVW filter excused.
+    filtered_loads: int = 0
+    #: Re-executions that mismatched and triggered a flush.
+    rex_failures: int = 0
+    #: SVW-only mode: positive tests that triggered flushes.
+    svw_only_flushes: int = 0
+
+    # -- optimization-specific breakdowns ------------------------------------------
+    #: SSQ: committed loads that accessed the FSQ.
+    fsq_loads: int = 0
+    #: SSQ: committed stores allocated FSQ entries.
+    fsq_stores: int = 0
+    #: RLE: committed loads eliminated by load reuse.
+    eliminated_reuse: int = 0
+    #: RLE: committed loads eliminated by speculative memory bypassing.
+    eliminated_bypass: int = 0
+    #: RLE: eliminated loads that were squash reuse.
+    squash_reuse_loads: int = 0
+    #: Committed loads that received a store-forwarded value.
+    forwarded_loads: int = 0
+
+    # -- speculation events ------------------------------------------------------------
+    branch_mispredicts: int = 0
+    btb_misfetches: int = 0
+    ordering_flushes: int = 0  # baseline LQ-search violations
+    flushes: int = 0  # all pipeline squashes
+    ssn_drains: int = 0
+    store_set_waits: int = 0
+
+    # -- structural-hazard visibility -----------------------------------------------------
+    #: Cycles the re-execution pipe stalled waiting for the shared D$ port.
+    rex_port_stalls: int = 0
+    #: Cycles store commit stalled behind incomplete older load re-execution.
+    serialization_stalls: int = 0
+    dispatch_stalls: dict[str, int] = field(default_factory=dict)
+
+    # -- derived ------------------------------------------------------------------------------
+
+    @property
+    def ipc(self) -> float:
+        return self.committed / self.cycles if self.cycles else 0.0
+
+    @property
+    def reexec_rate(self) -> float:
+        """Fraction of retired loads that re-executed (the figures' top panels)."""
+        if not self.committed_loads:
+            return 0.0
+        return self.reexecuted_loads / self.committed_loads
+
+    @property
+    def marked_rate(self) -> float:
+        if not self.committed_loads:
+            return 0.0
+        return self.marked_loads / self.committed_loads
+
+    @property
+    def elimination_rate(self) -> float:
+        if not self.committed_loads:
+            return 0.0
+        return (self.eliminated_reuse + self.eliminated_bypass) / self.committed_loads
+
+    def note_dispatch_stall(self, reason: str) -> None:
+        self.dispatch_stalls[reason] = self.dispatch_stalls.get(reason, 0) + 1
+
+    def summary(self) -> str:
+        lines = [
+            f"{self.config_name} on {self.workload}:",
+            f"  cycles={self.cycles} committed={self.committed} IPC={self.ipc:.3f}",
+            f"  loads={self.committed_loads} marked={self.marked_rate:.1%} "
+            f"re-executed={self.reexec_rate:.1%} filtered={self.filtered_loads}",
+            f"  flushes={self.flushes} (rex={self.rex_failures}, "
+            f"ordering={self.ordering_flushes}, mispredicts={self.branch_mispredicts})",
+        ]
+        return "\n".join(lines)
+
+
+def speedup(base: SimStats, other: SimStats) -> float:
+    """Percent IPC improvement of ``other`` over ``base``."""
+    if base.ipc == 0:
+        return 0.0
+    return (other.ipc / base.ipc - 1.0) * 100.0

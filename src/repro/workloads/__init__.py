@@ -1,0 +1,29 @@
+"""Workload substrate: synthetic SPEC2000int-like traces and real kernels.
+
+The paper evaluates on the SPEC2000 integer suite compiled for Alpha.  That
+toolchain is unavailable here, so this package provides the substitution
+described in DESIGN.md:
+
+- :mod:`repro.workloads.profile` / :mod:`repro.workloads.spec2000` --
+  parameterised statistical models of the 16 benchmark runs the paper uses
+  (bzip2 .. vpr.route), tuned to reproduce the memory-reference structure
+  the studied mechanisms are sensitive to.
+- :mod:`repro.workloads.synthetic` -- the generator that turns a profile
+  into a deterministic dynamic trace.
+- :mod:`repro.workloads.kernels` -- real algorithmic kernels written for the
+  toy ISA, used by examples and end-to-end correctness tests.
+"""
+
+from repro.workloads.kernels import KERNELS, kernel_trace
+from repro.workloads.profile import WorkloadProfile
+from repro.workloads.spec2000 import SPEC2000_PROFILES, spec_profile
+from repro.workloads.synthetic import generate_trace
+
+__all__ = [
+    "KERNELS",
+    "SPEC2000_PROFILES",
+    "WorkloadProfile",
+    "generate_trace",
+    "kernel_trace",
+    "spec_profile",
+]

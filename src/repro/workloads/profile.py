@@ -1,0 +1,168 @@
+"""Workload profile parameters.
+
+A :class:`WorkloadProfile` statistically describes one benchmark run.  The
+parameters were chosen to cover exactly the workload properties the paper's
+mechanisms respond to:
+
+- instruction mix and dependence density (IPC, issue-port pressure);
+- the *address stream* (stack / hot-global / heap / streaming mix, working
+  set size) which sets cache behaviour and SSBF aliasing;
+- store-load forwarding structure (how many loads read in-flight stores and
+  at what distance) which drives the FSQ/SSQ and the SVW ``+UPD`` rule;
+- store address-resolution depth (how often loads issue under unresolved
+  older stores) which drives NLQ-LS marking and memory-ordering violations;
+- load redundancy (reuse/bypass rates) which drives RLE;
+- silent stores and sub-quadword accesses, the two sources of unavoidable
+  re-executions the paper calls out in section 4.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, slots=True)
+class WorkloadProfile:
+    """Statistical description of one benchmark run.
+
+    All ``*_frac`` values are probabilities in [0, 1].  Fractions for the
+    instruction mix (``load_frac + store_frac + branch_frac + imul_frac +
+    falu_frac``) must sum to less than 1; the remainder is plain integer ALU
+    work.
+    """
+
+    name: str
+
+    # -- instruction mix ----------------------------------------------------
+    load_frac: float = 0.24
+    store_frac: float = 0.12
+    branch_frac: float = 0.14
+    imul_frac: float = 0.01
+    falu_frac: float = 0.01
+
+    # -- dataflow shape -----------------------------------------------------
+    #: Mean dependence distance for ALU operands (geometric); smaller means
+    #: deeper dependence chains and lower ILP.
+    dep_distance: float = 12.0
+    #: Fraction of ALU instructions with no in-window register inputs.
+    root_frac: float = 0.15
+
+    # -- branch behaviour ---------------------------------------------------
+    #: Number of static conditional branch sites.
+    static_branches: int = 96
+    #: Fraction of branch sites that are hard to predict.
+    hard_branch_frac: float = 0.15
+    #: Taken-probability entropy of hard branches (0.5 = coin flip).
+    hard_branch_bias: float = 0.6
+    #: Taken-probability of easy branches.
+    easy_branch_bias: float = 0.96
+
+    # -- address stream -----------------------------------------------------
+    #: Region mix for fresh (non-forwarding, non-redundant) accesses.
+    stack_frac: float = 0.30
+    global_frac: float = 0.25
+    stream_frac: float = 0.10
+    # remainder of fresh accesses hit the heap region.
+    #: Heap working set in bytes (sets cache miss rate).
+    heap_bytes: int = 1 << 16
+    #: Number of hot global words.
+    global_words: int = 256
+    #: Number of live stack spill slots.
+    stack_slots: int = 64
+    #: Stream stride in bytes.
+    stream_stride: int = 8
+    #: Fraction of 4-byte (sub-quadword) accesses.
+    sub_quad_frac: float = 0.15
+    #: Stores visit the hot-global region at this multiple of the load
+    #: share (real hot globals are read-mostly; write-then-reload traffic
+    #: at unstable PC pairs is rare in SPECint, which is what makes small
+    #: FSQs and steering predictors viable).
+    store_global_scale: float = 0.2
+    #: Fraction of fresh loads whose address is freshly computed (an ALU op
+    #: feeding the base register, e.g. ``a[i++]`` / ``p->next``), delaying
+    #: load issue relative to older stores' AGEN.  Store addresses are
+    #: mostly pre-computed (spills, ``*p = v``), so stores AGEN promptly.
+    addr_comp_frac: float = 0.65
+    #: Of those, fraction that additionally chain on recent computation
+    #: (deeper address dataflow: index arithmetic, pointer chasing).
+    deep_addr_frac: float = 0.35
+
+    # -- store-load forwarding ----------------------------------------------
+    #: Fraction of loads that read an address recently written by an
+    #: in-flight store (candidates for forwarding / FSQ steering).
+    forward_frac: float = 0.12
+    #: Mean store->load distance (instructions, geometric) for those pairs.
+    forward_distance: float = 24.0
+    #: Number of static PCs participating in forwarding (small and stable,
+    #: as the paper notes; lets steering predictors train).
+    forward_pcs: int = 12
+
+    # -- memory-ordering speculation -----------------------------------------
+    #: Fraction of stores whose address depends on a load (resolves late,
+    #: creating the ambiguity windows NLQ-LS marks loads under).
+    ambiguous_store_frac: float = 0.18
+    #: Given an ambiguity window, probability a following nearby load truly
+    #: collides with the ambiguous store (a real ordering violation unless
+    #: the scheduler predicts it).
+    collision_frac: float = 0.04
+
+    # -- redundancy (RLE) ----------------------------------------------------
+    #: Fraction of loads that repeat an earlier load's address computation
+    #: (register-integration reuse candidates).
+    redundancy_frac: float = 0.20
+    #: Mean distance to the reused load (instructions, geometric).
+    redundancy_distance: float = 40.0
+    #: Probability that a reuse pair has an intervening store to the same
+    #: address (a *false* elimination that re-execution must catch).
+    false_elim_frac: float = 0.03
+
+    # -- store value behaviour -----------------------------------------------
+    #: Fraction of stores that rewrite the value already in memory.
+    silent_store_frac: float = 0.18
+
+    # -- static footprint -----------------------------------------------------
+    static_alu_pcs: int = 512
+    static_load_pcs: int = 160
+    static_store_pcs: int = 96
+
+    # -- provenance -----------------------------------------------------------
+    #: Qualitative notes tying the parameter choices to the paper.
+    notes: str = ""
+    #: Default generator seed so every run of the suite sees the same trace.
+    seed: int = field(default=0)
+
+    def mix_total(self) -> float:
+        return (
+            self.load_frac
+            + self.store_frac
+            + self.branch_frac
+            + self.imul_frac
+            + self.falu_frac
+        )
+
+    def validate(self) -> None:
+        if not 0.0 < self.mix_total() < 1.0:
+            raise ValueError(f"{self.name}: instruction mix must sum to <1")
+        for attr in (
+            "load_frac",
+            "store_frac",
+            "branch_frac",
+            "stack_frac",
+            "global_frac",
+            "stream_frac",
+            "sub_quad_frac",
+            "forward_frac",
+            "ambiguous_store_frac",
+            "collision_frac",
+            "redundancy_frac",
+            "false_elim_frac",
+            "silent_store_frac",
+            "hard_branch_frac",
+        ):
+            value = getattr(self, attr)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{self.name}: {attr}={value} out of [0,1]")
+        if self.stack_frac + self.global_frac + self.stream_frac > 1.0:
+            raise ValueError(f"{self.name}: region mix exceeds 1")
+        if self.heap_bytes < 64 or self.heap_bytes % 8:
+            raise ValueError(f"{self.name}: bad heap_bytes {self.heap_bytes}")

@@ -1,0 +1,152 @@
+"""Unit tests for the store sequence Bloom filter organizations."""
+
+import pytest
+
+from repro.core.ssbf import (
+    BankedSSBF,
+    DualBloomSSBF,
+    InfiniteSSBF,
+    SimpleSSBF,
+    make_ssbf,
+)
+
+ALL_KINDS = ["simple", "dual", "infinite", "banked"]
+
+
+@pytest.fixture(params=ALL_KINDS)
+def ssbf(request):
+    return make_ssbf(request.param)
+
+
+class TestCommonBehaviour:
+    def test_empty_filter_reports_no_conflict(self, ssbf):
+        assert ssbf.lookup(0x1000, 8) == 0
+
+    def test_update_then_lookup_same_address(self, ssbf):
+        ssbf.update(0x1000, 8, 42)
+        assert ssbf.lookup(0x1000, 8) >= 42
+
+    def test_entries_only_increase(self, ssbf):
+        """Aliasing can only produce false positives: an older store never
+        lowers an entry below a younger one."""
+        ssbf.update(0x1000, 8, 50)
+        ssbf.update(0x1000, 8, 10)
+        assert ssbf.lookup(0x1000, 8) >= 50
+
+    def test_flash_clear_resets(self, ssbf):
+        ssbf.update(0x1000, 8, 99)
+        ssbf.flash_clear()
+        assert ssbf.lookup(0x1000, 8) == 0
+
+    def test_conservative_over_all_aliases(self, ssbf):
+        """lookup() is an upper bound on the SSN of any matching store."""
+        addresses = [0x1000, 0x2008, 0x77F0, 0x1000 + 512 * 8]
+        for i, addr in enumerate(addresses):
+            ssbf.update(addr, 8, 10 + i)
+        for i, addr in enumerate(addresses):
+            assert ssbf.lookup(addr, 8) >= 10 + i
+
+    def test_eight_byte_access_covers_both_words(self, ssbf):
+        ssbf.update(0x1000, 4, 33)  # low word only
+        assert ssbf.lookup(0x1000, 8) >= 33
+        ssbf.update(0x2004, 4, 44)  # high word of an 8B access at 0x2000
+        assert ssbf.lookup(0x2000, 8) >= 44
+
+    def test_invalidate_line_covers_every_word(self, ssbf):
+        ssbf.invalidate_line(0x4000, 64, 77)
+        for offset in range(0, 64, 8):
+            assert ssbf.lookup(0x4000 + offset, 8) >= 77
+
+
+class TestSimpleSSBF:
+    def test_power_of_two_required(self):
+        with pytest.raises(ValueError):
+            SimpleSSBF(entries=100)
+
+    def test_granularity_options(self):
+        with pytest.raises(ValueError):
+            SimpleSSBF(granularity=16)
+
+    def test_aliasing_at_table_size(self):
+        """Addresses 512 entries apart (at 8B granularity) alias."""
+        table = SimpleSSBF(entries=512, granularity=8)
+        table.update(0x0, 8, 5)
+        assert table.lookup(512 * 8, 8) == 5  # false positive by design
+
+    def test_8b_granularity_false_sharing(self):
+        """Two non-overlapping 4-byte accesses in one quadword alias at
+        8-byte granularity (the paper's sub-quad false sharing)."""
+        table = SimpleSSBF(entries=512, granularity=8)
+        table.update(0x1000, 4, 7)
+        assert table.lookup(0x1004, 4) == 7
+
+    def test_4b_granularity_separates_subwords(self):
+        table = SimpleSSBF(entries=512, granularity=4)
+        table.update(0x1000, 4, 7)
+        assert table.lookup(0x1004, 4) == 0
+        assert table.lookup(0x1000, 4) == 7
+
+    def test_4b_granularity_8b_store_covers_both(self):
+        table = SimpleSSBF(entries=512, granularity=4)
+        table.update(0x1000, 8, 9)
+        assert table.lookup(0x1000, 4) == 9
+        assert table.lookup(0x1004, 4) == 9
+
+
+class TestDualBloom:
+    def test_requires_hits_in_both_tables(self):
+        """A load re-executes only if it 'hits' in both filters: entries
+        indexed by disjoint bit fields rarely alias together."""
+        dual = DualBloomSSBF(entries=512)
+        simple = SimpleSSBF(entries=512)
+        # Two addresses that alias in the low index but not the high one.
+        a = 0x0
+        b = 512 * 8  # same low index, different high index
+        dual.update(a, 8, 40)
+        simple.update(a, 8, 40)
+        assert simple.lookup(b, 8) == 40  # simple table false-positives
+        assert dual.lookup(b, 8) == 0  # dual filter rejects
+
+    def test_still_conservative_for_true_match(self):
+        dual = DualBloomSSBF(entries=512)
+        dual.update(0x1234 * 8, 8, 17)
+        assert dual.lookup(0x1234 * 8, 8) >= 17
+
+
+class TestInfinite:
+    def test_no_aliasing_ever(self):
+        table = InfiniteSSBF()
+        table.update(0x0, 8, 5)
+        for addr in (512 * 8, 1024 * 8, 0x7FFF_FFF8):
+            assert table.lookup(addr, 8) == 0
+
+
+class TestBanked:
+    def test_store_updates_single_bank(self):
+        """Word-granularity store updates only its own bank; a different
+        word of the same line in another bank is untouched."""
+        table = BankedSSBF(entries=512, line_bytes=64, granularity=8)
+        table.update(0x4000, 8, 21)  # word 0 of the line
+        assert table.lookup(0x4000, 8) == 21
+        assert table.lookup(0x4008, 8) == 0  # word 1, different bank
+
+    def test_invalidation_updates_all_banks(self):
+        """NLQ-SM: an invalidation write-enables every bank (section 3.2)."""
+        table = BankedSSBF(entries=512, line_bytes=64, granularity=8)
+        table.invalidate_line(0x4000, 64, 99)
+        for offset in range(0, 64, 8):
+            assert table.lookup(0x4000 + offset, 8) == 99
+
+    def test_entry_split_must_be_even(self):
+        with pytest.raises(ValueError):
+            BankedSSBF(entries=500, line_bytes=64)
+
+
+class TestFactory:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            make_ssbf("magic")
+
+    @pytest.mark.parametrize("kind", ALL_KINDS)
+    def test_all_kinds_constructible(self, kind):
+        assert make_ssbf(kind) is not None

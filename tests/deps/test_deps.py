@@ -1,0 +1,91 @@
+"""Tests for store-sets and the store PC table."""
+
+import pytest
+
+from repro.deps.spct import SPCT
+from repro.deps.storesets import StoreSets
+
+
+class TestStoreSets:
+    def test_untrained_predicts_nothing(self):
+        sets = StoreSets()
+        assert sets.load_dependence(0x100) is None
+
+    def test_trained_pair_creates_dependence(self):
+        sets = StoreSets()
+        sets.train(load_pc=0x100, store_pc=0x200)
+        sets.store_dispatched(0x200, seq=42)
+        assert sets.load_dependence(0x100) == 42
+
+    def test_store_done_clears_lfst(self):
+        sets = StoreSets()
+        sets.train(0x100, 0x200)
+        sets.store_dispatched(0x200, seq=42)
+        sets.store_done(0x200, seq=42)
+        assert sets.load_dependence(0x100) is None
+
+    def test_stale_store_done_ignored(self):
+        sets = StoreSets()
+        sets.train(0x100, 0x200)
+        sets.store_dispatched(0x200, seq=42)
+        sets.store_dispatched(0x200, seq=50)
+        sets.store_done(0x200, seq=42)  # superseded; must not clear 50
+        assert sets.load_dependence(0x100) == 50
+
+    def test_store_store_ordering_within_set(self):
+        sets = StoreSets()
+        sets.train(0x100, 0x200)
+        assert sets.store_dispatched(0x200, seq=10) is None
+        assert sets.store_dispatched(0x200, seq=11) == 10
+
+    def test_set_merging(self):
+        """Two pairs sharing a store merge into one set (min SSID wins)."""
+        sets = StoreSets()
+        sets.train(0x100, 0x200)
+        sets.train(0x104, 0x204)
+        sets.train(0x100, 0x204)  # merge the two sets
+        sets.store_dispatched(0x204, seq=7)
+        assert sets.load_dependence(0x100) == 7
+
+    def test_cyclic_clearing(self):
+        sets = StoreSets(clear_interval=5)
+        sets.train(0x100, 0x200)
+        sets.store_dispatched(0x200, seq=1)
+        for _ in range(6):  # exceed the clear interval
+            sets.load_dependence(0x500)
+        assert sets.load_dependence(0x100) is None
+
+    def test_power_of_two_enforced(self):
+        with pytest.raises(ValueError):
+            StoreSets(ssit_entries=1000)
+
+
+class TestSPCT:
+    def test_lookup_returns_last_retired_writer(self):
+        spct = SPCT()
+        spct.record(0x1000, 8, pc=0x44)
+        spct.record(0x1000, 8, pc=0x48)
+        assert spct.lookup(0x1000) == 0x48
+
+    def test_unknown_address_returns_none(self):
+        assert SPCT().lookup(0x9990) is None
+
+    def test_8b_granularity_covers_both_halves(self):
+        spct = SPCT(granularity=8)
+        spct.record(0x1000, 8, pc=0x44)
+        assert spct.lookup(0x1004) == 0x44
+
+    def test_4b_granularity_separates(self):
+        spct = SPCT(granularity=4)
+        spct.record(0x1000, 4, pc=0x44)
+        assert spct.lookup(0x1004) is None
+
+    def test_4b_granularity_8b_store(self):
+        spct = SPCT(granularity=4)
+        spct.record(0x1000, 8, pc=0x44)
+        assert spct.lookup(0x1004) == 0x44
+
+    def test_aliasing_is_tagless(self):
+        spct = SPCT(entries=512, granularity=8)
+        spct.record(0x0, 8, pc=0x44)
+        assert spct.lookup(512 * 8) == 0x44  # aliases by construction

@@ -1,0 +1,114 @@
+"""Tests for the experiment harness: configs, runner, report, CLI."""
+
+import pytest
+
+from repro.harness.cli import main
+from repro.harness.configs import (
+    composition_configs,
+    fig5_configs,
+    fig6_configs,
+    fig7_configs,
+    fig8_configs,
+    fig8_ssbf_variants,
+    svw_replacement_configs,
+)
+from repro.harness.paper_data import PAPER_CLAIMS, claims_for
+from repro.harness.report import check_claims, render_claims, render_figure
+from repro.harness.runner import run_matrix
+from repro.pipeline.config import RexMode
+
+
+class TestConfigs:
+    def test_fig5_store_issue_difference(self):
+        configs = fig5_configs()
+        assert configs["baseline"].store_issue == 1
+        assert configs["NLQ"].store_issue == 2
+
+    def test_fig6_load_latency_difference(self):
+        configs = fig6_configs()
+        assert configs["baseline"].load_latency == 4
+        assert configs["SSQ"].load_latency == 2
+
+    def test_fig7_squash_reuse_flag(self):
+        configs = fig7_configs()
+        assert configs["+SVW"].squash_reuse
+        assert not configs["+SVW-SQU"].squash_reuse
+
+    def test_fig8_covers_six_organizations(self):
+        assert set(fig8_ssbf_variants()) == {
+            "128", "512", "2048", "Bloom", "4-byte", "Infinite",
+        }
+        assert len(fig8_configs()) == 7  # + baseline
+
+    def test_update_variants(self):
+        configs = fig5_configs()
+        assert not configs["+SVW-UPD"].svw.update_on_forward
+        assert configs["+SVW+UPD"].svw.update_on_forward
+
+    def test_replacement_mode(self):
+        configs = svw_replacement_configs()
+        assert configs["NLQ+SVW-only"].rex_mode is RexMode.SVW_ONLY
+
+    def test_composition_has_rle_and_ssq(self):
+        combined = composition_configs()["combined"]
+        assert combined.rle and combined.lsu.value == "ssq"
+
+
+@pytest.fixture(scope="module")
+def tiny_result():
+    return run_matrix(
+        "fig5", fig5_configs(), benchmarks=["gzip"], n_insts=2500, warmup=500
+    )
+
+
+class TestRunnerAndReport:
+    def test_result_structure(self, tiny_result):
+        assert tiny_result.benchmarks == ["gzip"]
+        assert set(tiny_result.stats["gzip"]) == set(fig5_configs())
+
+    def test_speedup_of_baseline_is_zero(self, tiny_result):
+        assert tiny_result.speedup_pct("gzip", "baseline") == pytest.approx(0.0)
+
+    def test_render_has_both_panels(self, tiny_result):
+        text = render_figure(tiny_result)
+        assert "% loads re-executed" in text
+        assert "% speedup" in text
+        assert "gzip" in text
+
+    def test_claims_checked(self, tiny_result):
+        checks = check_claims(tiny_result)
+        assert checks, "figure 5 has recorded paper claims"
+        rendered = render_claims(tiny_result)
+        assert "paper vs measured" in rendered
+
+    def test_max_reexec_rate(self, tiny_result):
+        bench, rate = tiny_result.max_reexec_rate("NLQ")
+        assert bench == "gzip" and 0 <= rate <= 1
+
+
+class TestPaperData:
+    def test_claims_are_well_formed(self):
+        for claim in PAPER_CLAIMS:
+            assert claim.experiment and claim.metric and claim.source
+
+    def test_fig_claims_present(self):
+        for fig in ("fig5", "fig6", "fig7", "fig8"):
+            assert claims_for(fig)
+
+    def test_headline_claim_recorded(self):
+        overall = claims_for("overall")
+        assert any(c.value == 0.85 for c in overall)
+
+
+class TestCLI:
+    def test_cli_runs_fig5_subset(self, capsys):
+        exit_code = main(
+            ["fig5", "--insts", "2000", "--benchmarks", "gzip", "--quiet"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "% loads re-executed" in output
+
+    def test_cli_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])

@@ -1,0 +1,102 @@
+"""Unit tests for the functional executor and trace recording."""
+
+from repro.isa.golden import golden_execute, trace_program
+from repro.isa.inst import NO_PRODUCER
+from repro.isa.ops import OpClass
+from repro.isa.program import ProgramBuilder
+
+
+def _sum_program():
+    b = ProgramBuilder("sum", num_regs=8)
+    for i in range(4):
+        b.poke(0x1000 + i * 8, i + 1, size=8)
+    b.addi(1, 0, 0x1000)  # base
+    b.addi(2, 0, 0)  # acc
+    b.addi(3, 0, 0x1000 + 32)  # limit
+    loop = b.label("loop")
+    b.load(4, base=1, offset=0, size=8)
+    b.add(2, 2, 4)
+    b.addi(1, 1, 8)
+    b.blt(1, 3, loop)
+    b.store(2, base=0, offset=0x2000, size=8)
+    b.halt()
+    return b.build()
+
+
+class TestTraceProgram:
+    def test_computes_correct_sum(self):
+        trace = trace_program(_sum_program())
+        golden = golden_execute(trace)
+        assert golden.memory.read(0x2000, 8) == 1 + 2 + 3 + 4
+
+    def test_loop_produces_dynamic_instances(self):
+        trace = trace_program(_sum_program())
+        loads = [i for i in trace.insts if i.op is OpClass.LOAD]
+        assert len(loads) == 4  # one per iteration
+        assert len({load.addr for load in loads}) == 4
+
+    def test_dataflow_producers_resolved(self):
+        trace = trace_program(_sum_program())
+        loads = [i for i in trace.insts if i.op is OpClass.LOAD]
+        # Each load's base register was last written by the addi of the
+        # previous iteration (or the initial addi).
+        for load in loads:
+            assert load.base_seq != NO_PRODUCER
+            producer = trace.insts[load.base_seq]
+            assert producer.op is OpClass.IALU
+
+    def test_branch_outcomes_recorded(self):
+        trace = trace_program(_sum_program())
+        branches = [i for i in trace.insts if i.op is OpClass.BRANCH]
+        assert [b.taken for b in branches] == [True, True, True, False]
+
+    def test_runaway_guard(self):
+        b = ProgramBuilder("spin", num_regs=2)
+        loop = b.label("loop")
+        b.jump(loop)
+        program = b.build()
+        import pytest
+
+        with pytest.raises(RuntimeError, match="exceeded"):
+            trace_program(program, max_insts=100)
+
+    def test_store_data_producer_tracked(self):
+        trace = trace_program(_sum_program())
+        store = next(i for i in trace.insts if i.op is OpClass.STORE)
+        assert store.store_data_seq != NO_PRODUCER
+        # The data producer is the accumulator add of the last iteration.
+        assert trace.insts[store.store_data_seq].op is OpClass.IALU
+
+
+class TestGoldenExecute:
+    def test_silent_store_detection(self):
+        b = ProgramBuilder("silent", num_regs=4)
+        b.poke(0x100, 7, size=8)
+        b.addi(1, 0, 7)
+        b.store(1, base=0, offset=0x100, size=8)  # silent: writes 7 over 7
+        b.addi(2, 0, 9)
+        b.store(2, base=0, offset=0x100, size=8)  # not silent
+        b.halt()
+        golden = golden_execute(trace_program(b.build()))
+        assert len(golden.silent_stores) == 1
+
+    def test_load_values_recorded_per_seq(self):
+        trace = trace_program(_sum_program())
+        golden = golden_execute(trace)
+        loads = [i for i in trace.insts if i.op is OpClass.LOAD]
+        assert sorted(golden.load_values) == [load.seq for load in loads]
+        assert sorted(golden.load_values.values()) == [1, 2, 3, 4]
+
+    def test_mixed_width_overlap(self):
+        """A 4-byte store into the middle of an 8-byte location."""
+        b = ProgramBuilder("overlap", num_regs=4)
+        b.addi(1, 0, (5 << 32) | 6)
+        b.store(1, base=0, offset=0x100, size=8)
+        b.addi(2, 0, 0xFF)
+        b.store(2, base=0, offset=0x104, size=4)  # clobber the high word
+        b.load(3, base=0, offset=0x100, size=8)
+        b.halt()
+        trace = trace_program(b.build())
+        golden = golden_execute(trace)
+        final_load = max(golden.load_values)
+        assert golden.load_values[final_load] == (0xFF << 32) | 6

@@ -1,0 +1,78 @@
+"""Unit tests for the program builder and assembler."""
+
+import pytest
+
+from repro.isa.program import Label, Mnemonic, ProgramBuilder
+
+
+class TestBuilder:
+    def test_simple_program_builds(self):
+        b = ProgramBuilder("p", num_regs=4)
+        b.addi(1, 0, 5)
+        b.halt()
+        program = b.build()
+        assert len(program.ops) == 2
+        assert program.ops[0].mnemonic is Mnemonic.ADDI
+
+    def test_labels_resolve(self):
+        b = ProgramBuilder("p", num_regs=4)
+        loop = b.label("loop")
+        b.addi(1, 1, 1)
+        b.jump(loop)
+        program = b.build()
+        assert program.target_pc(program.ops[1]) == 0
+
+    def test_forward_labels(self):
+        b = ProgramBuilder("p", num_regs=4)
+        end = b.forward_label("end")
+        b.jump(end)
+        b.addi(1, 0, 1)
+        b.place(end)
+        b.halt()
+        program = b.build()
+        assert program.target_pc(program.ops[0]) == 2
+
+    def test_undefined_label_rejected(self):
+        b = ProgramBuilder("p", num_regs=4)
+        b.jump(Label("nowhere"))
+        with pytest.raises(ValueError, match="undefined label"):
+            b.build()
+
+    def test_duplicate_label_rejected(self):
+        b = ProgramBuilder("p", num_regs=4)
+        b.label("x")
+        with pytest.raises(ValueError, match="duplicate"):
+            b.label("x")
+
+    def test_register_bounds_checked(self):
+        b = ProgramBuilder("p", num_regs=4)
+        with pytest.raises(ValueError, match="out of range"):
+            b.addi(9, 0, 1)
+
+    def test_bad_memory_size_rejected(self):
+        b = ProgramBuilder("p", num_regs=4)
+        with pytest.raises(ValueError):
+            b.load(1, base=0, offset=0, size=2)
+
+    def test_unaligned_poke_rejected(self):
+        b = ProgramBuilder("p", num_regs=4)
+        with pytest.raises(ValueError, match="unaligned"):
+            b.poke(0x101, 5)
+
+    def test_poke_eight_bytes(self):
+        b = ProgramBuilder("p", num_regs=4)
+        b.poke(0x100, 0x1_2345_6789, size=8)
+        b.halt()
+        program = b.build()
+        assert program.initial_memory[0x100] == 0x2345_6789
+        assert program.initial_memory[0x104] == 0x1
+
+    def test_needs_two_registers(self):
+        with pytest.raises(ValueError):
+            ProgramBuilder("p", num_regs=1)
+
+    def test_fluent_chaining(self):
+        program = (
+            ProgramBuilder("p", num_regs=4).addi(1, 0, 1).add(2, 1, 1).halt().build()
+        )
+        assert len(program.ops) == 3

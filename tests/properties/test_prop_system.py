@@ -1,0 +1,122 @@
+"""System-level property tests: random workloads never break correctness.
+
+Hypothesis drives the *workload generator* (random profile parameters and
+seeds); every generated trace must commit golden-equivalent state on
+speculative machines.  This is the "SVW never filters a load it shouldn't"
+property at full-system strength: any unsound filter decision, forwarding
+bug, or squash-recovery bug shows up as a golden mismatch.
+"""
+
+import dataclasses
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.svw import SVWConfig
+from repro.isa.golden import golden_execute
+from repro.memsys.memimg import MemoryImage
+from repro.pipeline.config import LSUKind, RexMode, eight_wide, four_wide
+from repro.pipeline.processor import Processor
+from repro.workloads.profile import WorkloadProfile
+from repro.workloads.synthetic import generate_trace
+
+_BASE = WorkloadProfile(name="prop")
+
+
+@st.composite
+def profiles(draw):
+    return dataclasses.replace(
+        _BASE,
+        load_frac=draw(st.floats(0.15, 0.32)),
+        store_frac=draw(st.floats(0.06, 0.2)),
+        branch_frac=draw(st.floats(0.05, 0.2)),
+        forward_frac=draw(st.floats(0.0, 0.3)),
+        forward_distance=draw(st.floats(4.0, 60.0)),
+        ambiguous_store_frac=draw(st.floats(0.0, 0.2)),
+        collision_frac=draw(st.floats(0.0, 0.3)),
+        redundancy_frac=draw(st.floats(0.0, 0.3)),
+        false_elim_frac=draw(st.floats(0.0, 0.2)),
+        silent_store_frac=draw(st.floats(0.0, 0.5)),
+        sub_quad_frac=draw(st.floats(0.0, 0.5)),
+        stack_frac=draw(st.floats(0.1, 0.5)),
+        global_frac=draw(st.floats(0.05, 0.4)),
+        stream_frac=draw(st.floats(0.0, 0.1)),
+        heap_bytes=1 << draw(st.integers(10, 18)),
+        seed=draw(st.integers(0, 2**16)),
+    )
+
+
+_NLQ_SVW = eight_wide(
+    "prop-nlq", lsu=LSUKind.NLQ, rex_mode=RexMode.REEXECUTE, rex_stages=2,
+    store_issue=2, svw=SVWConfig(),
+)
+_SSQ_SVW = eight_wide(
+    "prop-ssq", lsu=LSUKind.SSQ, rex_mode=RexMode.REEXECUTE, rex_stages=2,
+    load_latency=2, svw=SVWConfig(),
+)
+_RLE_SVW = four_wide(
+    "prop-rle", rle=True, rex_mode=RexMode.REEXECUTE, rex_stages=4, svw=SVWConfig(),
+)
+_TINY_SSN = eight_wide(
+    "prop-tiny", lsu=LSUKind.NLQ, rex_mode=RexMode.REEXECUTE, rex_stages=2,
+    store_issue=2, svw=SVWConfig(ssn_bits=5),
+)
+
+
+def _check(config, profile, n=900):
+    trace = generate_trace(profile, n)
+    golden = golden_execute(trace)
+    processor = Processor(config, trace, validate=True)  # per-load check
+    stats = processor.run()
+    assert stats.committed == len(trace)
+    assert processor.committed_memory == golden.memory
+
+
+class TestGoldenUnderRandomWorkloads:
+    @given(profile=profiles())
+    @settings(max_examples=12, deadline=None)
+    def test_nlq_svw_sound(self, profile):
+        _check(_NLQ_SVW, profile)
+
+    @given(profile=profiles())
+    @settings(max_examples=10, deadline=None)
+    def test_ssq_svw_sound(self, profile):
+        _check(_SSQ_SVW, profile)
+
+    @given(profile=profiles())
+    @settings(max_examples=10, deadline=None)
+    def test_rle_svw_sound(self, profile):
+        _check(_RLE_SVW, profile)
+
+    @given(profile=profiles())
+    @settings(max_examples=8, deadline=None)
+    def test_wraparound_drains_sound(self, profile):
+        """5-bit SSNs drain every 31 stores; correctness must survive."""
+        _check(_TINY_SSN, profile)
+
+
+class TestMemoryImageModel:
+    @given(
+        writes=st.lists(
+            st.tuples(
+                st.integers(0, 255).map(lambda a: a * 4),
+                st.integers(0, (1 << 64) - 1),
+                st.sampled_from([4, 8]),
+            ),
+            max_size=60,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_matches_bytearray_reference(self, writes):
+        image = MemoryImage()
+        reference = bytearray(2048)
+        for addr, value, size in writes:
+            addr &= ~(size - 1)
+            image.write(addr, value, size)
+            reference[addr : addr + size] = (value & ((1 << (8 * size)) - 1)).to_bytes(
+                size, "little"
+            )
+        for addr, _, size in writes:
+            addr &= ~(size - 1)
+            expected = int.from_bytes(reference[addr : addr + size], "little")
+            assert image.read(addr, size) == expected

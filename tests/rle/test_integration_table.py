@@ -1,0 +1,112 @@
+"""Tests for the register-integration table."""
+
+import pytest
+
+from repro.isa.inst import DynInst
+from repro.isa.ops import OpClass
+from repro.pipeline.inflight import InFlight
+from repro.rle.integration import IntegrationTable, signature_of
+
+
+def _load(seq, base_seq=3, offset=8, value=0):
+    inst = DynInst(
+        seq=seq, pc=0x100, op=OpClass.LOAD, addr=0x1000, size=8,
+        base_seq=base_seq, offset=offset,
+    )
+    entry = InFlight(inst, dispatch_cycle=0)
+    entry.done = True
+    entry.exec_value = value
+    return entry
+
+
+def _store(seq, base_seq=3, offset=8, value=0):
+    inst = DynInst(
+        seq=seq, pc=0x200, op=OpClass.STORE, addr=0x1000, size=8,
+        base_seq=base_seq, offset=offset, store_value=value,
+    )
+    entry = InFlight(inst, dispatch_cycle=0)
+    entry.done = True
+    return entry
+
+
+class TestSignatures:
+    def test_signature_components(self):
+        load = _load(5)
+        assert signature_of(load.inst) == (3, 8, 8)
+
+    def test_untracked_base_has_no_signature(self):
+        inst = DynInst(seq=0, pc=0, op=OpClass.LOAD, addr=0x100, size=8)
+        assert signature_of(inst) is None
+
+
+class TestLookupAndCreate:
+    def test_hit_after_create(self):
+        table = IntegrationTable(64, 2)
+        creator = _load(5, value=77)
+        table.create((3, 8, 8), creator, ssn=10, from_store=False)
+        entry = table.lookup((3, 8, 8))
+        assert entry is not None
+        assert entry.value == 77
+        assert entry.ssn == 10
+        assert not entry.from_store
+
+    def test_not_ready_creator_misses(self):
+        table = IntegrationTable(64, 2)
+        creator = _load(5)
+        creator.done = False  # value does not exist yet
+        table.create((3, 8, 8), creator, ssn=10, from_store=False)
+        assert table.lookup((3, 8, 8)) is None
+
+    def test_store_entry_value_is_store_data(self):
+        table = IntegrationTable(64, 2)
+        creator = _store(5, value=123)
+        table.create((3, 8, 8), creator, ssn=4, from_store=True)
+        entry = table.lookup((3, 8, 8))
+        assert entry is not None and entry.value == 123 and entry.from_store
+
+    def test_lru_eviction_within_set(self):
+        table = IntegrationTable(2, 2)  # one set, two ways
+        table.create((1, 0, 8), _load(1), ssn=1, from_store=False)
+        table.create((2, 0, 8), _load(2), ssn=2, from_store=False)
+        table.lookup((1, 0, 8))  # refresh first entry
+        table.create((3, 0, 8), _load(3), ssn=3, from_store=False)
+        assert table.lookup((1, 0, 8)) is not None
+        assert table.lookup((2, 0, 8)) is None  # evicted
+
+    def test_invalidate(self):
+        table = IntegrationTable(64, 2)
+        table.create((3, 8, 8), _load(5), ssn=10, from_store=False)
+        table.invalidate((3, 8, 8))
+        assert table.lookup((3, 8, 8)) is None
+
+
+class TestSquashHandling:
+    def test_squash_reuse_marks_entries(self):
+        table = IntegrationTable(64, 2)
+        table.create((3, 8, 8), _load(20), ssn=10, from_store=False)
+        table.on_squash(flush_seq=15, keep_squash_reuse=True)
+        entry = table.lookup((3, 8, 8))
+        assert entry is not None and entry.creator_squashed
+
+    def test_squash_without_reuse_deletes(self):
+        table = IntegrationTable(64, 2)
+        table.create((3, 8, 8), _load(20), ssn=10, from_store=False)
+        table.on_squash(flush_seq=15, keep_squash_reuse=False)
+        assert table.lookup((3, 8, 8)) is None
+
+    def test_older_entries_survive_squash(self):
+        table = IntegrationTable(64, 2)
+        table.create((3, 8, 8), _load(5), ssn=10, from_store=False)
+        table.on_squash(flush_seq=15, keep_squash_reuse=False)
+        entry = table.lookup((3, 8, 8))
+        assert entry is not None and not entry.creator_squashed
+
+    def test_flash_clear(self):
+        table = IntegrationTable(64, 2)
+        table.create((3, 8, 8), _load(5), ssn=10, from_store=False)
+        table.flash_clear()
+        assert len(table) == 0
+
+    def test_assoc_must_divide(self):
+        with pytest.raises(ValueError):
+            IntegrationTable(63, 2)

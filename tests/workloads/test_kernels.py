@@ -1,0 +1,88 @@
+"""Tests for the algorithmic kernels: each must compute correct results."""
+
+import pytest
+
+from repro.isa.golden import golden_execute, trace_program
+from repro.workloads.kernels import (
+    KERNELS,
+    hash_table,
+    insertion_sort,
+    kernel_trace,
+    linked_list,
+    matmul,
+    memcpy_compare,
+    spill_fill,
+)
+
+
+@pytest.mark.parametrize("name", sorted(KERNELS))
+def test_kernel_builds_and_traces(name):
+    trace = kernel_trace(name)
+    trace.validate()
+    assert len(trace) > 100
+
+
+def test_linked_list_sum_is_correct():
+    program = linked_list(n_nodes=64, seed=3)
+    golden = golden_execute(trace_program(program))
+    expected = sum(
+        value for addr, value in program.initial_memory.items() if addr % 16 == 0
+    )
+    assert golden.memory.read(0x3000_0000 - 8, 4) == expected & 0xFFFF_FFFF
+
+
+def test_hash_table_finds_every_key():
+    program = hash_table(n_keys=64)
+    golden = golden_execute(trace_program(program))
+    table_base = 0x3100_0000
+    assert golden.memory.read(table_base - 8, 8) == 64  # all keys found
+
+
+def test_insertion_sort_sorts():
+    program = insertion_sort(n=24, seed=5)
+    golden = golden_execute(trace_program(program))
+    values = [golden.memory.read(0x3200_0000 + i * 8, 8) for i in range(24)]
+    assert values == sorted(values)
+
+
+def test_memcpy_compare_reports_zero_mismatches():
+    program = memcpy_compare(n_words=128)
+    golden = golden_execute(trace_program(program))
+    assert golden.memory.read(0x4100_0000 - 8, 4) == 0
+    # And the copy is faithful.
+    for i in range(128):
+        src = golden.memory.read(0x4000_0000 + i * 4, 4)
+        dst = golden.memory.read(0x4100_0000 + i * 4, 4)
+        assert src == dst
+
+
+def test_matmul_matches_reference():
+    n = 6
+    program = matmul(n=n, seed=9)
+    golden = golden_execute(trace_program(program))
+    base = 0x3300_0000
+    a = [[golden.memory.read(base + (i * n + j) * 8, 8) for j in range(n)] for i in range(n)]
+    b_base = base + n * n * 8
+    b = [[golden.memory.read(b_base + (i * n + j) * 8, 8) for j in range(n)] for i in range(n)]
+    c_base = base + 2 * n * n * 8
+    for i in range(n):
+        for j in range(n):
+            expected = sum(a[i][k] * b[k][j] for k in range(n))
+            assert golden.memory.read(c_base + (i * n + j) * 8, 8) == expected
+
+
+def test_spill_fill_forwards_heavily():
+    trace = kernel_trace("spill_fill", n_frames=100)
+    stores = {}
+    forwarded = 0
+    for inst in trace.insts:
+        if inst.is_store:
+            stores[inst.addr] = inst.seq
+        elif inst.is_load and inst.addr in stores and inst.seq - stores[inst.addr] < 32:
+            forwarded += 1
+    assert forwarded >= 150  # two fills per frame read fresh spills
+
+
+def test_unknown_kernel_rejected():
+    with pytest.raises(KeyError):
+        kernel_trace("quicksort3000")

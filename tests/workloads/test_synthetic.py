@@ -1,0 +1,121 @@
+"""Tests for the synthetic trace generator."""
+
+import dataclasses
+
+import pytest
+
+from repro.isa.ops import OpClass
+from repro.workloads.profile import WorkloadProfile
+from repro.workloads.spec2000 import SPEC2000_PROFILES, SPEC_ORDER, spec_profile
+from repro.workloads.synthetic import (
+    FORWARD_BASE,
+    GLOBAL_BASE,
+    HEAP_BASE,
+    STACK_BASE,
+    generate_trace,
+)
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        a = generate_trace(spec_profile("gcc"), 3000)
+        b = generate_trace(spec_profile("gcc"), 3000)
+        assert [i.addr for i in a.insts] == [i.addr for i in b.insts]
+        assert [i.pc for i in a.insts] == [i.pc for i in b.insts]
+
+    def test_different_seed_different_trace(self):
+        a = generate_trace(spec_profile("gcc"), 3000, seed=1)
+        b = generate_trace(spec_profile("gcc"), 3000, seed=2)
+        assert [i.addr for i in a.insts] != [i.addr for i in b.insts]
+
+    def test_prefix_property(self):
+        """A shorter trace is a prefix of a longer one (same seed)."""
+        short = generate_trace(spec_profile("twolf"), 1500)
+        long = generate_trace(spec_profile("twolf"), 3000)
+        assert [i.addr for i in short.insts] == [i.addr for i in long.insts[:1500]]
+
+
+class TestStructure:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return generate_trace(spec_profile("vortex"), 8000)
+
+    def test_validates(self, trace):
+        trace.validate()  # raises on inconsistency
+
+    def test_mix_tracks_profile(self, trace):
+        profile = spec_profile("vortex")
+        stats = trace.stats()
+        assert stats["load_frac"] == pytest.approx(profile.load_frac, abs=0.08)
+        assert stats["store_frac"] == pytest.approx(profile.store_frac, abs=0.05)
+
+    def test_forwarding_pairs_exist(self, trace):
+        """Some loads read addresses written by recent stores."""
+        recent = {}
+        pairs = 0
+        for inst in trace.insts:
+            if inst.op is OpClass.STORE:
+                recent[inst.addr] = inst.seq
+            elif inst.op is OpClass.LOAD and inst.addr in recent:
+                if inst.seq - recent[inst.addr] < 128:
+                    pairs += 1
+        assert pairs > 50
+
+    def test_regions_used(self, trace):
+        addrs = [i.addr for i in trace.insts if i.is_mem]
+        for base in (STACK_BASE, GLOBAL_BASE, HEAP_BASE, FORWARD_BASE):
+            assert any(base <= a < base + 0x1000_0000 for a in addrs), hex(base)
+
+    def test_wrong_path_addresses_attached(self, trace):
+        assert trace.wrong_path_addrs
+        for seq, addrs in trace.wrong_path_addrs.items():
+            assert trace.insts[seq].is_branch
+            assert all(a % 8 == 0 for a in addrs)
+
+    def test_redundant_loads_share_signatures(self, trace):
+        """RLE candidates: loads repeating (base producer, offset)."""
+        seen = set()
+        repeats = 0
+        for inst in trace.insts:
+            if inst.op is OpClass.LOAD and inst.base_seq >= 0:
+                key = (inst.base_seq, inst.offset, inst.size)
+                if key in seen:
+                    repeats += 1
+                seen.add(key)
+        assert repeats > 100
+
+
+class TestProfiles:
+    def test_all_sixteen_runs_present(self):
+        assert len(SPEC2000_PROFILES) == 16
+        assert set(SPEC_ORDER) == set(SPEC2000_PROFILES)
+
+    @pytest.mark.parametrize("name", SPEC_ORDER)
+    def test_profiles_validate(self, name):
+        SPEC2000_PROFILES[name].validate()
+
+    def test_short_name_lookup(self):
+        assert spec_profile("perl.d").name == "perl.diffmail"
+        assert spec_profile("eon.c").name == "eon.cook"
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(KeyError):
+            spec_profile("spice")
+
+    def test_invalid_profile_caught(self):
+        bad = dataclasses.replace(
+            WorkloadProfile(name="bad"), load_frac=0.9, store_frac=0.9
+        )
+        with pytest.raises(ValueError):
+            bad.validate()
+
+    def test_bad_region_mix_caught(self):
+        bad = dataclasses.replace(
+            WorkloadProfile(name="bad"), stack_frac=0.6, global_frac=0.6
+        )
+        with pytest.raises(ValueError, match="region"):
+            bad.validate()
+
+    def test_generator_rejects_empty(self):
+        with pytest.raises(ValueError):
+            generate_trace(spec_profile("gcc"), 0)
