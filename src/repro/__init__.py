@@ -18,19 +18,37 @@ Quickstart::
     stats = Processor(config, trace).run()
     print(stats.summary())
 
+For sweeps, use the experiment API::
+
+    from repro import ExperimentBuilder, run_experiment
+    from repro.experiments import ProcessPoolBackend, ResultStore
+    from repro.harness.configs import fig5_configs
+
+    spec = (
+        ExperimentBuilder("fig5")
+        .configs(fig5_configs())
+        .workloads(["gcc", "vortex"])
+        .build()
+    )
+    result = run_experiment(spec, backend=ProcessPoolBackend(jobs=8))
+
 See :mod:`repro.harness` for the paper's named configurations and the
-per-figure experiment drivers.
+per-figure experiment drivers, and :mod:`repro.experiments` for backends
+and the on-disk result cache.
 """
 
 from repro.core import SVWConfig, SVWEngine
+from repro.experiments import ExperimentBuilder, ExperimentSpec, run_experiment
 from repro.isa import DynInst, Trace
 from repro.pipeline import MachineConfig, Processor, RexMode, SimStats, eight_wide, four_wide
 from repro.workloads import generate_trace, kernel_trace, spec_profile
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "DynInst",
+    "ExperimentBuilder",
+    "ExperimentSpec",
     "MachineConfig",
     "Processor",
     "RexMode",
@@ -43,5 +61,6 @@ __all__ = [
     "four_wide",
     "generate_trace",
     "kernel_trace",
+    "run_experiment",
     "spec_profile",
 ]

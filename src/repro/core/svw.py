@@ -31,6 +31,7 @@ vulnerable to the largest window, i.e. ``SVW = MIN(svw_a, svw_b)``.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Callable
 
@@ -74,6 +75,14 @@ class SVWConfig:
 
     def build_ssbf(self) -> SSBFBase:
         return make_ssbf(self.ssbf_kind, self.ssbf_entries, self.ssbf_granularity)
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-friendly form (see :mod:`repro.fingerprint`)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, object]) -> "SVWConfig":
+        return cls(**payload)  # type: ignore[arg-type]
 
 
 class SVWEngine:

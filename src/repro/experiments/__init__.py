@@ -1,0 +1,74 @@
+"""Unified experiment API: declarative specs, pluggable backends, cached results.
+
+Quickstart::
+
+    from repro.experiments import (
+        ExperimentBuilder, ProcessPoolBackend, ResultStore, run_experiment,
+    )
+    from repro.harness.configs import fig5_configs
+
+    spec = (
+        ExperimentBuilder("fig5")
+        .configs(fig5_configs())
+        .workloads(["gcc", "vortex"])   # None = full SPEC2000int suite
+        .insts(30_000)
+        .build()
+    )
+    result = run_experiment(
+        spec,
+        backend=ProcessPoolBackend(jobs=8),      # or SerialBackend()
+        store=ResultStore("~/.cache/svw-repro"),  # reruns become cache reads
+    )
+    print(result.avg_speedup_pct("+SVW+UPD"))
+
+The pieces:
+
+- :class:`ExperimentSpec` / :class:`ExperimentBuilder` -- a hashable,
+  declarative description of a sweep (configs x workloads x budget).
+- :class:`SerialBackend` / :class:`ProcessPoolBackend` -- interchangeable
+  executors producing bit-identical statistics for the same spec.
+- :class:`ResultStore` -- a content-addressed JSON cache; each cell is
+  keyed by a stable fingerprint of (machine config, workload, budget).
+- :func:`run_experiment` -- spec + backend + store -> :class:`FigureResult`.
+
+``repro.harness.runner.run_matrix`` remains as a one-call compatibility
+shim over this API.
+"""
+
+from repro.experiments.backends import (
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    execute_request,
+    make_backend,
+)
+from repro.experiments.results import FigureResult
+from repro.experiments.run import run_experiment
+from repro.experiments.spec import (
+    DEFAULT_INSTS,
+    ExperimentBuilder,
+    ExperimentSpec,
+    RunRequest,
+    WorkloadSpec,
+    matrix_spec,
+    resolve_benchmarks,
+)
+from repro.experiments.store import ResultStore
+
+__all__ = [
+    "DEFAULT_INSTS",
+    "ExecutionBackend",
+    "ExperimentBuilder",
+    "ExperimentSpec",
+    "FigureResult",
+    "ProcessPoolBackend",
+    "ResultStore",
+    "RunRequest",
+    "SerialBackend",
+    "WorkloadSpec",
+    "execute_request",
+    "make_backend",
+    "matrix_spec",
+    "resolve_benchmarks",
+    "run_experiment",
+]

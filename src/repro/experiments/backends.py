@@ -1,0 +1,113 @@
+"""Execution backends: how a sweep's cells get simulated.
+
+A backend turns a list of :class:`~repro.experiments.spec.RunRequest` cells
+into a list of :class:`~repro.pipeline.stats.SimStats`, **positionally
+aligned with the request list** -- completion order never leaks into
+results, so every backend is deterministic and interchangeable.
+
+:class:`SerialBackend` runs cells in-process and shares one generated trace
+across all configs of a workload (the classic ``run_matrix`` behaviour).
+:class:`ProcessPoolBackend` fans cells out across worker processes with
+:mod:`concurrent.futures`; each worker regenerates its trace from the
+workload profile, which is deterministic, so both backends produce
+bit-identical statistics for the same spec.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+from typing import Callable, Iterable, Protocol, Sequence
+
+from repro.experiments.spec import RunRequest
+from repro.isa.inst import Trace
+from repro.pipeline.processor import Processor
+from repro.pipeline.stats import SimStats
+
+ProgressFn = Callable[[str], None]
+
+
+def execute_request(request: RunRequest, trace: Trace | None = None) -> SimStats:
+    """Simulate one cell.  Top-level so process pools can pickle it."""
+    if trace is None:
+        trace = request.workload.materialize(request.n_insts)
+    return Processor(
+        request.config, trace, validate=request.validate, warmup=request.warmup
+    ).run()
+
+
+class ExecutionBackend(Protocol):
+    """Anything that can run a batch of cells.
+
+    Implementations must return one :class:`SimStats` per request, in
+    request order, regardless of internal scheduling.
+    """
+
+    def run(
+        self, requests: Sequence[RunRequest], progress: ProgressFn | None = None
+    ) -> list[SimStats]: ...
+
+
+class SerialBackend:
+    """In-process, in-order execution (the default).
+
+    Traces are generated once per (workload, n_insts) and replayed across
+    configurations, so IPC deltas are workload-identical comparisons
+    without paying regeneration per cell.
+    """
+
+    def run(
+        self, requests: Sequence[RunRequest], progress: ProgressFn | None = None
+    ) -> list[SimStats]:
+        # Cells arrive workload-major, so a single-entry trace cache gets
+        # every reuse while keeping peak memory at one trace, not one per
+        # workload in the sweep.
+        cached_key: tuple[str, int] | None = None
+        cached_trace: Trace | None = None
+        results = []
+        for request in requests:
+            if progress is not None:
+                progress(request.describe())
+            key = (request.workload.fingerprint(), request.n_insts)
+            if key != cached_key:
+                cached_key = key
+                cached_trace = request.workload.materialize(request.n_insts)
+            results.append(execute_request(request, cached_trace))
+        return results
+
+
+class ProcessPoolBackend:
+    """Fan cells out across worker processes.
+
+    Results are collected by request index, so completion order (which
+    varies with scheduling) cannot affect the output.
+    """
+
+    def __init__(self, jobs: int | None = None) -> None:
+        if jobs is not None and jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs or os.cpu_count() or 1
+
+    def run(
+        self, requests: Sequence[RunRequest], progress: ProgressFn | None = None
+    ) -> list[SimStats]:
+        requests = list(requests)
+        results: list[SimStats | None] = [None] * len(requests)
+        with concurrent.futures.ProcessPoolExecutor(max_workers=self.jobs) as pool:
+            futures = {
+                pool.submit(execute_request, request): index
+                for index, request in enumerate(requests)
+            }
+            for future in concurrent.futures.as_completed(futures):
+                index = futures[future]
+                results[index] = future.result()
+                if progress is not None:
+                    progress(f"{requests[index].describe()} [done]")
+        return results  # type: ignore[return-value]
+
+
+def make_backend(jobs: int | None) -> ExecutionBackend:
+    """Backend for a ``--jobs`` setting: serial for 1/None, pooled above."""
+    if jobs is None or jobs <= 1:
+        return SerialBackend()
+    return ProcessPoolBackend(jobs)

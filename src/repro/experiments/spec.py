@@ -1,0 +1,343 @@
+"""Declarative experiment descriptions.
+
+An :class:`ExperimentSpec` is a pure-data, hashable description of one
+sweep: an ordered set of labelled machine configurations crossed with an
+ordered set of workloads at a fixed instruction budget.  Specs carry no
+execution state -- handing the same spec to any
+:mod:`~repro.experiments.backends` backend yields identical results, and
+each (config, workload) cell reduces to a :class:`RunRequest` whose
+:meth:`~RunRequest.fingerprint` is the cell's identity in the
+:class:`~repro.experiments.store.ResultStore`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.fingerprint import stable_digest
+from repro.isa.inst import Trace
+from repro.pipeline.config import MachineConfig
+from repro.workloads.profile import WorkloadProfile
+from repro.workloads.spec2000 import SPEC_ORDER, SPEC_SHORT_NAMES, spec_profile
+from repro.workloads.synthetic import generate_trace
+
+#: Default instruction budget per (config, workload) run.  The paper uses
+#: 10M-instruction samples; rates and relative IPCs stabilize far earlier
+#: on synthetic workloads (see DESIGN.md).
+DEFAULT_INSTS = 30_000
+
+#: Bump when the meaning of a run-request fingerprint changes (e.g. a new
+#: field starts affecting simulation results): stale cache entries must
+#: stop matching.
+FINGERPRINT_VERSION = 1
+
+
+def resolve_benchmarks(benchmarks: Iterable[str] | None) -> list[str]:
+    """Expand None to the full SPEC2000int suite; accept short names."""
+    if benchmarks is None:
+        return list(SPEC_ORDER)
+    short_to_full = {short: full for full, short in SPEC_SHORT_NAMES.items()}
+    return [short_to_full.get(name, name) for name in benchmarks]
+
+
+def _trace_digest(trace: Trace) -> str:
+    insts = [
+        (
+            inst.seq,
+            inst.pc,
+            int(inst.op),
+            inst.src_seqs,
+            inst.dst_reg,
+            inst.addr,
+            inst.size,
+            inst.store_value,
+            inst.store_data_seq,
+            inst.taken,
+            inst.base_seq,
+            inst.offset,
+        )
+        for inst in trace.insts
+    ]
+    return stable_digest(
+        {
+            "name": trace.name,
+            "insts": insts,
+            "initial_memory": sorted(trace.initial_memory.items()),
+            "wrong_path": sorted(trace.wrong_path_addrs.items()),
+        }
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class WorkloadSpec:
+    """One workload of a sweep: a profile to generate from, or a fixed trace.
+
+    Profile workloads regenerate their trace deterministically from
+    ``(profile, n_insts)`` wherever they run, which is what makes cells
+    picklable and cacheable without shipping instruction streams around.
+    Trace workloads (kernels, hand-built streams) carry the trace itself;
+    its content digest -- not the unpicklable/unstable object identity --
+    stands in for it in hashing, equality, and fingerprints.
+    """
+
+    name: str
+    profile: WorkloadProfile | None = None
+    trace: Trace | None = field(default=None, compare=False)
+    trace_digest: str | None = None
+
+    def __post_init__(self) -> None:
+        if (self.profile is None) == (self.trace is None):
+            raise ValueError(f"workload {self.name!r} needs a profile or a trace")
+        if self.trace is not None and self.trace_digest is None:
+            object.__setattr__(self, "trace_digest", _trace_digest(self.trace))
+
+    @classmethod
+    def from_name(cls, name: str) -> "WorkloadSpec":
+        """A SPEC2000 workload by full or short benchmark name."""
+        profile = spec_profile(name)
+        return cls(name=profile.name, profile=profile)
+
+    @classmethod
+    def from_profile(cls, profile: WorkloadProfile) -> "WorkloadSpec":
+        return cls(name=profile.name, profile=profile)
+
+    @classmethod
+    def from_trace(cls, name: str, trace: Trace) -> "WorkloadSpec":
+        return cls(name=name, trace=trace)
+
+    def fingerprint(self) -> str:
+        """Stable digest of the workload's dynamic instruction stream."""
+        if self.profile is not None:
+            return self.profile.fingerprint()
+        assert self.trace_digest is not None
+        return self.trace_digest
+
+    def materialize(self, n_insts: int) -> Trace:
+        """The trace to simulate (generated for profiles, as-is for traces)."""
+        if self.trace is not None:
+            return self.trace
+        assert self.profile is not None
+        return generate_trace(self.profile, n_insts)
+
+
+@dataclass(frozen=True, slots=True)
+class RunRequest:
+    """One picklable (config, workload) cell of a sweep."""
+
+    experiment: str
+    workload: WorkloadSpec
+    config_label: str
+    config: MachineConfig
+    n_insts: int
+    warmup: int
+    validate: bool = False
+
+    def describe(self) -> str:
+        return f"{self.experiment}: {self.workload.name} / {self.config_label}"
+
+    def fingerprint(self) -> str:
+        """Cache identity of this cell's :class:`~repro.pipeline.stats.SimStats`.
+
+        Excludes ``experiment`` and ``config_label`` (display metadata):
+        overlapping sweeps that simulate the same machine on the same
+        workload share the cached result.
+        """
+        return stable_digest(
+            {
+                "version": FINGERPRINT_VERSION,
+                "config": self.config.fingerprint(),
+                "workload": self.workload.fingerprint(),
+                "n_insts": self.n_insts,
+                "warmup": self.warmup,
+                "validate": self.validate,
+            }
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class ExperimentSpec:
+    """Declarative description of one sweep: configs x workloads.
+
+    ``configs`` is an ordered tuple of ``(label, MachineConfig)`` pairs --
+    labels are the figure-legend names speedups are reported under and may
+    differ from ``MachineConfig.name``.  Build specs with
+    :class:`ExperimentBuilder` or :func:`matrix_spec`.
+    """
+
+    name: str
+    configs: tuple[tuple[str, MachineConfig], ...]
+    workloads: tuple[WorkloadSpec, ...]
+    n_insts: int = DEFAULT_INSTS
+    #: Committed instructions excluded from statistics; ``None`` means a
+    #: quarter of the run (the paper's predictor/cache warm-up convention).
+    warmup: int | None = None
+    baseline: str = "baseline"
+    validate: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.configs:
+            raise ValueError(f"experiment {self.name!r} has no configs")
+        if not self.workloads:
+            raise ValueError(f"experiment {self.name!r} has no workloads")
+        labels = [label for label, _ in self.configs]
+        if len(set(labels)) != len(labels):
+            raise ValueError(f"experiment {self.name!r} has duplicate config labels")
+        names = [workload.name for workload in self.workloads]
+        if len(set(names)) != len(names):
+            raise ValueError(f"experiment {self.name!r} has duplicate workload names")
+        if self.baseline not in labels:
+            raise ValueError(
+                f"experiment {self.name!r}: baseline {self.baseline!r} is not a config"
+            )
+        if self.n_insts <= 0:
+            raise ValueError("n_insts must be positive")
+
+    @property
+    def config_order(self) -> list[str]:
+        return [label for label, _ in self.configs]
+
+    @property
+    def benchmark_names(self) -> list[str]:
+        return [workload.name for workload in self.workloads]
+
+    @property
+    def effective_warmup(self) -> int:
+        return self.n_insts // 4 if self.warmup is None else self.warmup
+
+    def cells(self) -> list[RunRequest]:
+        """All (config, workload) cells in deterministic sweep order."""
+        return [
+            RunRequest(
+                experiment=self.name,
+                workload=workload,
+                config_label=label,
+                config=config,
+                n_insts=self.n_insts,
+                warmup=self.effective_warmup,
+                validate=self.validate,
+            )
+            for workload in self.workloads
+            for label, config in self.configs
+        ]
+
+    def fingerprint(self) -> str:
+        """Stable digest of the whole sweep (the cells plus their order)."""
+        return stable_digest([request.fingerprint() for request in self.cells()])
+
+
+class ExperimentBuilder:
+    """Fluent constructor for :class:`ExperimentSpec`.
+
+    Example::
+
+        spec = (
+            ExperimentBuilder("fig5")
+            .configs(fig5_configs())
+            .workloads(["gcc", "vortex"])
+            .insts(30_000)
+            .build()
+        )
+    """
+
+    def __init__(self, name: str) -> None:
+        self._name = name
+        self._configs: list[tuple[str, MachineConfig]] = []
+        self._workloads: list[WorkloadSpec] = []
+        self._n_insts = DEFAULT_INSTS
+        self._warmup: int | None = None
+        self._baseline = "baseline"
+        self._validate = False
+
+    def config(self, label: str, config: MachineConfig) -> "ExperimentBuilder":
+        self._configs.append((label, config))
+        return self
+
+    def configs(self, configs: Mapping[str, MachineConfig]) -> "ExperimentBuilder":
+        for label, config in configs.items():
+            self.config(label, config)
+        return self
+
+    def workload(
+        self, workload: str | WorkloadProfile | WorkloadSpec
+    ) -> "ExperimentBuilder":
+        if isinstance(workload, WorkloadSpec):
+            spec = workload
+        elif isinstance(workload, WorkloadProfile):
+            spec = WorkloadSpec.from_profile(workload)
+        else:
+            spec = WorkloadSpec.from_name(workload)
+        self._workloads.append(spec)
+        return self
+
+    def workloads(
+        self, workloads: Iterable[str | WorkloadProfile | WorkloadSpec] | None
+    ) -> "ExperimentBuilder":
+        """Add workloads; ``None`` adds the full SPEC2000int suite."""
+        if workloads is None:
+            workloads = resolve_benchmarks(None)
+        for workload in workloads:
+            self.workload(workload)
+        return self
+
+    def trace(self, name: str, trace: Trace) -> "ExperimentBuilder":
+        self._workloads.append(WorkloadSpec.from_trace(name, trace))
+        return self
+
+    def insts(self, n_insts: int) -> "ExperimentBuilder":
+        self._n_insts = n_insts
+        return self
+
+    def warmup(self, warmup: int | None) -> "ExperimentBuilder":
+        self._warmup = warmup
+        return self
+
+    def baseline(self, label: str) -> "ExperimentBuilder":
+        self._baseline = label
+        return self
+
+    def validated(self, validate: bool = True) -> "ExperimentBuilder":
+        self._validate = validate
+        return self
+
+    def build(self) -> ExperimentSpec:
+        return ExperimentSpec(
+            name=self._name,
+            configs=tuple(self._configs),
+            workloads=tuple(self._workloads),
+            n_insts=self._n_insts,
+            warmup=self._warmup,
+            baseline=self._baseline,
+            validate=self._validate,
+        )
+
+
+def matrix_spec(
+    name: str,
+    configs: Mapping[str, MachineConfig],
+    benchmarks: Iterable[str] | None = None,
+    n_insts: int = DEFAULT_INSTS,
+    baseline: str = "baseline",
+    validate: bool = False,
+    traces: Mapping[str, Trace] | None = None,
+    warmup: int | None = None,
+) -> ExperimentSpec:
+    """Spec for a classic config x benchmark matrix (the ``run_matrix`` shape).
+
+    ``traces`` injects pre-built traces (e.g. kernels) keyed by name; other
+    benchmarks resolve to SPEC2000 profiles.
+    """
+    builder = (
+        ExperimentBuilder(name)
+        .configs(configs)
+        .insts(n_insts)
+        .warmup(warmup)
+        .baseline(baseline)
+        .validated(validate)
+    )
+    for benchmark in resolve_benchmarks(benchmarks):
+        if traces is not None and benchmark in traces:
+            builder.trace(benchmark, traces[benchmark])
+        else:
+            builder.workload(benchmark)
+    return builder.build()

@@ -1,0 +1,69 @@
+"""Content-addressed, on-disk result cache.
+
+Each (config, workload, n_insts, warmup, validate) cell is keyed by its
+:meth:`~repro.experiments.spec.RunRequest.fingerprint` and stored as one
+JSON file.  Repeated and overlapping sweeps hit the cache instead of
+re-simulating; a warm store makes a full sweep a pure read.  Writes are
+atomic (write-then-rename), so concurrent processes sharing a cache
+directory at worst redo a cell, never corrupt one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.experiments.spec import RunRequest
+from repro.pipeline.stats import SimStats
+
+#: Bump when the on-disk payload layout changes.
+SCHEMA_VERSION = 1
+
+
+class ResultStore:
+    """JSON file-per-cell cache rooted at ``root``."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root).expanduser()
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, request: RunRequest) -> Path:
+        return self.root / f"{request.fingerprint()}.json"
+
+    def load(self, request: RunRequest) -> SimStats | None:
+        """The cached statistics for a cell, or None on miss."""
+        try:
+            payload = json.loads(self.path_for(request).read_text())
+            if payload["schema"] != SCHEMA_VERSION:
+                raise ValueError(f"schema {payload['schema']}")
+            stats = SimStats.from_dict(payload["stats"])
+        except (OSError, ValueError, KeyError, TypeError):
+            # Missing, corrupt, or stale-schema entries are plain misses.
+            self.misses += 1
+            return None
+        self.hits += 1
+        return stats
+
+    def save(self, request: RunRequest, stats: SimStats) -> None:
+        payload = {
+            "schema": SCHEMA_VERSION,
+            # Human-readable provenance; the fingerprint alone is the key.
+            "experiment": request.experiment,
+            "workload": request.workload.name,
+            "config_label": request.config_label,
+            "config_name": request.config.name,
+            "n_insts": request.n_insts,
+            "warmup": request.warmup,
+            "validate": request.validate,
+            "stats": stats.to_dict(),
+        }
+        path = self.path_for(request)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(payload, sort_keys=True, indent=1))
+        os.replace(tmp, path)
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.json"))

@@ -1,0 +1,27 @@
+"""Stable content fingerprints.
+
+Every layer that participates in result caching (machine configurations,
+workload profiles, traces, run requests) reduces itself to a JSON-friendly
+dict and digests it here.  The digest is the cache identity: equal inputs
+must produce equal digests across processes and Python versions, which is
+why the encoding is canonicalized (sorted keys, no whitespace) rather than
+relying on ``hash()`` (randomized per process) or ``pickle`` (protocol- and
+version-dependent).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+
+def _coerce(obj: object) -> object:
+    if isinstance(obj, (set, frozenset)):
+        return sorted(obj)
+    raise TypeError(f"{type(obj).__name__} is not fingerprintable")
+
+
+def stable_digest(payload: object) -> str:
+    """SHA-256 hex digest of a canonical JSON encoding of ``payload``."""
+    encoded = json.dumps(payload, sort_keys=True, separators=(",", ":"), default=_coerce)
+    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()

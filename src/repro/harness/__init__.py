@@ -1,10 +1,13 @@
 """Experiment harness: the paper's named configurations and figure drivers.
 
 - :mod:`repro.harness.configs` -- the machine configurations of Figures 5-8.
-- :mod:`repro.harness.runner` -- config x benchmark sweep execution.
-- :mod:`repro.harness.figures` -- one driver per table/figure; each returns
-  a :class:`~repro.harness.runner.FigureResult` with the same rows/series
-  the paper reports.
+- :mod:`repro.harness.runner` -- ``run_matrix``, a compatibility shim over
+  the :mod:`repro.experiments` API (declarative specs, pluggable backends,
+  cached results).
+- :mod:`repro.harness.figures` -- one spec constructor + driver per
+  table/figure; each driver returns a
+  :class:`~repro.experiments.results.FigureResult` with the same
+  rows/series the paper reports.
 - :mod:`repro.harness.paper_data` -- the paper's published numbers
   (text-stated averages, maxima and named data points), used for
   paper-vs-measured reporting.

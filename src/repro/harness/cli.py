@@ -6,18 +6,25 @@ Examples::
     svw-repro fig6 --insts 60000           # bigger samples
     svw-repro fig7 --benchmarks crafty,vortex
     svw-repro all --insts 20000            # every experiment
+    svw-repro fig5 --jobs 8                # fan cells out across processes
+    svw-repro all --cache-dir ~/.cache/svw # reruns become cache reads
+    svw-repro fig5 --json results.json     # machine-readable results
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import Callable
 
+from repro.experiments.backends import make_backend
+from repro.experiments.results import FigureResult
+from repro.experiments.spec import DEFAULT_INSTS
+from repro.experiments.store import ResultStore
 from repro.harness import figures
 from repro.harness.report import render_claims, render_figure
-from repro.harness.runner import DEFAULT_INSTS, FigureResult
 
 _EXPERIMENTS: dict[str, Callable[..., FigureResult]] = {
     "fig5": figures.figure5,
@@ -35,16 +42,30 @@ def _progress(message: str) -> None:
     print(f"  ... {message}", file=sys.stderr, flush=True)
 
 
-def run_experiment(name: str, benchmarks: list[str] | None, n_insts: int, quiet: bool) -> None:
+def run_experiment(
+    name: str,
+    benchmarks: list[str] | None,
+    n_insts: int,
+    quiet: bool,
+    backend=None,
+    store: ResultStore | None = None,
+    render: bool = True,
+) -> FigureResult:
     driver = _EXPERIMENTS[name]
     started = time.time()
     result = driver(
-        benchmarks=benchmarks, n_insts=n_insts, progress=None if quiet else _progress
+        benchmarks=benchmarks,
+        n_insts=n_insts,
+        progress=None if quiet else _progress,
+        backend=backend,
+        store=store,
     )
-    print(render_figure(result))
-    print()
-    print(render_claims(result))
-    print(f"[{name}: {time.time() - started:.1f}s]")
+    if render:
+        print(render_figure(result))
+        print()
+        print(render_claims(result))
+        print(f"[{name}: {time.time() - started:.1f}s]")
+    return result
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -71,13 +92,53 @@ def main(argv: list[str] | None = None) -> int:
         help="comma-separated benchmark list (full or short names); "
         "default is each experiment's own suite",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes per sweep (default 1: serial in-process)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=str,
+        default=None,
+        help="content-addressed result cache; repeated cells are read, not re-simulated",
+    )
+    parser.add_argument(
+        "--json",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="also write results as JSON to PATH ('-' writes JSON to stdout "
+        "and suppresses the rendered tables, keeping stdout machine-parseable)",
+    )
     parser.add_argument("--quiet", action="store_true", help="suppress progress output")
     args = parser.parse_args(argv)
 
     benchmarks = args.benchmarks.split(",") if args.benchmarks else None
     names = sorted(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    backend = make_backend(args.jobs)
+    store = ResultStore(args.cache_dir) if args.cache_dir else None
+    results: dict[str, FigureResult] = {}
     for name in names:
-        run_experiment(name, benchmarks, args.insts, args.quiet)
+        results[name] = run_experiment(
+            name,
+            benchmarks,
+            args.insts,
+            args.quiet,
+            backend=backend,
+            store=store,
+            render=args.json != "-",
+        )
+    if args.json is not None:
+        payload = json.dumps(
+            {name: result.to_dict() for name, result in results.items()}, indent=1
+        )
+        if args.json == "-":
+            print(payload)
+        else:
+            with open(args.json, "w") as handle:
+                handle.write(payload + "\n")
     return 0
 
 

@@ -1,8 +1,15 @@
 """One driver per table/figure in the paper's evaluation (section 4).
 
-Each function runs the sweep and returns a
-:class:`~repro.harness.runner.FigureResult`; rendering lives in
-:mod:`repro.harness.report`.
+Each figure now has two faces:
+
+- ``<figure>_spec(...)`` builds the declarative
+  :class:`~repro.experiments.spec.ExperimentSpec` for the sweep -- hand it
+  to :func:`~repro.experiments.run.run_experiment` with any backend/store;
+- ``<figure>(...)`` runs the spec immediately and returns the
+  :class:`~repro.experiments.results.FigureResult` (the historical
+  interface, now accepting ``backend=``/``store=``).
+
+Rendering lives in :mod:`repro.harness.report`.
 """
 
 from __future__ import annotations
@@ -11,6 +18,11 @@ from dataclasses import replace
 from typing import Iterable
 
 from repro.core.svw import SVWConfig
+from repro.experiments.backends import ExecutionBackend, ProgressFn
+from repro.experiments.results import FigureResult
+from repro.experiments.run import run_experiment
+from repro.experiments.spec import DEFAULT_INSTS, ExperimentSpec, matrix_spec
+from repro.experiments.store import ResultStore
 from repro.harness.configs import (
     composition_configs,
     fig5_configs,
@@ -19,56 +31,46 @@ from repro.harness.configs import (
     fig8_configs,
     svw_replacement_configs,
 )
-from repro.harness.runner import DEFAULT_INSTS, FigureResult, run_matrix
 
 #: The benchmark subset Figure 8 uses.
 FIG8_BENCHMARKS = ["crafty", "gcc", "perl.diffmail", "vortex", "vpr.route"]
 
 
-def figure5(
-    benchmarks: Iterable[str] | None = None,
-    n_insts: int = DEFAULT_INSTS,
-    progress=None,
-) -> FigureResult:
+def figure5_spec(
+    benchmarks: Iterable[str] | None = None, n_insts: int = DEFAULT_INSTS
+) -> ExperimentSpec:
     """Figure 5: NLQ-LS re-execution rate (top) and speedup (bottom)."""
-    return run_matrix("fig5", fig5_configs(), benchmarks, n_insts, progress=progress)
+    return matrix_spec("fig5", fig5_configs(), benchmarks, n_insts)
 
 
-def figure6(
-    benchmarks: Iterable[str] | None = None,
-    n_insts: int = DEFAULT_INSTS,
-    progress=None,
-) -> FigureResult:
+def figure6_spec(
+    benchmarks: Iterable[str] | None = None, n_insts: int = DEFAULT_INSTS
+) -> ExperimentSpec:
     """Figure 6: SSQ re-execution rate (top) and speedup (bottom)."""
-    return run_matrix("fig6", fig6_configs(), benchmarks, n_insts, progress=progress)
+    return matrix_spec("fig6", fig6_configs(), benchmarks, n_insts)
 
 
-def figure7(
-    benchmarks: Iterable[str] | None = None,
-    n_insts: int = DEFAULT_INSTS,
-    progress=None,
-) -> FigureResult:
+def figure7_spec(
+    benchmarks: Iterable[str] | None = None, n_insts: int = DEFAULT_INSTS
+) -> ExperimentSpec:
     """Figure 7: RLE re-execution rate (top) and speedup (bottom)."""
-    return run_matrix("fig7", fig7_configs(), benchmarks, n_insts, progress=progress)
+    return matrix_spec("fig7", fig7_configs(), benchmarks, n_insts)
 
 
-def figure8(
-    benchmarks: Iterable[str] | None = None,
-    n_insts: int = DEFAULT_INSTS,
-    progress=None,
-) -> FigureResult:
+def figure8_spec(
+    benchmarks: Iterable[str] | None = None, n_insts: int = DEFAULT_INSTS
+) -> ExperimentSpec:
     """Figure 8: SSBF organization vs SSQ re-execution rate."""
     if benchmarks is None:
         benchmarks = FIG8_BENCHMARKS
-    return run_matrix("fig8", fig8_configs(), benchmarks, n_insts, progress=progress)
+    return matrix_spec("fig8", fig8_configs(), benchmarks, n_insts)
 
 
-def ssn_width_experiment(
+def ssn_width_spec(
     benchmarks: Iterable[str] | None = None,
     n_insts: int = DEFAULT_INSTS,
     widths: Iterable[int | None] = (8, 10, 12, 16, None),
-    progress=None,
-) -> FigureResult:
+) -> ExperimentSpec:
     """Section 3.6: SSN width vs performance.
 
     Narrow SSNs force frequent wrap-around drains; the paper reports that
@@ -83,14 +85,12 @@ def ssn_width_experiment(
         configs[f"{bits}-bit"] = replace(
             nlq_svw, name=f"ssn-{bits}", svw=SVWConfig(ssn_bits=bits)
         )
-    return run_matrix("ssn_width", configs, benchmarks, n_insts, progress=progress)
+    return matrix_spec("ssn_width", configs, benchmarks, n_insts)
 
 
-def spec_updates_experiment(
-    benchmarks: Iterable[str] | None = None,
-    n_insts: int = DEFAULT_INSTS,
-    progress=None,
-) -> FigureResult:
+def spec_updates_spec(
+    benchmarks: Iterable[str] | None = None, n_insts: int = DEFAULT_INSTS
+) -> ExperimentSpec:
     """Section 3.6: speculative vs atomic SSBF updates.
 
     Speculative updates let stores write the SSBF before older loads have
@@ -108,24 +108,120 @@ def spec_updates_experiment(
             wrong_path_injection=True,
         ),
     }
-    return run_matrix("spec_updates", configs, benchmarks, n_insts, progress=progress)
+    return matrix_spec("spec_updates", configs, benchmarks, n_insts)
+
+
+def composition_spec(
+    benchmarks: Iterable[str] | None = None, n_insts: int = DEFAULT_INSTS
+) -> ExperimentSpec:
+    """Section 3.5: SSQ + RLE composed, with and without SVW."""
+    return matrix_spec("composition", composition_configs(), benchmarks, n_insts)
+
+
+def svw_replacement_spec(
+    benchmarks: Iterable[str] | None = None, n_insts: int = DEFAULT_INSTS
+) -> ExperimentSpec:
+    """Section 6 future work: SVW as a replacement for re-execution."""
+    return matrix_spec("svw_replacement", svw_replacement_configs(), benchmarks, n_insts)
+
+
+def _run(
+    spec_fn,
+    benchmarks: Iterable[str] | None,
+    n_insts: int,
+    progress: ProgressFn | None,
+    backend: ExecutionBackend | None,
+    store: ResultStore | None,
+    **spec_kwargs,
+) -> FigureResult:
+    spec = spec_fn(benchmarks, n_insts, **spec_kwargs)
+    return run_experiment(spec, backend=backend, store=store, progress=progress)
+
+
+def figure5(
+    benchmarks: Iterable[str] | None = None,
+    n_insts: int = DEFAULT_INSTS,
+    progress: ProgressFn | None = None,
+    backend: ExecutionBackend | None = None,
+    store: ResultStore | None = None,
+) -> FigureResult:
+    """Run :func:`figure5_spec` (see its doc for the sweep)."""
+    return _run(figure5_spec, benchmarks, n_insts, progress, backend, store)
+
+
+def figure6(
+    benchmarks: Iterable[str] | None = None,
+    n_insts: int = DEFAULT_INSTS,
+    progress: ProgressFn | None = None,
+    backend: ExecutionBackend | None = None,
+    store: ResultStore | None = None,
+) -> FigureResult:
+    """Run :func:`figure6_spec` (see its doc for the sweep)."""
+    return _run(figure6_spec, benchmarks, n_insts, progress, backend, store)
+
+
+def figure7(
+    benchmarks: Iterable[str] | None = None,
+    n_insts: int = DEFAULT_INSTS,
+    progress: ProgressFn | None = None,
+    backend: ExecutionBackend | None = None,
+    store: ResultStore | None = None,
+) -> FigureResult:
+    """Run :func:`figure7_spec` (see its doc for the sweep)."""
+    return _run(figure7_spec, benchmarks, n_insts, progress, backend, store)
+
+
+def figure8(
+    benchmarks: Iterable[str] | None = None,
+    n_insts: int = DEFAULT_INSTS,
+    progress: ProgressFn | None = None,
+    backend: ExecutionBackend | None = None,
+    store: ResultStore | None = None,
+) -> FigureResult:
+    """Run :func:`figure8_spec` (see its doc for the sweep)."""
+    return _run(figure8_spec, benchmarks, n_insts, progress, backend, store)
+
+
+def ssn_width_experiment(
+    benchmarks: Iterable[str] | None = None,
+    n_insts: int = DEFAULT_INSTS,
+    widths: Iterable[int | None] = (8, 10, 12, 16, None),
+    progress: ProgressFn | None = None,
+    backend: ExecutionBackend | None = None,
+    store: ResultStore | None = None,
+) -> FigureResult:
+    """Run :func:`ssn_width_spec` (see its doc for the sweep)."""
+    return _run(ssn_width_spec, benchmarks, n_insts, progress, backend, store, widths=widths)
+
+
+def spec_updates_experiment(
+    benchmarks: Iterable[str] | None = None,
+    n_insts: int = DEFAULT_INSTS,
+    progress: ProgressFn | None = None,
+    backend: ExecutionBackend | None = None,
+    store: ResultStore | None = None,
+) -> FigureResult:
+    """Run :func:`spec_updates_spec` (see its doc for the sweep)."""
+    return _run(spec_updates_spec, benchmarks, n_insts, progress, backend, store)
 
 
 def composition_experiment(
     benchmarks: Iterable[str] | None = None,
     n_insts: int = DEFAULT_INSTS,
-    progress=None,
+    progress: ProgressFn | None = None,
+    backend: ExecutionBackend | None = None,
+    store: ResultStore | None = None,
 ) -> FigureResult:
-    """Section 3.5: SSQ + RLE composed, with and without SVW."""
-    return run_matrix("composition", composition_configs(), benchmarks, n_insts, progress=progress)
+    """Run :func:`composition_spec` (see its doc for the sweep)."""
+    return _run(composition_spec, benchmarks, n_insts, progress, backend, store)
 
 
 def svw_replacement_experiment(
     benchmarks: Iterable[str] | None = None,
     n_insts: int = DEFAULT_INSTS,
-    progress=None,
+    progress: ProgressFn | None = None,
+    backend: ExecutionBackend | None = None,
+    store: ResultStore | None = None,
 ) -> FigureResult:
-    """Section 6 future work: SVW as a replacement for re-execution."""
-    return run_matrix(
-        "svw_replacement", svw_replacement_configs(), benchmarks, n_insts, progress=progress
-    )
+    """Run :func:`svw_replacement_spec` (see its doc for the sweep)."""
+    return _run(svw_replacement_spec, benchmarks, n_insts, progress, backend, store)

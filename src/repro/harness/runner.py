@@ -1,67 +1,26 @@
-"""Experiment execution: configuration x benchmark sweeps."""
+"""Compatibility shim over :mod:`repro.experiments`.
+
+The configuration x benchmark sweep machinery this module used to implement
+now lives in the experiments package -- declarative
+:class:`~repro.experiments.spec.ExperimentSpec` objects, pluggable
+execution backends, and an on-disk result cache.  ``run_matrix`` remains as
+the historical one-call entry point, and ``FigureResult``,
+``DEFAULT_INSTS``, and ``resolve_benchmarks`` are re-exported for existing
+imports.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
+from repro.experiments.backends import SerialBackend
+from repro.experiments.results import FigureResult
+from repro.experiments.run import run_experiment
+from repro.experiments.spec import DEFAULT_INSTS, matrix_spec, resolve_benchmarks
 from repro.isa.inst import Trace
 from repro.pipeline.config import MachineConfig
-from repro.pipeline.processor import Processor
-from repro.pipeline.stats import SimStats, speedup
-from repro.workloads.spec2000 import SPEC_ORDER, SPEC_SHORT_NAMES, spec_profile
-from repro.workloads.synthetic import generate_trace
 
-#: Default instruction budget per (config, benchmark) run.  The paper uses
-#: 10M-instruction samples; rates and relative IPCs stabilize far earlier
-#: on synthetic workloads (see DESIGN.md).
-DEFAULT_INSTS = 30_000
-
-
-@dataclass(slots=True)
-class FigureResult:
-    """Results of one figure's sweep.
-
-    ``stats[benchmark][config]`` holds the run's statistics; ``baseline``
-    names the config speedups are measured against.
-    """
-
-    name: str
-    baseline: str
-    config_order: list[str]
-    benchmarks: list[str]
-    stats: dict[str, dict[str, SimStats]] = field(default_factory=dict)
-
-    def reexec_rate(self, benchmark: str, config: str) -> float:
-        return self.stats[benchmark][config].reexec_rate
-
-    def speedup_pct(self, benchmark: str, config: str) -> float:
-        return speedup(self.stats[benchmark][self.baseline], self.stats[benchmark][config])
-
-    def average(self, metric: Callable[[str, str], float], config: str) -> float:
-        values = [metric(benchmark, config) for benchmark in self.benchmarks]
-        return sum(values) / len(values) if values else 0.0
-
-    def avg_reexec_rate(self, config: str) -> float:
-        return self.average(self.reexec_rate, config)
-
-    def avg_speedup_pct(self, config: str) -> float:
-        return self.average(self.speedup_pct, config)
-
-    def max_reexec_rate(self, config: str) -> tuple[str, float]:
-        best = max(self.benchmarks, key=lambda b: self.reexec_rate(b, config))
-        return best, self.reexec_rate(best, config)
-
-
-def resolve_benchmarks(benchmarks: Iterable[str] | None) -> list[str]:
-    """Expand None to the full SPEC2000int suite; accept short names."""
-    if benchmarks is None:
-        return list(SPEC_ORDER)
-    resolved = []
-    short_to_full = {short: full for full, short in SPEC_SHORT_NAMES.items()}
-    for name in benchmarks:
-        resolved.append(short_to_full.get(name, name))
-    return resolved
+__all__ = ["DEFAULT_INSTS", "FigureResult", "resolve_benchmarks", "run_matrix"]
 
 
 def run_matrix(
@@ -75,35 +34,23 @@ def run_matrix(
     traces: dict[str, Trace] | None = None,
     warmup: int | None = None,
 ) -> FigureResult:
-    """Run every config against every benchmark.
+    """Run every config against every benchmark, serially.
 
-    The same trace instance is replayed across all configurations of a
-    benchmark, so IPC deltas are workload-identical comparisons.
-    ``traces`` can inject pre-built traces (e.g. kernels) keyed by name.
-    ``warmup`` committed instructions are excluded from statistics
-    (default: a quarter of the run, mirroring the paper's predictor and
-    cache warm-up before each sample).
+    Equivalent to building a spec with
+    :func:`~repro.experiments.spec.matrix_spec` and handing it to
+    :func:`~repro.experiments.run.run_experiment` with a
+    :class:`~repro.experiments.backends.SerialBackend`; use that API
+    directly for parallel execution (``ProcessPoolBackend``) or cached
+    results (``ResultStore``).
     """
-    bench_list = resolve_benchmarks(benchmarks)
-    if warmup is None:
-        warmup = n_insts // 4
-    result = FigureResult(
-        name=name,
+    spec = matrix_spec(
+        name,
+        configs,
+        benchmarks=benchmarks,
+        n_insts=n_insts,
         baseline=baseline,
-        config_order=list(configs),
-        benchmarks=bench_list,
+        validate=validate,
+        traces=traces,
+        warmup=warmup,
     )
-    for benchmark in bench_list:
-        if traces is not None and benchmark in traces:
-            trace = traces[benchmark]
-        else:
-            trace = generate_trace(spec_profile(benchmark), n_insts)
-        per_config: dict[str, SimStats] = {}
-        for config_name, config in configs.items():
-            if progress is not None:
-                progress(f"{name}: {benchmark} / {config_name}")
-            per_config[config_name] = Processor(
-                config, trace, validate=validate, warmup=warmup
-            ).run()
-        result.stats[benchmark] = per_config
-    return result
+    return run_experiment(spec, backend=SerialBackend(), progress=progress)

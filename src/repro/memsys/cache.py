@@ -9,6 +9,7 @@ accounting lives in the pipeline's port arbitration, which asks
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 
@@ -33,6 +34,14 @@ class CacheConfig:
     @property
     def sets(self) -> int:
         return self.size_bytes // (self.assoc * self.line_bytes)
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-friendly form (see :mod:`repro.fingerprint`)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, object]) -> "CacheConfig":
+        return cls(**payload)  # type: ignore[arg-type]
 
     def line_of(self, addr: int) -> int:
         return addr // self.line_bytes

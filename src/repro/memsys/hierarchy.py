@@ -27,6 +27,24 @@ class HierarchyConfig:
     )
     memory_latency: int = 150
 
+    def to_dict(self) -> dict[str, object]:
+        """JSON-friendly form (see :mod:`repro.fingerprint`)."""
+        return {
+            "l1i": self.l1i.to_dict(),
+            "l1d": self.l1d.to_dict(),
+            "l2": self.l2.to_dict(),
+            "memory_latency": self.memory_latency,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, object]) -> "HierarchyConfig":
+        return cls(
+            l1i=CacheConfig.from_dict(payload["l1i"]),  # type: ignore[arg-type]
+            l1d=CacheConfig.from_dict(payload["l1d"]),  # type: ignore[arg-type]
+            l2=CacheConfig.from_dict(payload["l2"]),  # type: ignore[arg-type]
+            memory_latency=payload["memory_latency"],  # type: ignore[arg-type]
+        )
+
 
 class MemoryHierarchy:
     """Timing-only hierarchy: returns access latencies, tracks residency."""

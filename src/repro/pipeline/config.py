@@ -21,9 +21,10 @@ read addresses and values from the register file); SVW adds one more.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, replace
 
 from repro.core.svw import SVWConfig
+from repro.fingerprint import stable_digest
 from repro.memsys.hierarchy import HierarchyConfig
 
 
@@ -144,6 +145,38 @@ class MachineConfig:
     def derive(self, name: str, **overrides: object) -> "MachineConfig":
         """A copy with ``overrides`` applied (configs are immutable)."""
         return replace(self, name=name, **overrides)  # type: ignore[arg-type]
+
+    # -- serialization / fingerprinting -----------------------------------------
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-friendly form; round-trips through :meth:`from_dict`."""
+        payload = asdict(self)
+        payload["lsu"] = self.lsu.value
+        payload["rex_mode"] = self.rex_mode.value
+        payload["hierarchy"] = self.hierarchy.to_dict()
+        payload["svw"] = self.svw.to_dict() if self.svw is not None else None
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, object]) -> "MachineConfig":
+        payload = dict(payload)
+        payload["lsu"] = LSUKind(payload["lsu"])
+        payload["rex_mode"] = RexMode(payload["rex_mode"])
+        payload["hierarchy"] = HierarchyConfig.from_dict(payload["hierarchy"])  # type: ignore[arg-type]
+        if payload["svw"] is not None:
+            payload["svw"] = SVWConfig.from_dict(payload["svw"])  # type: ignore[arg-type]
+        return cls(**payload)  # type: ignore[arg-type]
+
+    def fingerprint(self) -> str:
+        """Stable digest of everything that affects simulation results.
+
+        ``name`` is display metadata (two differently-named but otherwise
+        identical configs simulate identically), so it is excluded --
+        this is what lets overlapping sweeps share result-cache entries.
+        """
+        payload = self.to_dict()
+        del payload["name"]
+        return stable_digest(payload)
 
 
 def eight_wide(name: str = "8wide-base", **overrides: object) -> MachineConfig:

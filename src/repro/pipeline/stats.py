@@ -7,7 +7,7 @@ consumes bandwidth in the timing model but does not appear in the rates.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 
 @dataclass(slots=True)
@@ -88,6 +88,16 @@ class SimStats:
         if not self.committed_loads:
             return 0.0
         return (self.eliminated_reuse + self.eliminated_bypass) / self.committed_loads
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-friendly form; round-trips through :meth:`from_dict`."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, object]) -> "SimStats":
+        payload = dict(payload)
+        payload["dispatch_stalls"] = dict(payload.get("dispatch_stalls") or {})
+        return cls(**payload)  # type: ignore[arg-type]
 
     def note_dispatch_stall(self, reason: str) -> None:
         self.dispatch_stalls[reason] = self.dispatch_stalls.get(reason, 0) + 1

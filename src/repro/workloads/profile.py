@@ -18,7 +18,9 @@ mechanisms respond to:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
+
+from repro.fingerprint import stable_digest
 
 
 @dataclass(frozen=True, slots=True)
@@ -130,6 +132,25 @@ class WorkloadProfile:
     notes: str = ""
     #: Default generator seed so every run of the suite sees the same trace.
     seed: int = field(default=0)
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-friendly form; round-trips through :meth:`from_dict`."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, object]) -> "WorkloadProfile":
+        return cls(**payload)  # type: ignore[arg-type]
+
+    def fingerprint(self) -> str:
+        """Stable digest of everything that affects trace generation.
+
+        ``notes`` is prose provenance with no effect on the generated
+        stream, so it is excluded; ``name`` and ``seed`` both feed the
+        generator's RNG and stay in.
+        """
+        payload = self.to_dict()
+        del payload["notes"]
+        return stable_digest(payload)
 
     def mix_total(self) -> float:
         return (

@@ -27,6 +27,7 @@ static set of forwarding stores and loads is small").
 from __future__ import annotations
 
 import random
+import zlib
 from collections import deque
 from dataclasses import dataclass
 
@@ -89,7 +90,10 @@ class _Generator:
         profile.validate()
         self.profile = profile
         self.n_insts = n_insts
-        self.rng = random.Random((seed << 16) ^ hash(profile.name) & 0xFFFF_FFFF)
+        # crc32, not hash(): string hashes are randomized per process
+        # (PYTHONHASHSEED), and the trace stream must be identical across
+        # processes for result caching and pool workers to be reproducible.
+        self.rng = random.Random((seed << 16) ^ zlib.crc32(("svw:" + profile.name).encode()) & 0xFFFF_FFFF)
         self.insts: list[DynInst] = []
         self.memory = MemoryImage()
         self.producers: deque[int] = deque(maxlen=128)
@@ -324,6 +328,13 @@ class _Generator:
             else:
                 base_seq = self.recent_loads[-1].seq
             pc = _PC_AMB_STORE + site * 4
+            # Rebinding the base to a loaded pointer moves this store into
+            # that pointer's offset namespace: the region-relative offset
+            # would let two ambiguous stores off the same load share a
+            # (base, offset) signature while targeting different regions.
+            # The full target address keeps the signature->address map
+            # one-to-one (the invariant Trace.validate enforces).
+            offset = addr
         elif region == "global":
             # Updates of a named global happen at a stable, per-word PC
             # (so the steering predictor and store-sets see stable pairs).

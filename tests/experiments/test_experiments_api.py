@@ -1,0 +1,253 @@
+"""Tests for the unified experiment API: specs, backends, store, results."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.experiments import (
+    ExperimentBuilder,
+    ExperimentSpec,
+    FigureResult,
+    ProcessPoolBackend,
+    ResultStore,
+    SerialBackend,
+    WorkloadSpec,
+    make_backend,
+    matrix_spec,
+    run_experiment,
+)
+from repro.harness.configs import fig5_configs
+from repro.harness.runner import run_matrix
+from repro.pipeline.config import eight_wide
+from repro.pipeline.stats import SimStats
+from repro.workloads.kernels import kernel_trace
+from repro.workloads.spec2000 import SPEC_ORDER, spec_profile
+
+INSTS = 1500
+
+
+def small_configs():
+    configs = fig5_configs()
+    return {label: configs[label] for label in ("baseline", "NLQ")}
+
+
+@pytest.fixture(scope="module")
+def small_spec():
+    return matrix_spec("small", small_configs(), ["gcc", "bzip2"], INSTS)
+
+
+@pytest.fixture(scope="module")
+def serial_result(small_spec):
+    return run_experiment(small_spec, backend=SerialBackend())
+
+
+class TestSpec:
+    def test_builder_fluent(self):
+        spec = (
+            ExperimentBuilder("built")
+            .configs(small_configs())
+            .workloads(["gcc"])
+            .workload(spec_profile("bzip2"))
+            .insts(INSTS)
+            .warmup(100)
+            .validated()
+            .build()
+        )
+        assert spec.config_order == ["baseline", "NLQ"]
+        assert spec.benchmark_names == ["gcc", "bzip2"]
+        assert spec.effective_warmup == 100
+        assert spec.validate
+
+    def test_spec_is_hashable_and_comparable(self, small_spec):
+        twin = matrix_spec("small", small_configs(), ["gcc", "bzip2"], INSTS)
+        assert small_spec == twin
+        assert hash(small_spec) == hash(twin)
+        assert small_spec != matrix_spec("small", small_configs(), ["gcc"], INSTS)
+
+    def test_cells_cover_matrix_in_order(self, small_spec):
+        cells = small_spec.cells()
+        assert [(c.workload.name, c.config_label) for c in cells] == [
+            ("gcc", "baseline"),
+            ("gcc", "NLQ"),
+            ("bzip2", "baseline"),
+            ("bzip2", "NLQ"),
+        ]
+        assert all(c.warmup == INSTS // 4 for c in cells)
+
+    def test_default_warmup_is_quarter(self, small_spec):
+        assert small_spec.effective_warmup == INSTS // 4
+
+    def test_none_benchmarks_expand_to_suite(self):
+        spec = matrix_spec("full", small_configs(), None, INSTS)
+        assert spec.benchmark_names == SPEC_ORDER
+
+    def test_short_names_resolve(self):
+        spec = matrix_spec("short", small_configs(), ["perl.d"], INSTS)
+        assert spec.benchmark_names == ["perl.diffmail"]
+
+    def test_baseline_must_exist(self):
+        with pytest.raises(ValueError, match="baseline"):
+            matrix_spec("bad", small_configs(), ["gcc"], INSTS, baseline="nope")
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            ExperimentSpec(
+                name="dup",
+                configs=(("baseline", eight_wide()), ("baseline", eight_wide())),
+                workloads=(WorkloadSpec.from_name("gcc"),),
+            )
+
+    def test_workload_needs_profile_or_trace(self):
+        with pytest.raises(ValueError, match="profile or a trace"):
+            WorkloadSpec(name="empty")
+
+
+class TestFingerprints:
+    def test_identical_specs_share_cell_fingerprints(self, small_spec):
+        twin = matrix_spec("renamed", small_configs(), ["gcc", "bzip2"], INSTS)
+        ours = [c.fingerprint() for c in small_spec.cells()]
+        theirs = [c.fingerprint() for c in twin.cells()]
+        assert ours == theirs  # experiment name is display metadata
+
+    def test_budget_changes_fingerprint(self, small_spec):
+        other = dataclasses.replace(small_spec, n_insts=INSTS * 2)
+        assert small_spec.cells()[0].fingerprint() != other.cells()[0].fingerprint()
+
+    def test_config_name_is_not_identity(self):
+        a, b = eight_wide("one"), eight_wide("two")
+        assert a.fingerprint() == b.fingerprint()
+        assert a.fingerprint() != eight_wide("one", store_issue=1).fingerprint()
+
+    def test_trace_workloads_fingerprint_by_content(self):
+        trace = kernel_trace("spill_fill", n_frames=20)
+        a = WorkloadSpec.from_trace("k", trace)
+        b = WorkloadSpec.from_trace("k", kernel_trace("spill_fill", n_frames=20))
+        c = WorkloadSpec.from_trace("k", kernel_trace("spill_fill", n_frames=21))
+        assert a.fingerprint() == b.fingerprint()
+        assert a.fingerprint() != c.fingerprint()
+
+
+class TestBackendParity:
+    def test_process_pool_matches_serial_bitwise(self, small_spec, serial_result):
+        pooled = run_experiment(small_spec, backend=ProcessPoolBackend(jobs=2))
+        for benchmark in small_spec.benchmark_names:
+            for config in small_spec.config_order:
+                assert (
+                    pooled.stats[benchmark][config].to_dict()
+                    == serial_result.stats[benchmark][config].to_dict()
+                ), (benchmark, config)
+
+    def test_make_backend_dispatch(self):
+        assert isinstance(make_backend(None), SerialBackend)
+        assert isinstance(make_backend(1), SerialBackend)
+        backend = make_backend(3)
+        assert isinstance(backend, ProcessPoolBackend) and backend.jobs == 3
+
+    def test_run_matrix_shim_matches_new_api(self, serial_result):
+        shimmed = run_matrix("small", small_configs(), ["gcc", "bzip2"], INSTS)
+        assert shimmed.to_dict()["stats"] == serial_result.to_dict()["stats"]
+
+    def test_trace_workloads_run(self):
+        trace = kernel_trace("spill_fill", n_frames=50)
+        spec = (
+            ExperimentBuilder("kernel")
+            .configs(small_configs())
+            .trace("spill_fill", trace)
+            .insts(INSTS)
+            .warmup(0)  # count every committed instruction
+            .build()
+        )
+        result = run_experiment(spec)
+        assert result.stats["spill_fill"]["NLQ"].committed == len(trace)
+
+
+class TestResultStore:
+    def test_cold_store_misses_then_fills(self, small_spec, serial_result, tmp_path):
+        store = ResultStore(tmp_path)
+        result = run_experiment(small_spec, store=store)
+        assert store.misses == 4 and store.hits == 0
+        assert len(store) == 4
+        assert result.to_dict() == serial_result.to_dict()
+
+    def test_warm_store_runs_zero_simulations(
+        self, small_spec, serial_result, tmp_path, monkeypatch
+    ):
+        store = ResultStore(tmp_path)
+        run_experiment(small_spec, store=store)
+
+        def forbidden(self):
+            raise AssertionError("Processor.run called despite a warm store")
+
+        monkeypatch.setattr("repro.pipeline.processor.Processor.run", forbidden)
+        result = run_experiment(small_spec, store=store)
+        assert store.hits == 4
+        assert result.to_dict() == serial_result.to_dict()
+
+    def test_overlapping_sweep_shares_cells(self, small_spec, tmp_path):
+        store = ResultStore(tmp_path)
+        run_experiment(small_spec, store=store)
+        wider = matrix_spec("wider", small_configs(), ["gcc", "bzip2", "twolf"], INSTS)
+        run_experiment(wider, store=store)
+        assert store.hits == 4  # gcc/bzip2 cells reused across sweeps
+        assert len(store) == 6
+
+    def test_corrupt_entry_is_a_miss(self, small_spec, tmp_path):
+        store = ResultStore(tmp_path)
+        request = small_spec.cells()[0]
+        store.path_for(request).write_text("{not json")
+        assert store.load(request) is None
+        assert store.misses == 1
+
+    def test_budget_change_misses(self, small_spec, tmp_path):
+        store = ResultStore(tmp_path)
+        run_experiment(small_spec, store=store)
+        bigger = dataclasses.replace(small_spec, n_insts=INSTS * 2)
+        assert store.load(bigger.cells()[0]) is None
+
+
+class TestSerialization:
+    def test_sim_stats_round_trip(self, serial_result):
+        stats = serial_result.stats["gcc"]["NLQ"]
+        clone = SimStats.from_dict(stats.to_dict())
+        assert clone == stats
+        assert clone.dispatch_stalls is not stats.dispatch_stalls
+
+    def test_figure_result_round_trip_through_json(self, serial_result):
+        payload = json.loads(json.dumps(serial_result.to_dict()))
+        clone = FigureResult.from_dict(payload)
+        assert clone.to_dict() == serial_result.to_dict()
+        assert clone.avg_speedup_pct("NLQ") == serial_result.avg_speedup_pct("NLQ")
+
+    def test_machine_config_round_trip(self):
+        for config in fig5_configs().values():
+            assert type(config).from_dict(config.to_dict()) == config
+
+    def test_profile_round_trip(self):
+        profile = spec_profile("vortex")
+        assert type(profile).from_dict(profile.to_dict()) == profile
+
+
+class TestCLI:
+    def test_jobs_cache_and_json_flags(self, tmp_path, capsys):
+        from repro.harness.cli import main
+
+        json_path = tmp_path / "out.json"
+        argv = [
+            "fig5",
+            "--insts", "1500",
+            "--benchmarks", "gzip",
+            "--jobs", "2",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--json", str(json_path),
+            "--quiet",
+        ]
+        assert main(argv) == 0
+        payload = json.loads(json_path.read_text())
+        first = FigureResult.from_dict(payload["fig5"])
+        assert first.benchmarks == ["gzip"]
+
+        capsys.readouterr()
+        assert main(argv) == 0  # warm cache, identical output
+        second = FigureResult.from_dict(json.loads(json_path.read_text())["fig5"])
+        assert second.to_dict() == first.to_dict()

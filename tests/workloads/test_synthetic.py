@@ -85,6 +85,33 @@ class TestStructure:
         assert repeats > 100
 
 
+class TestAmbiguousStoreSignatures:
+    def test_ambiguous_stores_keep_signatures_one_to_one(self):
+        """Regression: two ambiguous stores sharing a base load but targeting
+        different regions used to collide in (base, offset) signature space,
+        making Trace.validate (and, through it, every property test that
+        generates ambiguity-heavy workloads) fail probabilistically."""
+        profile = dataclasses.replace(
+            WorkloadProfile(name="amb"),
+            ambiguous_store_frac=0.2,
+            collision_frac=0.0,
+            store_frac=0.18,
+            load_frac=0.3,
+            global_frac=0.35,
+            stack_frac=0.2,
+            stream_frac=0.0,
+            heap_bytes=1 << 10,
+            global_words=16,
+            seed=5,
+        )
+        trace = generate_trace(profile, 900)  # raised ValueError before the fix
+        signatures = {}
+        for inst in trace.insts:
+            if inst.is_mem and inst.base_seq >= 0:
+                addr = signatures.setdefault((inst.base_seq, inst.offset), inst.addr)
+                assert addr == inst.addr
+
+
 class TestProfiles:
     def test_all_sixteen_runs_present(self):
         assert len(SPEC2000_PROFILES) == 16
