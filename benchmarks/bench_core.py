@@ -1,0 +1,51 @@
+"""Core-simulator throughput benchmark (committed-instructions/sec).
+
+Unlike its ``bench_fig*`` siblings -- which regenerate the paper's figures
+-- this benchmark measures the *simulator itself*: committed instructions
+per second of ``Processor.run`` for one representative configuration per
+LSU kind across the default figure workloads, written to
+``BENCH_core.json`` so performance is tracked from commit to commit.
+
+Run standalone::
+
+    python benchmarks/bench_core.py                  # full run
+    python benchmarks/bench_core.py --quick          # CI smoke
+    python benchmarks/bench_core.py --compare old.json new.json
+
+or through the CLI (``svw-repro bench [--quick] [--out PATH]``), or as a
+pytest module (``pytest benchmarks/bench_core.py``), which runs the quick
+variant and sanity-checks the emitted schema.
+"""
+
+from repro.harness.bench import (
+    BENCH_SCHEMA_VERSION,
+    bench_configs,
+    compare_bench,
+    run_bench,
+)
+
+
+def test_bench_core_quick(tmp_path):
+    """Quick benchmark run: schema, coverage, and self-comparison."""
+    payload = run_bench(quick=True, repeats=1)
+    assert payload["schema_version"] == BENCH_SCHEMA_VERSION
+    kinds = {r["lsu"] for r in payload["results"]}
+    assert kinds == set(bench_configs())
+    for r in payload["results"]:
+        assert r["committed"] > 0
+        assert r["wall_seconds"] > 0
+        assert r["insts_per_sec"] > 0
+        assert len(r["stats_fingerprint"]) == 64
+    assert payload["aggregate"]["all"]["insts_per_sec"] > 0
+    # A payload compared against itself is bit-identical at speedup 1.0.
+    report = compare_bench(payload, payload)
+    assert "bit-identical" in report
+    assert "WARNING" not in report
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    from repro.harness.bench import main
+
+    sys.exit(main())

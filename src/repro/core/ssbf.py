@@ -36,6 +36,8 @@ import abc
 class SSBFBase(abc.ABC):
     """Interface shared by all SSBF organizations."""
 
+    __slots__ = ()
+
     @abc.abstractmethod
     def update(self, addr: int, size: int, ssn: int) -> None:
         """Record that a store with ``ssn`` wrote ``size`` bytes at ``addr``."""
@@ -62,6 +64,8 @@ class SSBFBase(abc.ABC):
 class SimpleSSBF(SSBFBase):
     """Single tagless direct-indexed table."""
 
+    __slots__ = ("entries", "granularity", "_shift", "_mask", "_table")
+
     def __init__(self, entries: int = 512, granularity: int = 8) -> None:
         if entries & (entries - 1) or entries <= 0:
             raise ValueError("entries must be a power of two")
@@ -82,14 +86,25 @@ class SimpleSSBF(SSBFBase):
         return (first,)
 
     def update(self, addr: int, size: int, ssn: int) -> None:
+        # Flat single-entry fast path: this runs once per retired store.
         table = self._table
-        for i in self._indices(addr, size):
-            if ssn > table[i]:
-                table[i] = ssn
+        first = (addr >> self._shift) & self._mask
+        if ssn > table[first]:
+            table[first] = ssn
+        if size > self.granularity:
+            second = ((addr + 4) >> self._shift) & self._mask
+            if second != first and ssn > table[second]:
+                table[second] = ssn
 
     def lookup(self, addr: int, size: int) -> int:
+        # Flat single-entry fast path: this runs once per filter test.
         table = self._table
-        return max(table[i] for i in self._indices(addr, size))
+        value = table[(addr >> self._shift) & self._mask]
+        if size > self.granularity:
+            second = table[((addr + 4) >> self._shift) & self._mask]
+            if second > value:
+                return second
+        return value
 
     def flash_clear(self) -> None:
         self._table = [0] * self.entries
@@ -102,6 +117,8 @@ class DualBloomSSBF(SSBFBase):
     taking the minimum of the two entries tightens the upper bound while
     remaining conservative (each entry individually is an upper bound).
     """
+
+    __slots__ = ("entries", "granularity", "_shift", "_bits", "_mask", "_low", "_high")
 
     def __init__(self, entries: int = 512, granularity: int = 8) -> None:
         if entries & (entries - 1) or entries <= 0:
@@ -145,6 +162,8 @@ class DualBloomSSBF(SSBFBase):
 class InfiniteSSBF(SSBFBase):
     """Alias-free reference organization (exact 4-byte granularity)."""
 
+    __slots__ = ("_table",)
+
     def __init__(self) -> None:
         self._table: dict[int, int] = {}
 
@@ -173,6 +192,17 @@ class BankedSSBF(SSBFBase):
     coherence invalidations write the indexed entry of every bank, which
     covers the whole line in one access (section 3.2).
     """
+
+    __slots__ = (
+        "granularity",
+        "line_bytes",
+        "banks",
+        "entries",
+        "_per_bank_mask",
+        "_word_shift",
+        "_line_shift",
+        "_banks",
+    )
 
     def __init__(self, entries: int = 512, line_bytes: int = 64, granularity: int = 8) -> None:
         self.granularity = granularity

@@ -31,6 +31,8 @@ class SSNState:
         bits: SSN width in bits, or ``None`` for infinite (never drains).
     """
 
+    __slots__ = ("bits", "wrap_limit", "retire", "rename", "drains", "total_stores")
+
     def __init__(self, bits: int | None = 16) -> None:
         if bits is not None and bits < 4:
             raise ValueError("SSN width below 4 bits would drain constantly")

@@ -88,6 +88,8 @@ class SVWConfig:
 class SVWEngine:
     """Run-time SVW state: SSN counters, the SSBF, and the filter test."""
 
+    __slots__ = ("config", "ssn", "ssbf", "on_drain", "filter_tests", "filter_hits", "invalidations")
+
     def __init__(self, config: SVWConfig | None = None) -> None:
         self.config = config or SVWConfig()
         self.ssn = SSNState(self.config.ssn_bits)

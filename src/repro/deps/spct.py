@@ -17,6 +17,8 @@ _NO_PC = -1
 class SPCT:
     """Tagless address-indexed table of last-retired-store PCs."""
 
+    __slots__ = ("_table", "_mask", "_shift")
+
     def __init__(self, entries: int = 512, granularity: int = 8) -> None:
         if entries & (entries - 1):
             raise ValueError("entries must be a power of two")

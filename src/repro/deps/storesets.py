@@ -26,6 +26,18 @@ _INVALID = -1
 class StoreSets:
     """Store-sets predictor with cyclic clearing."""
 
+    __slots__ = (
+        "_ssit",
+        "_ssit_mask",
+        "_lfst",
+        "_lfst_entries",
+        "_next_ssid",
+        "_clear_interval",
+        "_accesses_since_clear",
+        "trainings",
+        "load_waits",
+    )
+
     def __init__(self, ssit_entries: int = 16384, lfst_entries: int = 1024,
                  clear_interval: int = 400_000) -> None:
         if ssit_entries & (ssit_entries - 1):

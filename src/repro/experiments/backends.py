@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import concurrent.futures
 import os
-from typing import Callable, Iterable, Protocol, Sequence
+from typing import Callable, Protocol, Sequence
 
 from repro.experiments.spec import RunRequest
 from repro.isa.inst import Trace

@@ -14,6 +14,8 @@ class BTB:
     """Tagged set-associative target buffer; stores only tags (targets are
     trace-known), so a hit means "target would have been available"."""
 
+    __slots__ = ("_sets", "_assoc", "_table", "lookups", "misses")
+
     def __init__(self, entries: int = 2048, assoc: int = 2) -> None:
         if entries % assoc:
             raise ValueError("entries must divide evenly into ways")

@@ -20,6 +20,8 @@ def _saturate_down(counter: int) -> int:
 class Bimodal:
     """PC-indexed table of 2-bit saturating counters."""
 
+    __slots__ = ("_mask", "_table")
+
     def __init__(self, entries: int = 8192) -> None:
         if entries & (entries - 1):
             raise ValueError("entries must be a power of two")
@@ -40,6 +42,8 @@ class Bimodal:
 
 class Gshare:
     """Global-history-xor-PC indexed table of 2-bit counters."""
+
+    __slots__ = ("_mask", "_table", "_history", "_history_mask")
 
     def __init__(self, entries: int = 8192, history_bits: int = 12) -> None:
         if entries & (entries - 1):
@@ -69,6 +73,8 @@ class HybridPredictor:
     components and moves the chooser toward whichever component was right.
     """
 
+    __slots__ = ("bimodal", "gshare", "_chooser", "_mask", "lookups", "mispredictions")
+
     def __init__(self, entries: int = 8192, history_bits: int = 12) -> None:
         self.bimodal = Bimodal(entries)
         self.gshare = Gshare(entries, history_bits)
@@ -85,21 +91,35 @@ class HybridPredictor:
     def predict_and_update(self, pc: int, taken: bool) -> bool:
         """Predict ``pc``, then train with the actual outcome.
 
-        Returns True when the prediction was *correct*.
+        Returns True when the prediction was *correct*.  The component
+        predict/update steps are inlined over the component tables (this
+        runs once per dynamic branch).
         """
         self.lookups += 1
-        bimodal_pred = self.bimodal.predict(pc)
-        gshare_pred = self.gshare.predict(pc)
-        i = (pc >> 2) & self._mask
-        use_gshare = self._chooser[i] >= 2
-        prediction = gshare_pred if use_gshare else bimodal_pred
+        bimodal = self.bimodal
+        gshare = self.gshare
+        pc_index = pc >> 2
+        bi_i = pc_index & bimodal._mask
+        bimodal_counter = bimodal._table[bi_i]
+        bimodal_pred = bimodal_counter >= 2
+        gs_i = (pc_index ^ gshare._history) & gshare._mask
+        gshare_counter = gshare._table[gs_i]
+        gshare_pred = gshare_counter >= 2
+        i = pc_index & self._mask
+        prediction = gshare_pred if self._chooser[i] >= 2 else bimodal_pred
         if bimodal_pred != gshare_pred:
             if gshare_pred == taken:
                 self._chooser[i] = _saturate_up(self._chooser[i])
             else:
                 self._chooser[i] = _saturate_down(self._chooser[i])
-        self.bimodal.update(pc, taken)
-        self.gshare.update(pc, taken)
+        if taken:
+            bimodal._table[bi_i] = _saturate_up(bimodal_counter)
+            gshare._table[gs_i] = _saturate_up(gshare_counter)
+            gshare._history = ((gshare._history << 1) | 1) & gshare._history_mask
+        else:
+            bimodal._table[bi_i] = _saturate_down(bimodal_counter)
+            gshare._table[gs_i] = _saturate_down(gshare_counter)
+            gshare._history = (gshare._history << 1) & gshare._history_mask
         correct = prediction == taken
         if not correct:
             self.mispredictions += 1

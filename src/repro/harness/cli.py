@@ -9,6 +9,8 @@ Examples::
     svw-repro fig5 --jobs 8                # fan cells out across processes
     svw-repro all --cache-dir ~/.cache/svw # reruns become cache reads
     svw-repro fig5 --json results.json     # machine-readable results
+    svw-repro bench                        # core-throughput benchmark
+    svw-repro bench --quick --out BENCH_core.json
 """
 
 from __future__ import annotations
@@ -23,7 +25,7 @@ from repro.experiments.backends import make_backend
 from repro.experiments.results import FigureResult
 from repro.experiments.spec import DEFAULT_INSTS
 from repro.experiments.store import ResultStore
-from repro.harness import figures
+from repro.harness import bench, figures
 from repro.harness.report import render_claims, render_figure
 
 _EXPERIMENTS: dict[str, Callable[..., FigureResult]] = {
@@ -76,8 +78,9 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(_EXPERIMENTS) + ["all"],
-        help="which table/figure to regenerate",
+        choices=sorted(_EXPERIMENTS) + ["all", "bench"],
+        help="which table/figure to regenerate ('bench' runs the "
+        "core-simulator throughput benchmark instead)",
     )
     parser.add_argument(
         "--insts",
@@ -113,9 +116,50 @@ def main(argv: list[str] | None = None) -> int:
         "and suppresses the rendered tables, keeping stdout machine-parseable)",
     )
     parser.add_argument("--quiet", action="store_true", help="suppress progress output")
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="bench only: reduced workload/instruction budget (CI smoke)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="bench only: timing repetitions per cell (best-of; default 3)",
+    )
+    parser.add_argument(
+        "--out",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="bench only: where to write the benchmark JSON "
+        "(default BENCH_core.json unless --json already directs it)",
+    )
     args = parser.parse_args(argv)
 
     benchmarks = args.benchmarks.split(",") if args.benchmarks else None
+    if args.experiment == "bench":
+        payload = bench.run_bench(
+            workloads=benchmarks,
+            n_insts=args.insts,
+            repeats=args.repeats,
+            quick=args.quick,
+            progress=None if args.quiet else _progress,
+        )
+        if args.json == "-":
+            print(json.dumps(payload, indent=1, sort_keys=True))
+        else:
+            print(bench.render_bench(payload))
+            if args.json is not None:
+                bench.write_bench(payload, args.json)
+        out = args.out
+        if out is None and args.json is None:
+            out = "BENCH_core.json"
+        if out is not None:
+            bench.write_bench(payload, out)
+            if not args.quiet:
+                print(f"wrote {out}", file=sys.stderr)
+        return 0
     names = sorted(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     backend = make_backend(args.jobs)
     store = ResultStore(args.cache_dir) if args.cache_dir else None

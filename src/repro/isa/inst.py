@@ -18,11 +18,18 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterator, Sequence
 
-from repro.isa.ops import OpClass
+from repro.isa.ops import ISSUE_CLASS_BY_OP, LATENCY_BY_OP, OpClass
 
 #: Sentinel producer index meaning "value ready at fetch" (architectural
 #: state older than the trace window).
 NO_PRODUCER = -1
+
+#: Instruction-kind codes used by :class:`TraceMeta` (cheaper than enum
+#: identity tests in the simulator's per-cycle loops).
+KIND_OTHER = 0
+KIND_LOAD = 1
+KIND_STORE = 2
+KIND_BRANCH = 3
 
 
 @dataclass(frozen=True, slots=True)
@@ -87,6 +94,65 @@ class DynInst:
         return (self.addr, self.addr + 4)
 
 
+#: A memory op's register-integration signature: (base producer, offset,
+#: size).  ``None`` when the base register predates the trace window.
+Signature = tuple[int, int, int]
+
+
+def memory_signature(inst: DynInst) -> Signature | None:
+    """Operation signature of a memory instruction, or None if untrackable.
+
+    The producer seq of the base register plays the role of the physical
+    register name, exactly the information renaming exposes (this is what
+    :mod:`repro.rle.integration` keys its table on).
+    """
+    if inst.base_seq == NO_PRODUCER:
+        return None
+    return (inst.base_seq, inst.offset, inst.size)
+
+
+class TraceMeta:
+    """Flat per-instruction metadata precomputed once per trace.
+
+    The simulator's inner loops index these lists by dynamic seq instead
+    of calling :meth:`DynInst.words`, :func:`~repro.isa.ops.latency_of`,
+    :func:`~repro.isa.ops.issue_class_of`, or the ``is_load``/``is_store``
+    properties once per instruction per cycle.  Everything here is derived
+    from the immutable trace, so one build is shared by every machine
+    configuration that replays it (see :meth:`Trace.meta`).
+    """
+
+    __slots__ = ("kind", "latency", "issue_class", "words", "signature")
+
+    def __init__(self, insts: Sequence[DynInst]) -> None:
+        load, store, branch = OpClass.LOAD, OpClass.STORE, OpClass.BRANCH
+        #: KIND_* code per seq.
+        self.kind: list[int] = [
+            KIND_LOAD
+            if inst.op is load
+            else KIND_STORE
+            if inst.op is store
+            else KIND_BRANCH
+            if inst.op is branch
+            else KIND_OTHER
+            for inst in insts
+        ]
+        #: Execution latency per seq (address generation for memory ops).
+        self.latency: list[int] = [LATENCY_BY_OP[inst.op] for inst in insts]
+        #: Issue-bandwidth class (``int(OpClass)``) per seq.
+        self.issue_class: list[int] = [ISSUE_CLASS_BY_OP[inst.op] for inst in insts]
+        #: Touched 4-byte-aligned words per seq (empty for non-memory ops).
+        self.words: list[tuple[int, ...]] = [
+            inst.words() if inst.op is load or inst.op is store else ()
+            for inst in insts
+        ]
+        #: Register-integration signature per seq (None if untrackable).
+        self.signature: list[Signature | None] = [
+            memory_signature(inst) if inst.op is load or inst.op is store else None
+            for inst in insts
+        ]
+
+
 @dataclass(slots=True)
 class Trace:
     """A program-ordered dynamic instruction stream plus provenance.
@@ -106,9 +172,18 @@ class Trace:
     insts: list[DynInst]
     initial_memory: dict[int, int] = field(default_factory=dict)
     wrong_path_addrs: dict[int, tuple[int, ...]] = field(default_factory=dict)
+    #: Lazily-built :class:`TraceMeta` cache; identity metadata only, so it
+    #: participates in neither equality nor construction by callers.
+    _meta: TraceMeta | None = field(default=None, repr=False, compare=False)
 
     def __len__(self) -> int:
         return len(self.insts)
+
+    def meta(self) -> TraceMeta:
+        """Per-instruction metadata, built once and shared across runs."""
+        if self._meta is None:
+            self._meta = TraceMeta(self.insts)
+        return self._meta
 
     def __iter__(self) -> Iterator[DynInst]:
         return iter(self.insts)

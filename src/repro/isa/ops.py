@@ -53,6 +53,13 @@ _ISSUE_CLASS = {
     OpClass.NOP: OpClass.IALU,
 }
 
+#: Flat lookup tables indexed by ``int(op)``.  The simulator's per-cycle
+#: loops read these (via precomputed per-instruction metadata, see
+#: :class:`repro.isa.inst.TraceMeta`) instead of paying a dict lookup and
+#: enum hash per dynamic instruction per cycle.
+LATENCY_BY_OP: tuple[int, ...] = tuple(_LATENCY[op] for op in OpClass)
+ISSUE_CLASS_BY_OP: tuple[int, ...] = tuple(int(_ISSUE_CLASS[op]) for op in OpClass)
+
 
 def latency_of(op: OpClass) -> int:
     """Execution latency of ``op`` in cycles."""

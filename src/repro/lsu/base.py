@@ -32,6 +32,8 @@ def store_word_value(store: InFlight, word: int) -> int:
 class LoadStoreUnit(abc.ABC):
     """One load-store unit organization."""
 
+    __slots__ = ("proc",)
+
     def __init__(self, proc: "Processor") -> None:
         self.proc = proc
 
@@ -48,10 +50,10 @@ class LoadStoreUnit(abc.ABC):
         """Allocate variant-specific load state."""
 
     # -- execution hooks -----------------------------------------------------------
-
-    def load_uses_fsq(self, load: InFlight) -> bool:
-        """Does this load need an FSQ port to issue?"""
-        return False
+    #
+    # FSQ port contract: the scheduler charges a load against the FSQ
+    # issue port iff ``load.fsq`` is set.  Variants that steer loads at
+    # the FSQ (the SSQ) must set the flag at dispatch.
 
     @abc.abstractmethod
     def execute_load(self, load: InFlight) -> None:
@@ -84,8 +86,10 @@ class LoadStoreUnit(abc.ABC):
 
     def _sq_data_blocker(self, load: InFlight) -> InFlight | None:
         """Shared implementation of :meth:`load_must_wait` for CAM-SQ LSUs."""
-        for word in load.inst.words():
-            stores = self.proc.store_words.get(word)
+        proc = self.proc
+        load_seq = load.seq
+        for word in proc.meta.words[load_seq]:
+            stores = proc.store_words.get(word)
             if not stores:
                 continue
             for store in reversed(stores):
@@ -112,44 +116,67 @@ class LoadStoreUnit(abc.ABC):
 
     # -- shared helpers ----------------------------------------------------------------------
 
-    def _word_from_stores(
-        self,
-        word: int,
-        before_seq: int,
-        visible: Callable[[InFlight], bool],
-    ) -> tuple[int, InFlight | None]:
-        """Value of ``word`` seen by a load at ``before_seq``.
-
-        Searches in-flight stores older than ``before_seq`` satisfying
-        ``visible`` (youngest first); falls back to committed memory.
-        Returns ``(value, supplying_store_or_None)``.
-        """
-        stores = self.proc.store_words.get(word)
-        if stores:
-            for store in reversed(stores):
-                if store.seq < before_seq and not store.squashed and visible(store):
-                    return store_word_value(store, word), store
-        return self.proc.committed_memory.read(word, 4), None
-
     def _assemble(
         self,
         load: InFlight,
-        visible: Callable[[InFlight], bool],
+        visible: Callable[[InFlight], bool] | None = None,
     ) -> None:
-        """Per-word value assembly with the given store-visibility rule."""
+        """Per-word value assembly with the given store-visibility rule.
+
+        ``visible=None`` is the common "address resolved and data present"
+        rule (``store.done``), inlined without a predicate call per store
+        because this runs once per issued load.
+        """
+        proc = self.proc
         inst = load.inst
+        load_seq = load.seq
+        store_words = proc.store_words
+        committed_read = proc.committed_memory.read
+        words = proc.meta.words[load_seq]
+        if len(words) == 1 and visible is None:
+            # Single-word fast path (the overwhelmingly common shape).
+            word = words[0]
+            supplier = None
+            stores = store_words.get(word)
+            if stores:
+                for store in reversed(stores):
+                    if store.seq < load_seq and not store.squashed and store.done:
+                        supplier = store
+                        break
+            if supplier is None:
+                load.exec_value = committed_read(word, 4)
+                load.word_sources = (FROM_MEMORY,)
+                load.forwarded_ssn = 0
+            else:
+                load.exec_value = store_word_value(supplier, word)
+                load.word_sources = (supplier.seq,)
+                load.forwarded_ssn = supplier.ssn
+                if supplier.ssn > 0:
+                    proc.stats.forwarded_loads += 1
+            return
         sources = []
         forwarded_ssns = []
         value = 0
-        for shift, word in enumerate(inst.words()):
-            word_value, store = self._word_from_stores(word, load.seq, visible)
-            value |= word_value << (32 * shift)
-            if store is None:
+        for shift, word in enumerate(words):
+            supplier = None
+            stores = store_words.get(word)
+            if stores:
+                for store in reversed(stores):
+                    if (
+                        store.seq < load_seq
+                        and not store.squashed
+                        and (store.done if visible is None else visible(store))
+                    ):
+                        supplier = store
+                        break
+            if supplier is None:
+                value |= committed_read(word, 4) << (32 * shift)
                 sources.append(FROM_MEMORY)
                 forwarded_ssns.append(0)
             else:
-                sources.append(store.seq)
-                forwarded_ssns.append(store.ssn)
+                value |= store_word_value(supplier, word) << (32 * shift)
+                sources.append(supplier.seq)
+                forwarded_ssns.append(supplier.ssn)
         if inst.size == 4:
             value &= 0xFFFF_FFFF
         load.exec_value = value
@@ -159,4 +186,4 @@ class LoadStoreUnit(abc.ABC):
         # means no shrink at all (ssn 0).
         load.forwarded_ssn = min(forwarded_ssns)
         if load.forwarded_ssn > 0:
-            self.proc.stats.forwarded_loads += 1
+            proc.stats.forwarded_loads += 1

@@ -14,12 +14,10 @@ from repro.lsu.base import LoadStoreUnit, store_word_value
 from repro.pipeline.inflight import InFlight
 
 
-def _store_visible(store: InFlight) -> bool:
-    return store.done  # address resolved and data present
-
-
 class ConventionalLSU(LoadStoreUnit):
     """Associative SQ + associative LQ."""
+
+    __slots__ = ("_loads_by_word",)
 
     def __init__(self, proc) -> None:
         super().__init__(proc)
@@ -30,9 +28,10 @@ class ConventionalLSU(LoadStoreUnit):
         return self._sq_data_blocker(load)
 
     def execute_load(self, load: InFlight) -> None:
-        self._assemble(load, _store_visible)
-        for word in load.inst.words():
-            self._loads_by_word.setdefault(word, []).append(load)
+        self._assemble(load)  # default visibility: store.done
+        loads_by_word = self._loads_by_word
+        for word in self.proc.meta.words[load.seq]:
+            loads_by_word.setdefault(word, []).append(load)
 
     def on_store_resolved(self, store: InFlight) -> InFlight | None:
         """LQ search: oldest younger load that issued with a stale source.
@@ -44,7 +43,7 @@ class ConventionalLSU(LoadStoreUnit):
         not flushed.
         """
         victim: InFlight | None = None
-        for word in store.inst.words():
+        for word in self.proc.meta.words[store.seq]:
             loads = self._loads_by_word.get(word)
             if not loads:
                 continue
@@ -68,7 +67,7 @@ class ConventionalLSU(LoadStoreUnit):
 
     def _drop(self, load: InFlight) -> None:
         if load.inst.is_load and load.word_sources is not None:
-            for word in load.inst.words():
+            for word in self.proc.meta.words[load.seq]:
                 loads = self._loads_by_word.get(word)
                 if loads is not None:
                     try:

@@ -18,18 +18,16 @@ from repro.lsu.base import LoadStoreUnit
 from repro.pipeline.inflight import InFlight
 
 
-def _store_visible(store: InFlight) -> bool:
-    return store.done  # address resolved and data present
-
-
 class NonAssociativeLQ(LoadStoreUnit):
     """Associative SQ for forwarding; re-execution for ordering."""
+
+    __slots__ = ()
 
     def load_must_wait(self, load: InFlight) -> InFlight | None:
         return self._sq_data_blocker(load)
 
     def execute_load(self, load: InFlight) -> None:
-        self._assemble(load, _store_visible)
+        self._assemble(load)  # default visibility: store.done
         # Natural filter: mark loads issuing past unresolved older stores.
         if self.proc.older_unresolved_store_exists(load.seq):
             load.marked = True

@@ -25,12 +25,14 @@ from __future__ import annotations
 
 from collections import deque
 
-from repro.lsu.base import FROM_MEMORY, LoadStoreUnit, store_word_value
+from repro.lsu.base import FROM_MEMORY, LoadStoreUnit
 from repro.pipeline.inflight import InFlight
 
 
 class SpeculativeSQ(LoadStoreUnit):
     """RSQ + FSQ + per-bank best-effort forwarding buffers."""
+
+    __slots__ = ("fsq_size", "fsq_occupancy", "load_bits", "store_bits", "_buffers")
 
     def __init__(self, proc) -> None:
         super().__init__(proc)
@@ -64,17 +66,16 @@ class SpeculativeSQ(LoadStoreUnit):
 
     # -- execution -------------------------------------------------------------------
 
-    def load_uses_fsq(self, load: InFlight) -> bool:
-        return load.fsq
-
     def execute_load(self, load: InFlight) -> None:
         if load.fsq:
             # FSQ search: only FSQ-resident complete stores are visible.
             self._assemble(load, lambda st: st.fsq and st.done)
             return
         # Best-effort path: the bank's forwarding buffer, else the cache.
+        proc = self.proc
         inst = load.inst
-        bank = self.proc.hierarchy.load_bank(inst.addr)
+        words = proc.meta.words[load.seq]
+        bank = proc.hierarchy.load_bank(inst.addr)
         match: InFlight | None = None
         for store in reversed(self._buffers[bank]):
             if (
@@ -87,21 +88,21 @@ class SpeculativeSQ(LoadStoreUnit):
                 break
         if match is not None:
             load.exec_value = match.inst.store_value
-            load.word_sources = tuple(match.seq for _ in inst.words())
+            load.word_sources = tuple(match.seq for _ in words)
             # Best-effort forwarding "does not maintain the invariants
             # required" for the SVW forward update (section 4.2).
             load.forwarded_ssn = 0
-            self.proc.stats.forwarded_loads += 1
+            proc.stats.forwarded_loads += 1
             return
         # In-flight stores are invisible outside the FSQ/buffer: read the
         # committed image (the cache).  Stale values are caught by rex.
         value = 0
-        for shift, word in enumerate(inst.words()):
-            value |= self.proc.committed_memory.read(word, 4) << (32 * shift)
+        for shift, word in enumerate(words):
+            value |= proc.committed_memory.read(word, 4) << (32 * shift)
         if inst.size == 4:
             value &= 0xFFFF_FFFF
         load.exec_value = value
-        load.word_sources = tuple(FROM_MEMORY for _ in inst.words())
+        load.word_sources = tuple(FROM_MEMORY for _ in words)
         load.forwarded_ssn = 0
 
     def on_store_forwardable(self, store: InFlight) -> None:

@@ -54,16 +54,32 @@ class CacheConfig:
 class Cache:
     """One level of set-associative cache with LRU replacement."""
 
+    __slots__ = (
+        "config",
+        "_sets",
+        "_stamp",
+        "_line_bytes",
+        "_set_mask",
+        "_assoc",
+        "hits",
+        "misses",
+    )
+
     def __init__(self, config: CacheConfig) -> None:
         self.config = config
         self._sets: list[dict[int, int]] = [dict() for _ in range(config.sets)]
         self._stamp = 0
+        # Geometry cached flat: the access path runs once per simulated
+        # memory operation and must not chase config attributes.
+        self._line_bytes = config.line_bytes
+        self._set_mask = config.sets - 1
+        self._assoc = config.assoc
         self.hits = 0
         self.misses = 0
 
     def _locate(self, addr: int) -> tuple[dict[int, int], int]:
-        line = self.config.line_of(addr)
-        return self._sets[line & (self.config.sets - 1)], line
+        line = addr // self._line_bytes
+        return self._sets[line & self._set_mask], line
 
     def probe(self, addr: int) -> bool:
         """Check residency without changing replacement state."""
@@ -72,14 +88,15 @@ class Cache:
 
     def access(self, addr: int) -> bool:
         """Access ``addr``: update LRU, fill on miss.  Returns hit."""
-        ways, line = self._locate(addr)
+        line = addr // self._line_bytes
+        ways = self._sets[line & self._set_mask]
         self._stamp += 1
         if line in ways:
             ways[line] = self._stamp
             self.hits += 1
             return True
         self.misses += 1
-        if len(ways) >= self.config.assoc:
+        if len(ways) >= self._assoc:
             victim = min(ways, key=ways.get)  # true LRU
             del ways[victim]
         ways[line] = self._stamp

@@ -49,25 +49,44 @@ class HierarchyConfig:
 class MemoryHierarchy:
     """Timing-only hierarchy: returns access latencies, tracks residency."""
 
+    __slots__ = (
+        "config",
+        "l1i",
+        "l1d",
+        "l2",
+        "_l1d_latency",
+        "_l2_latency",
+        "_memory_latency",
+        "_l1d_line_bytes",
+        "_l1d_bank_mask",
+    )
+
     def __init__(self, config: HierarchyConfig | None = None) -> None:
         self.config = config or HierarchyConfig()
         self.l1i = Cache(self.config.l1i)
         self.l1d = Cache(self.config.l1d)
         self.l2 = Cache(self.config.l2)
-
-    def _data_latency(self, addr: int) -> int:
-        """Latency of a data-side access starting at the L1D."""
-        latency = self.config.l1d.latency
-        if self.l1d.access(addr):
-            return latency
-        latency += self.config.l2.latency
-        if self.l2.access(addr):
-            return latency
-        return latency + self.config.memory_latency
+        # Latencies and bank geometry cached flat for the per-access path.
+        self._l1d_latency = self.config.l1d.latency
+        self._l2_latency = self.config.l2.latency
+        self._memory_latency = self.config.memory_latency
+        self._l1d_line_bytes = self.config.l1d.line_bytes
+        self._l1d_bank_mask = self.config.l1d.banks - 1
 
     def load_access(self, addr: int) -> int:
-        """Latency of an execution-time load."""
-        return self._data_latency(addr)
+        """Latency of a data-side access starting at the L1D.
+
+        This is the execution-time load path; it is also the body behind
+        :meth:`rex_access` and the residency update of :meth:`store_access`
+        (one call frame, since it runs once per simulated memory op).
+        """
+        latency = self._l1d_latency
+        if self.l1d.access(addr):
+            return latency
+        latency += self._l2_latency
+        if self.l2.access(addr):
+            return latency
+        return latency + self._memory_latency
 
     def rex_access(self, addr: int) -> int:
         """Latency of a re-execution data-cache read.
@@ -76,7 +95,7 @@ class MemoryHierarchy:
         or recently stored, so they overwhelmingly hit; misses behave like
         loads.
         """
-        return self._data_latency(addr)
+        return self.load_access(addr)
 
     def store_access(self, addr: int) -> int:
         """Port-occupancy latency of a store commit.
@@ -86,7 +105,7 @@ class MemoryHierarchy:
         occupied for a single cycle either way (the paper's single
         store-retirement port).
         """
-        self._data_latency(addr)  # keep residency/statistics honest
+        self.load_access(addr)  # keep residency/statistics honest
         return 1
 
     def fetch_access(self, pc: int) -> int:
@@ -94,10 +113,10 @@ class MemoryHierarchy:
         latency = self.config.l1i.latency
         if self.l1i.access(pc):
             return latency
-        latency += self.config.l2.latency
+        latency += self._l2_latency
         if self.l2.access(pc):
             return latency
-        return latency + self.config.memory_latency
+        return latency + self._memory_latency
 
     def invalidate(self, addr: int) -> None:
         """Coherence invalidation from another thread/agent."""
@@ -105,4 +124,4 @@ class MemoryHierarchy:
         self.l2.invalidate(addr)
 
     def load_bank(self, addr: int) -> int:
-        return self.config.l1d.bank_of(addr)
+        return (addr // self._l1d_line_bytes) & self._l1d_bank_mask

@@ -102,6 +102,14 @@ class MachineConfig:
     #: and write SSN_RENAME+1 into the SSBF banks for the line.
     invalidation_interval: int = 0
 
+    # -- simulation limits -----------------------------------------------------------
+    #: Abort the simulation if no instruction commits for this many cycles
+    #: (deadlock detector).  Long traces with very large miss penalties or
+    #: wide invalidation intervals may legitimately need a bigger window;
+    #: the skip-ahead scheduler honours this bound exactly, so raising it
+    #: never changes results short of an actual deadlock.
+    watchdog_cycles: int = 100_000
+
     # -- verification ---------------------------------------------------------------
     rex_mode: RexMode = RexMode.NONE
     #: Extra re-execution pipeline stages beyond the base commit stage

@@ -25,13 +25,30 @@ stale -- that is the point), re-execution recomputes the program-order
 value, and commit repairs any divergence by flushing.  A run can therefore
 be checked against the golden functional execution, and the test suite
 does so for every configuration.
+
+Performance notes.  This loop is the hot path of every experiment, so it
+is written for interpreter throughput while staying *bit-identical* to the
+straightforward formulation (``tests/pipeline/test_skip_ahead.py`` and the
+golden-equivalence suite enforce this):
+
+- per-instruction facts (kind, latency, issue class, touched words,
+  integration signature) come from :class:`~repro.isa.inst.TraceMeta`,
+  precomputed once per trace instead of per cycle;
+- the stage methods pull shared state into locals and avoid rebuilding
+  per-cycle containers (issue slots are a flat list copy, bank arbitration
+  is a bitmask);
+- an idle-cycle *skip-ahead* scheduler detects cycles in which no
+  architectural state changed and jumps the clock to the next cycle at
+  which anything can happen (a scheduled completion, the commit-depth
+  horizon of the ROB head, a re-execution port release, a front-end
+  redirect, an invalidation tick, or the watchdog), replicating the
+  stall-counter increments the skipped cycles would have made.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
 from collections import deque
+from heapq import heappop, heappush
 
 from repro.core.ssn import SSNState
 from repro.core.svw import SVWEngine
@@ -40,9 +57,9 @@ from repro.deps.storesets import StoreSets
 from repro.frontend.btb import BTB
 from repro.frontend.direction import HybridPredictor
 from repro.isa.golden import golden_execute
-from repro.isa.inst import Trace
-from repro.isa.ops import OpClass, issue_class_of, latency_of
-from repro.lsu.base import FROM_MEMORY, LoadStoreUnit, store_word_value
+from repro.isa.inst import KIND_BRANCH, KIND_LOAD, KIND_STORE, Trace
+from repro.isa.ops import LATENCY_BY_OP, OpClass
+from repro.lsu.base import LoadStoreUnit, store_word_value
 from repro.lsu.conventional import ConventionalLSU
 from repro.lsu.nlq import NonAssociativeLQ
 from repro.lsu.ssq import SpeculativeSQ
@@ -51,9 +68,20 @@ from repro.memsys.memimg import MemoryImage
 from repro.pipeline.config import LSUKind, MachineConfig, RexMode
 from repro.pipeline.inflight import InFlight, RexState
 from repro.pipeline.stats import SimStats
-from repro.rle.integration import IntegrationTable, signature_of
+from repro.rle.integration import IntegrationTable
 
-_WATCHDOG_CYCLES = 100_000
+# RexState members hoisted to module level: the re-execution pipe tests
+# these identities once per queue entry per cycle.
+_NOT_NEEDED = RexState.NOT_NEEDED
+_PENDING = RexState.PENDING
+_IN_FLIGHT = RexState.IN_FLIGHT
+_DONE_OK = RexState.DONE_OK
+_FILTERED = RexState.FILTERED
+_FAILED = RexState.FAILED
+_SVW_FLUSH = RexState.SVW_FLUSH
+
+#: Terminal states that let an entry retire from the re-execution queue.
+_REX_RETIRED = (_DONE_OK, _FILTERED, _FAILED, _SVW_FLUSH)
 
 
 class SimulationError(RuntimeError):
@@ -63,12 +91,99 @@ class SimulationError(RuntimeError):
 class Processor:
     """One machine configuration executing one trace."""
 
+    __slots__ = (
+        # configuration / trace
+        "config",
+        "trace",
+        "meta",
+        "warmup",
+        "stats",
+        # functional state
+        "committed_memory",
+        "_golden",
+        # substrates
+        "hierarchy",
+        "predictor",
+        "btb",
+        "store_sets",
+        "spct",
+        "svw",
+        "ssn",
+        "it",
+        "lsu",
+        # dynamic state
+        "cycle",
+        "fetch_seq",
+        "fetch_resume",
+        "fetch_blocker",
+        "drain_wait",
+        "rob",
+        "inflight_by_seq",
+        "iq_occ",
+        "lq_occ",
+        "sq_occ",
+        "reg_occ",
+        "rex_queue",
+        "store_words",
+        "_warmup_cycle",
+        "_ready",
+        "_tiebreak",
+        "_completes",
+        "_rex_port_busy_until",
+        "_unresolved",
+        "_uncommitted_loads",
+        "_last_commit_cycle",
+        "_committed_total",
+        # skip-ahead scheduler
+        "_skip_ahead",
+        "_worked",
+        "_stall_note",
+        "_event_heap",
+        # cached configuration scalars (hot-loop flattening)
+        "_insts",
+        "_trace_len",
+        "_width",
+        "_rob_size",
+        "_iq_size",
+        "_lq_size",
+        "_sq_size",
+        "_num_regs",
+        "_commit_depth",
+        "_store_retire_ports",
+        "_uses_rex",
+        "_load_latency",
+        "_store_latency",
+        "_l1d_latency",
+        "_l1d_line_bytes",
+        "_l1d_bank_mask",
+        "_fsq_ports",
+        "_max_pops",
+        "_slot_template",
+        "_total_issue",
+        "_ready_stale",
+        "_svw_upd",
+        # devirtualized hooks (bound methods, or None when the LSU variant
+        # inherits the no-op default)
+        "_on_load_dispatch",
+        "_on_store_dispatch",
+        "_on_load_commit",
+        "_on_store_commit",
+        "_on_squash",
+        "_on_store_resolved",
+        "_on_store_forwardable",
+        "_store_dispatch_ready",
+        "_load_must_wait",
+        "_execute_load",
+        "_load_access",
+    )
+
     def __init__(
         self,
         config: MachineConfig,
         trace: Trace,
         validate: bool = False,
         warmup: int = 0,
+        skip_ahead: bool = True,
     ) -> None:
         """Args:
         config: The machine to model.
@@ -78,9 +193,14 @@ class Processor:
         warmup: Number of committed instructions to exclude from the
             statistics (predictor/cache warm-up, as in the paper's
             sampling methodology).
+        skip_ahead: Jump the clock over provably idle cycles.  Results
+            are bit-identical either way (the golden-equivalence tests
+            assert this); disabling it exists for those tests and for
+            debugging cycle-by-cycle traces.
         """
         self.config = config
         self.trace = trace
+        self.meta = trace.meta()
         self.warmup = min(warmup, max(0, len(trace) - 1))
         self._warmup_cycle = 0
         self.stats = SimStats(config_name=config.name, workload=trace.name)
@@ -121,7 +241,7 @@ class Processor:
         self.sq_occ = 0
         self.reg_occ = 0
         self._ready: list[tuple[int, int, InFlight]] = []
-        self._tiebreak = itertools.count()
+        self._tiebreak = 0
         self._completes: dict[int, list[InFlight]] = {}
         self.rex_queue: deque[InFlight] = deque()
         #: The shared D$ read/write port is occupied for the full duration
@@ -136,6 +256,77 @@ class Processor:
         self._last_commit_cycle = 0
         self._committed_total = 0
 
+        # Skip-ahead scheduler state.
+        self._skip_ahead = skip_ahead
+        self._worked = False
+        self._stall_note: str | None = None
+        #: Min-heap of cycles with scheduled completion events (one entry
+        #: per distinct cycle), consumed lazily by the skip-ahead scan.
+        self._event_heap: list[int] = []
+
+        # Flattened configuration scalars for the per-cycle loops.
+        self._insts = trace.insts
+        self._trace_len = len(trace)
+        self._width = config.width
+        self._rob_size = config.rob_size
+        self._iq_size = config.iq_size
+        self._lq_size = config.lq_size
+        self._sq_size = config.sq_size
+        self._num_regs = config.num_regs
+        self._commit_depth = config.commit_depth
+        self._store_retire_ports = config.store_retire_ports
+        self._uses_rex = config.uses_rex
+        self._load_latency = config.load_latency
+        self._store_latency = LATENCY_BY_OP[OpClass.STORE]
+        self._l1d_latency = config.hierarchy.l1d.latency
+        self._l1d_line_bytes = config.hierarchy.l1d.line_bytes
+        self._l1d_bank_mask = config.hierarchy.l1d.banks - 1
+        self._fsq_ports = config.fsq_ports
+        self._max_pops = 3 * config.width + 8
+        self._svw_upd = (
+            self.svw is not None and self.svw.config.update_on_forward
+        )
+        # Devirtualize the per-instruction LSU hooks: variants that keep
+        # the base no-op pay nothing per event, overriding variants get a
+        # pre-bound method (no attribute chase in the loops).
+        lsu = self.lsu
+        lsu_cls = type(lsu)
+
+        def _hook(name: str):
+            return None if getattr(lsu_cls, name) is getattr(LoadStoreUnit, name) else getattr(lsu, name)
+
+        self._on_load_dispatch = _hook("on_load_dispatch")
+        self._on_store_dispatch = _hook("on_store_dispatch")
+        self._on_load_commit = _hook("on_load_commit")
+        self._on_store_commit = _hook("on_store_commit")
+        self._on_squash = _hook("on_squash")
+        self._on_store_resolved = _hook("on_store_resolved")
+        self._on_store_forwardable = _hook("on_store_forwardable")
+        self._store_dispatch_ready = _hook("store_dispatch_ready")
+        self._load_must_wait = _hook("load_must_wait")
+        self._execute_load = lsu.execute_load
+        self._load_access = self.hierarchy.load_access
+        #: Per-cycle issue-bandwidth budgets indexed by ``int(OpClass)``
+        #: (IMUL and NOP draw from the IALU budget via
+        #: :data:`~repro.isa.ops.ISSUE_CLASS_BY_OP`, so their own indices
+        #: stay zero).
+        self._slot_template = [
+            config.int_issue,
+            0,
+            config.fp_issue,
+            config.load_issue,
+            config.store_issue,
+            config.branch_issue,
+            0,
+        ]
+        self._total_issue = sum(self._slot_template)
+        #: Exact count of squashed-but-still-heaped ready entries.  While
+        #: it is zero and the cycle's issue bandwidth is spent, the select
+        #: loop can stop popping: every further pop in the naive loop
+        #: either drops a stale entry (none exist) or defers a live one
+        #: back unchanged, so stopping early is observationally identical.
+        self._ready_stale = 0
+
     # ------------------------------------------------------------------ helpers
 
     def older_unresolved_store_exists(self, seq: int) -> bool:
@@ -149,17 +340,23 @@ class Processor:
         while heap:
             _, store = heap[0]
             if store.squashed or store.issued:
-                heapq.heappop(heap)
+                heappop(heap)
                 continue
             return heap[0][0] < seq
         return False
 
     def _push_ready(self, entry: InFlight) -> None:
-        heapq.heappush(self._ready, (entry.seq, next(self._tiebreak), entry))
+        self._tiebreak += 1
+        heappush(self._ready, (entry.seq, self._tiebreak, entry))
 
     def _schedule_completion(self, entry: InFlight, when: int) -> None:
         entry.complete_cycle = when
-        self._completes.setdefault(when, []).append(entry)
+        bucket = self._completes.get(when)
+        if bucket is None:
+            self._completes[when] = [entry]
+            heappush(self._event_heap, when)
+        else:
+            bucket.append(entry)
 
     def _wake(self, producer: InFlight) -> None:
         waiters = producer.waiters
@@ -169,7 +366,7 @@ class Processor:
         for role, waiter in waiters:
             if waiter.squashed:
                 continue
-            if role == 1:
+            if role:
                 waiter.data_pending = 0
                 self._store_maybe_done(waiter)
                 continue
@@ -185,8 +382,10 @@ class Processor:
         """A store is fully done once its address and its data both exist."""
         if store.resolved and store.data_pending == 0 and not store.done:
             store.done = True
-            self.lsu.on_store_forwardable(store)
-            self._wake(store)
+            if self._on_store_forwardable is not None:
+                self._on_store_forwardable(store)
+            if store.waiters is not None:
+                self._wake(store)
 
     def _program_order_value(self, load: InFlight) -> int:
         """The architecturally-correct value at the load's position.
@@ -195,53 +394,162 @@ class Processor:
         re-execution frontier and at commit): every older store is either
         still in ``store_words`` or already merged into committed memory.
         """
-        inst = load.inst
+        load_seq = load.seq
+        store_words = self.store_words
+        committed_read = self.committed_memory.read
         value = 0
-        for shift, word in enumerate(inst.words()):
+        for shift, word in enumerate(self.meta.words[load_seq]):
             word_value = None
-            stores = self.store_words.get(word)
+            stores = store_words.get(word)
             if stores:
                 for store in reversed(stores):
-                    if store.seq < load.seq and not store.squashed:
+                    if store.seq < load_seq and not store.squashed:
                         word_value = store_word_value(store, word)
                         break
             if word_value is None:
-                word_value = self.committed_memory.read(word, 4)
+                word_value = committed_read(word, 4)
             value |= word_value << (32 * shift)
-        if inst.size == 4:
+        if load.inst.size == 4:
             value &= 0xFFFF_FFFF
         return value
+
+    def _note_stall(self, reason: str) -> None:
+        """Count a dispatch-stall cycle (and remember it for skip-ahead)."""
+        self._stall_note = reason
+        stalls = self.stats.dispatch_stalls
+        stalls[reason] = stalls.get(reason, 0) + 1
 
     # ------------------------------------------------------------------ main loop
 
     def run(self, max_cycles: int | None = None) -> SimStats:
         """Simulate until the whole trace commits; returns statistics."""
-        total = len(self.trace)
+        total = self._trace_len
+        watchdog = self.config.watchdog_cycles
+        inval = self.config.invalidation_interval
+        skip = self._skip_ahead
+        rex_mode = self.config.rex_mode
+        rex_active = rex_mode is RexMode.REEXECUTE or rex_mode is RexMode.SVW_ONLY
+        # Containers are bound once in __init__ and never rebound, so the
+        # per-cycle stage gates below can hold direct references.
+        completes = self._completes
+        ready = self._ready
+        rex_queue = self.rex_queue
+        rob = self.rob
+        commit_depth = self._commit_depth
+        store_retire_ports = self._store_retire_ports
+        rex0 = ser0 = 0
         while self._committed_total < total:
             if max_cycles is not None and self.cycle >= max_cycles:
                 break
-            self.cycle += 1
-            self._do_complete()
-            port_budget = self._do_commit()
-            self._do_rex(port_budget)
-            self._do_issue()
+            cycle = self.cycle + 1
+            self.cycle = cycle
+            if skip:
+                self._worked = False
+                self._stall_note = None
+                stats = self.stats
+                rex0 = stats.rex_port_stalls
+                ser0 = stats.serialization_stalls
+            # Stage gates: each stage's own early-out precondition is
+            # evaluated here so no-op stages cost a test, not a call.
+            if cycle in completes:
+                self._do_complete()
+            port_budget = store_retire_ports
+            if rob:
+                head = rob[0]
+                if head.done and cycle >= head.complete_cycle + commit_depth:
+                    port_budget = self._do_commit()
+            if rex_active and rex_queue and rex_queue[0].done:
+                self._do_rex(port_budget)
+            if ready:
+                self._do_issue()
             self._do_dispatch()
-            if (
-                self.config.invalidation_interval
-                and self.cycle % self.config.invalidation_interval == 0
-            ):
+            if inval and cycle % inval == 0:
                 self._inject_invalidation()
-            if self.cycle - self._last_commit_cycle > _WATCHDOG_CYCLES:
+                self._worked = True
+            if cycle - self._last_commit_cycle > watchdog:
                 head = self.rob[0] if self.rob else None
                 raise SimulationError(
-                    f"no commit for {_WATCHDOG_CYCLES} cycles at cycle {self.cycle}; "
+                    f"no commit for {watchdog} cycles at cycle {cycle}; "
                     f"head={head!r} fetch_seq={self.fetch_seq} "
                     f"rex_queue={len(self.rex_queue)} drain_wait={self.drain_wait}"
                 )
+            if skip and not self._worked:
+                # Nothing changed this cycle except stall counters, so
+                # every cycle up to the next event is an exact replay:
+                # account the counters and jump the clock.
+                limit = self._next_event_cycle(watchdog, inval) - 1
+                if max_cycles is not None and limit > max_cycles:
+                    limit = max_cycles
+                n = limit - cycle
+                if n > 0:
+                    stats = self.stats
+                    delta = stats.rex_port_stalls - rex0
+                    if delta:
+                        stats.rex_port_stalls += delta * n
+                    delta = stats.serialization_stalls - ser0
+                    if delta:
+                        stats.serialization_stalls += delta * n
+                    note = self._stall_note
+                    if note is not None:
+                        stats.dispatch_stalls[note] += n
+                    self.cycle = limit
         self.stats.cycles = self.cycle - self._warmup_cycle
         if self.svw is not None:
             self.stats.ssn_drains += self.svw.ssn.drains
         return self.stats
+
+    def _next_event_cycle(self, watchdog: int, inval: int) -> int:
+        """Earliest future cycle at which a quiescent machine can change.
+
+        Sound over-approximation: returning a cycle *earlier* than the
+        next real event is always safe (the intervening cycles replay as
+        quiescent), so every time-gated condition in the stage functions
+        must contribute a candidate here, and does:
+
+        - scheduled completions (``_event_heap``);
+        - the ROB head's commit-depth horizon;
+        - release of the shared re-execution D$ port;
+        - in-flight re-execution accesses finishing;
+        - the front-end redirect resuming;
+        - the next synthetic-invalidation tick;
+        - the watchdog deadline (also the deadlock backstop).
+        """
+        cycle = self.cycle
+        nxt = self._last_commit_cycle + watchdog + 1
+        heap = self._event_heap
+        while heap and heap[0] <= cycle:
+            heappop(heap)
+        if heap and heap[0] < nxt:
+            nxt = heap[0]
+        rob = self.rob
+        if rob:
+            head = rob[0]
+            if head.done:
+                horizon = head.complete_cycle + self._commit_depth
+                if cycle < horizon < nxt:
+                    nxt = horizon
+        busy = self._rex_port_busy_until
+        if cycle < busy < nxt:
+            nxt = busy
+        if self.config.rex_mode is RexMode.REEXECUTE:
+            # IN_FLIGHT entries only exist ahead of the first incomplete
+            # entry (the re-execution pipe is in-order), so the scan is
+            # short and bounded.
+            for entry in self.rex_queue:
+                if not entry.done:
+                    break
+                if entry.rex_state is _IN_FLIGHT:
+                    done_cycle = entry.rex_done_cycle
+                    if cycle < done_cycle < nxt:
+                        nxt = done_cycle
+        resume = self.fetch_resume
+        if cycle < resume < nxt:
+            nxt = resume
+        if inval:
+            tick = cycle - cycle % inval + inval
+            if tick < nxt:
+                nxt = tick
+        return nxt
 
     # ------------------------------------------------------------------ complete
 
@@ -249,99 +557,119 @@ class Processor:
         events = self._completes.pop(self.cycle, None)
         if not events:
             return
+        self._worked = True
+        m_kind = self.meta.kind
         for entry in events:
             if entry.squashed:
                 continue
-            inst = entry.inst
-            if inst.is_store:
+            kind = m_kind[entry.seq]
+            if kind == KIND_STORE:
                 # Address generation finished (STA); data may still be
                 # outstanding (STD) -- the store is done when both are.
                 entry.resolved = True
-                victim = self.lsu.on_store_resolved(entry)
-                if victim is not None and not victim.squashed:
-                    self._ordering_flush(victim, entry)
+                if self._on_store_resolved is not None:
+                    victim = self._on_store_resolved(entry)
+                    if victim is not None and not victim.squashed:
+                        self._ordering_flush(victim, entry)
                 self._store_maybe_done(entry)
                 continue
             entry.done = True
-            if inst.is_branch:
+            if kind == KIND_BRANCH:
                 if entry.mispredicted and self.fetch_blocker is entry:
                     self.fetch_resume = max(
                         self.fetch_resume, self.cycle + self.config.mispredict_penalty
                     )
                     self.fetch_blocker = None
-            self._wake(entry)
+            if entry.waiters is not None:
+                self._wake(entry)
 
     # ------------------------------------------------------------------ commit
 
-    def _commit_ready(self, head: InFlight) -> bool:
-        if not head.done:
-            return False
-        return self.cycle >= head.complete_cycle + self.config.commit_depth
-
     def _do_commit(self) -> int:
         """Commit up to ``width``; returns leftover D$ port capacity."""
-        config = self.config
-        port_budget = config.store_retire_ports
+        port_budget = self._store_retire_ports
+        rob = self.rob
+        if not rob:
+            return port_budget
+        cycle = self.cycle
+        commit_depth = self._commit_depth
+        head = rob[0]
+        if not head.done or cycle < head.complete_cycle + commit_depth:
+            # Head not retirement-eligible: nothing can commit this cycle.
+            return port_budget
+        width = self._width
+        uses_rex = self._uses_rex
+        rex_mode = self.config.rex_mode
+        m_kind = self.meta.kind
+        inflight_by_seq = self.inflight_by_seq
+        warmup = self.warmup
+        stats = self.stats
         commits = 0
-        while self.rob and commits < config.width:
-            head = self.rob[0]
-            if not self._commit_ready(head):
+        while rob and commits < width:
+            head = rob[0]
+            if not head.done or cycle < head.complete_cycle + commit_depth:
                 break
-            inst = head.inst
-            if inst.is_load:
-                if config.uses_rex:
+            kind = m_kind[head.seq]
+            flush_after = False
+            if kind == KIND_LOAD:
+                if uses_rex:
                     state = head.rex_state
-                    if state in (RexState.PENDING, RexState.IN_FLIGHT):
-                        if config.rex_mode is RexMode.PERFECT:
+                    if state is _PENDING or state is _IN_FLIGHT:
+                        if rex_mode is RexMode.PERFECT:
                             self._perfect_verify(head)
                             state = head.rex_state
                         else:
-                            self.stats.serialization_stalls += 1
+                            stats.serialization_stalls += 1
                             break
-                    if state is RexState.FAILED:
-                        self._commit_load(head)
-                        self._pop_head(head)
-                        commits += 1
-                        self._rex_failure_flush(head)
-                        break
-                    if state is RexState.SVW_FLUSH:
+                    if state is _FAILED:
+                        flush_after = True
+                    elif state is _SVW_FLUSH:
                         self._svw_only_flush(head)
                         break
                 self._commit_load(head)
-            elif inst.is_store:
-                if config.uses_rex and head.rex_state is not RexState.DONE_OK:
+            elif kind == KIND_STORE:
+                if uses_rex and head.rex_state is not _DONE_OK:
                     # Store may not commit until it (and all older loads)
                     # cleared the re-execution pipe -- the critical loop.
-                    if config.rex_mode is RexMode.PERFECT:
-                        head.rex_state = RexState.DONE_OK
+                    if rex_mode is RexMode.PERFECT:
+                        head.rex_state = _DONE_OK
                     else:
-                        self.stats.serialization_stalls += 1
+                        stats.serialization_stalls += 1
                         break
                 if port_budget <= 0:
                     break
-                if self.cycle < self._rex_port_busy_until:
+                if cycle < self._rex_port_busy_until:
                     # A load re-execution holds the shared D$ port.
-                    self.stats.rex_port_stalls += 1
+                    stats.rex_port_stalls += 1
                     break
                 port_budget -= 1
                 self._commit_store(head)
-            elif inst.is_branch:
-                self.stats.committed_branches += 1
-            self._pop_head(head)
+            elif kind == KIND_BRANCH:
+                stats.committed_branches += 1
+            # Retire the head (inline: this runs once per committed
+            # instruction).
+            rob.popleft()
+            del inflight_by_seq[head.seq]
+            committed_total = self._committed_total + 1
+            self._committed_total = committed_total
+            stats.committed += 1
+            if head.inst.dst_reg >= 0:
+                self.reg_occ -= 1
+            if committed_total == warmup:
+                # Measurement begins: stats was just swapped for a fresh
+                # object -- drop the stale local.
+                self._begin_measurement()
+                stats = self.stats
             commits += 1
+            if flush_after:
+                # Re-execution mismatch: the load committed corrected;
+                # flush everything younger.
+                self._rex_failure_flush(head)
+                break
         if commits:
-            self._last_commit_cycle = self.cycle
+            self._last_commit_cycle = cycle
+            self._worked = True
         return port_budget
-
-    def _pop_head(self, head: InFlight) -> None:
-        self.rob.popleft()
-        del self.inflight_by_seq[head.seq]
-        self._committed_total += 1
-        self.stats.committed += 1
-        if head.inst.dst_reg >= 0:
-            self.reg_occ -= 1
-        if self._committed_total == self.warmup:
-            self._begin_measurement()
 
     def _begin_measurement(self) -> None:
         """Discard warm-up statistics; measurement starts now."""
@@ -356,16 +684,17 @@ class Processor:
         stats = self.stats
         stats.committed_loads += 1
         self.lq_occ -= 1
-        if self._uncommitted_loads and self._uncommitted_loads[0] == head.seq:
-            self._uncommitted_loads.popleft()
+        uncommitted = self._uncommitted_loads
+        if uncommitted and uncommitted[0] == head.seq:
+            uncommitted.popleft()
         if head.marked:
             stats.marked_loads += 1
             state = head.rex_state
-            if state is RexState.FILTERED:
+            if state is _FILTERED:
                 stats.filtered_loads += 1
             elif self.config.rex_mode in (RexMode.REEXECUTE, RexMode.PERFECT):
                 stats.reexecuted_loads += 1
-            if state is RexState.FAILED:
+            if state is _FAILED:
                 stats.rex_failures += 1
                 head.exec_value = head.rex_value  # corrected at commit
         if head.fsq:
@@ -377,7 +706,8 @@ class Processor:
                 stats.eliminated_reuse += 1
             if head.squash_reuse:
                 stats.squash_reuse_loads += 1
-        self.lsu.on_load_commit(head)
+        if self._on_load_commit is not None:
+            self._on_load_commit(head)
         if self._golden is not None:
             expected = self._golden.load_values[head.seq]
             if head.exec_value != expected:
@@ -394,51 +724,65 @@ class Processor:
         self.committed_memory.write(inst.addr, inst.store_value, inst.size)
         self.ssn.retire_store()
         self.spct.record(inst.addr, inst.size, inst.pc)
-        for word in inst.words():
-            stores = self.store_words.get(word)
+        store_words = self.store_words
+        for word in self.meta.words[head.seq]:
+            stores = store_words.get(word)
             if stores:
                 if stores[0] is head:
                     stores.pop(0)
                 else:  # pragma: no cover - defensive
                     stores.remove(head)
                 if not stores:
-                    del self.store_words[word]
+                    del store_words[word]
         if self.store_sets is not None:
             self.store_sets.store_done(inst.pc, head.seq)
         if head.fsq:
             self.stats.fsq_stores += 1
-        self.lsu.on_store_commit(head)
+        if self._on_store_commit is not None:
+            self._on_store_commit(head)
 
     def _perfect_verify(self, load: InFlight) -> None:
         """Ideal re-execution: zero latency, infinite bandwidth."""
         if not load.marked:
-            load.rex_state = RexState.DONE_OK
+            load.rex_state = _DONE_OK
             return
         load.rex_value = self._program_order_value(load)
         load.rex_state = (
-            RexState.DONE_OK if load.rex_value == load.exec_value else RexState.FAILED
+            _DONE_OK if load.rex_value == load.exec_value else _FAILED
         )
 
     # ------------------------------------------------------------------ re-execution
 
     def _do_rex(self, port_budget: int) -> None:
-        config = self.config
-        if config.rex_mode not in (RexMode.REEXECUTE, RexMode.SVW_ONLY):
+        rex_mode = self.config.rex_mode
+        if rex_mode is not RexMode.REEXECUTE and rex_mode is not RexMode.SVW_ONLY:
             return
         queue = self.rex_queue
+        if not queue or not queue[0].done:
+            # The pipe is in-order and the front entry is never terminal
+            # (terminal entries retire eagerly below), so an incomplete
+            # front entry means no transition is possible this cycle.
+            return
+        cycle = self.cycle
         svw = self.svw
+        m_kind = self.meta.kind
         atomic = svw is not None and not svw.config.speculative_updates
-        budget = config.width
+        budget = self._width
+        qlen = len(queue)
         index = 0
         processed = 0
-        while index < len(queue) and processed < budget:
+        while index < qlen and processed < budget:
             entry = queue[index]
             if not entry.done:
                 break
             inst = entry.inst
-            if inst.is_store:
-                if entry.rex_state is RexState.NOT_NEEDED:
-                    if atomic and self._uncommitted_loads and self._uncommitted_loads[0] < entry.seq:
+            if m_kind[entry.seq] == KIND_STORE:
+                if entry.rex_state is _NOT_NEEDED:
+                    if (
+                        atomic
+                        and self._uncommitted_loads
+                        and self._uncommitted_loads[0] < entry.seq
+                    ):
                         # Atomic updates: the store (and everything behind
                         # it in the SVW stage) waits until every older load
                         # has retired -- the elongated serialization the
@@ -446,232 +790,304 @@ class Processor:
                         break
                     if svw is not None:
                         svw.record_store(inst.addr, inst.size, entry.ssn)
-                    entry.rex_state = RexState.DONE_OK
+                    entry.rex_state = _DONE_OK
+                    self._worked = True
                 index += 1
                 processed += 1
                 continue
             # Loads.
             state = entry.rex_state
-            if state is RexState.PENDING:
+            if state is _PENDING:
                 if not entry.marked:
-                    entry.rex_state = RexState.DONE_OK
-                elif config.rex_mode is RexMode.SVW_ONLY:
-                    assert svw is not None
+                    entry.rex_state = _DONE_OK
+                    self._worked = True
+                elif rex_mode is RexMode.SVW_ONLY:
+                    # Config validation guarantees svw is present here.
                     if svw.must_reexecute(inst.addr, inst.size, entry.svw):
-                        entry.rex_state = RexState.SVW_FLUSH
+                        entry.rex_state = _SVW_FLUSH
                     else:
-                        entry.rex_state = RexState.FILTERED
+                        entry.rex_state = _FILTERED
+                    self._worked = True
                 elif svw is not None and not svw.must_reexecute(
                     inst.addr, inst.size, entry.svw
                 ):
-                    entry.rex_state = RexState.FILTERED
+                    entry.rex_state = _FILTERED
+                    self._worked = True
                 else:
                     # Needs the shared data-cache port for the full access.
-                    if port_budget <= 0 or self.cycle < self._rex_port_busy_until:
+                    if port_budget <= 0 or cycle < self._rex_port_busy_until:
                         self.stats.rex_port_stalls += 1
                         break  # in-order start
-                    entry.rex_state = RexState.IN_FLIGHT
+                    entry.rex_state = _IN_FLIGHT
                     access = self.hierarchy.rex_access(inst.addr)
                     # RLE's elongated pipe (register-file address/value
                     # reads) adds latency but does not hold the D$ port.
                     extra = 2 if entry.eliminated else 0
-                    entry.rex_done_cycle = self.cycle + access + extra
-                    self._rex_port_busy_until = self.cycle + access
-            if entry.rex_state is RexState.IN_FLIGHT:
-                if self.cycle >= entry.rex_done_cycle:
+                    entry.rex_done_cycle = cycle + access + extra
+                    self._rex_port_busy_until = cycle + access
+                    self._worked = True
+            if entry.rex_state is _IN_FLIGHT:
+                if cycle >= entry.rex_done_cycle:
                     entry.rex_value = self._program_order_value(entry)
                     entry.rex_state = (
-                        RexState.DONE_OK
+                        _DONE_OK
                         if entry.rex_value == entry.exec_value
-                        else RexState.FAILED
+                        else _FAILED
                     )
+                    self._worked = True
                 else:
                     index += 1
                     continue  # access still in flight; younger entries may start
             index += 1
             processed += 1
         # Retire verified entries from the front, in order.
-        while queue and queue[0].rex_state in (
-            RexState.DONE_OK,
-            RexState.FILTERED,
-            RexState.FAILED,
-            RexState.SVW_FLUSH,
-        ):
+        while queue and queue[0].rex_state in _REX_RETIRED:
             queue.popleft()
+            self._worked = True
 
     # ------------------------------------------------------------------ issue
 
     def _do_issue(self) -> None:
-        config = self.config
-        slots = {
-            OpClass.IALU: config.int_issue,
-            OpClass.FALU: config.fp_issue,
-            OpClass.LOAD: config.load_issue,
-            OpClass.STORE: config.store_issue,
-            OpClass.BRANCH: config.branch_issue,
-        }
-        banks_used: set[int] = set()
-        fsq_budget = config.fsq_ports
-        deferred: list[tuple[int, int, InFlight]] = []
-        max_pops = 3 * config.width + 8
-        pops = 0
         ready = self._ready
+        if not ready:
+            return
+        cycle = self.cycle
+        meta = self.meta
+        m_kind = meta.kind
+        m_iclass = meta.issue_class
+        m_latency = meta.latency
+        line_bytes = self._l1d_line_bytes
+        bank_mask = self._l1d_bank_mask
+        load_must_wait = self._load_must_wait
+        execute_load = self._execute_load
+        load_access = self._load_access
+        svw_upd = self._svw_upd
+        load_base_latency = self._load_latency - self._l1d_latency
+        store_latency = self._store_latency
+        completes = self._completes
+        event_heap = self._event_heap
+        slots = self._slot_template.copy()
+        banks_used = 0
+        fsq_budget = self._fsq_ports
+        issued = 0
+        remaining = self._total_issue
+        deferred: list[tuple[int, int, InFlight]] = []
+        max_pops = self._max_pops
+        pops = 0
         while ready and pops < max_pops:
+            if remaining <= 0 and self._ready_stale <= 0:
+                # All issue bandwidth consumed and no stale entries left
+                # to drop: every further pop would just defer-and-repush.
+                break
             pops += 1
-            item = heapq.heappop(ready)
+            item = heappop(ready)
             entry = item[2]
             if entry.squashed or entry.issued or entry.pending_srcs > 0:
+                if entry.squashed:
+                    self._ready_stale -= 1
                 continue
-            inst = entry.inst
-            op_class = issue_class_of(inst.op)
-            if slots[op_class] <= 0:
+            seq = entry.seq
+            iclass = m_iclass[seq]
+            if slots[iclass] <= 0:
                 deferred.append(item)
                 continue
-            if inst.is_load:
-                if self.lsu.load_uses_fsq(entry):
-                    if fsq_budget <= 0:
-                        deferred.append(item)
-                        continue
-                if self.lsu.load_must_wait(entry) is not None:
+            kind = m_kind[seq]
+            if kind == KIND_LOAD:
+                # FSQ port contract (see lsu/base.py): a load is charged
+                # against the FSQ port iff its LSU set ``entry.fsq``.
+                uses_fsq = entry.fsq
+                if uses_fsq and fsq_budget <= 0:
+                    deferred.append(item)
+                    continue
+                if load_must_wait is not None and load_must_wait(entry) is not None:
                     # SQ CAM hit on a store without data: replay next cycle.
                     deferred.append(item)
                     continue
-                bank = self.hierarchy.load_bank(inst.addr)
-                if bank in banks_used:
+                inst = entry.inst
+                bank_bit = 1 << ((inst.addr // line_bytes) & bank_mask)
+                if banks_used & bank_bit:
                     deferred.append(item)
                     continue
-                banks_used.add(bank)
-                if self.lsu.load_uses_fsq(entry):
+                banks_used |= bank_bit
+                if uses_fsq:
                     fsq_budget -= 1
-                self._issue_load(entry)
-            elif inst.is_store:
-                self._issue_store(entry)
+                # Issue the load (inlined: once per issued load).
+                entry.issued = True
+                execute_load(entry)
+                if svw_upd and entry.forwarded_ssn > entry.svw:
+                    # ``+UPD``: forwarding shrinks the vulnerability window.
+                    entry.svw = entry.forwarded_ssn
+                # Timing: the configured load-to-use latency covers the
+                # L1D + SQ path; anything beyond the L1 adds the
+                # hierarchy's miss penalty.
+                when = cycle + load_base_latency + load_access(inst.addr)
+            elif kind == KIND_STORE:
+                entry.issued = True
+                when = cycle + store_latency
             else:
                 entry.issued = True
-                self.iq_occ -= 1
-                self._schedule_completion(entry, self.cycle + latency_of(inst.op))
-            slots[op_class] -= 1
+                when = cycle + m_latency[seq]
+            issued += 1
+            remaining -= 1
+            slots[iclass] -= 1
+            # _schedule_completion inlined (once per issued instruction).
+            entry.complete_cycle = when
+            bucket = completes.get(when)
+            if bucket is None:
+                completes[when] = [entry]
+                heappush(event_heap, when)
+            else:
+                bucket.append(entry)
+        if issued:
+            self.iq_occ -= issued
+            self._worked = True
         for item in deferred:
-            heapq.heappush(ready, item)
-
-    def _issue_load(self, load: InFlight) -> None:
-        load.issued = True
-        self.iq_occ -= 1
-        inst = load.inst
-        self.lsu.execute_load(load)
-        if self.svw is not None and load.forwarded_ssn > 0:
-            load.svw = self.svw.svw_after_forward(load.svw, load.forwarded_ssn)
-        # Timing: the configured load-to-use latency covers the L1D + SQ
-        # path; anything beyond the L1 adds the hierarchy's miss penalty.
-        total = self.hierarchy.load_access(inst.addr)
-        miss_extra = total - self.config.hierarchy.l1d.latency
-        self._schedule_completion(load, self.cycle + self.config.load_latency + miss_extra)
-
-    def _issue_store(self, store: InFlight) -> None:
-        store.issued = True
-        self.iq_occ -= 1
-        self._schedule_completion(store, self.cycle + latency_of(OpClass.STORE))
+            heappush(ready, item)
 
     # ------------------------------------------------------------------ dispatch
 
-    def _dispatch_blocked_reason(self, inst) -> str | None:
-        config = self.config
-        if len(self.rob) >= config.rob_size:
-            return "rob"
-        if self.iq_occ >= config.iq_size:
-            return "iq"
-        if inst.is_load and self.lq_occ >= config.lq_size:
-            return "lq"
-        if inst.is_store and self.sq_occ >= config.sq_size:
-            return "sq"
-        if inst.dst_reg >= 0 and self.reg_occ >= config.num_regs:
-            return "regs"
-        return None
-
     def _do_dispatch(self) -> None:
-        config = self.config
-        stats = self.stats
-        if self.cycle < self.fetch_resume:
-            stats.note_dispatch_stall("frontend")
+        cycle = self.cycle
+        if cycle < self.fetch_resume:
+            self._note_stall("frontend")
             return
         if self.fetch_blocker is not None:
-            stats.note_dispatch_stall("branch")
+            self._note_stall("branch")
             return
         if self.drain_wait:
             if not self.rob:
                 assert self.svw is not None
                 self.svw.drain()
                 self.drain_wait = False
+                self._worked = True
             else:
-                stats.note_dispatch_stall("drain")
+                self._note_stall("drain")
                 return
-        trace = self.trace
+        fetch_seq = self.fetch_seq
+        trace_len = self._trace_len
+        if fetch_seq >= trace_len:
+            return
+        insts = self._insts
+        m_kind = self.meta.kind
+        # Cheap first-instruction occupancy check: the majority of calls
+        # stall right here, so decide before paying the loop's local binds
+        # (the loop re-evaluates the same chain for dispatched entries).
+        first = insts[fetch_seq]
+        kind = m_kind[fetch_seq]
+        if len(self.rob) >= self._rob_size:
+            self._note_stall("rob")
+            return
+        if self.iq_occ >= self._iq_size:
+            self._note_stall("iq")
+            return
+        if kind == KIND_LOAD:
+            if self.lq_occ >= self._lq_size:
+                self._note_stall("lq")
+                return
+        elif kind == KIND_STORE and self.sq_occ >= self._sq_size:
+            self._note_stall("sq")
+            return
+        if first.dst_reg >= 0 and self.reg_occ >= self._num_regs:
+            self._note_stall("regs")
+            return
+        rob = self.rob
+        inflight_by_seq = self.inflight_by_seq
+        store_dispatch_ready = self._store_dispatch_ready
+        ssn = self.ssn
+        svw_present = self.svw is not None
+        width = self._width
+        rob_size = self._rob_size
+        iq_size = self._iq_size
+        lq_size = self._lq_size
+        sq_size = self._sq_size
+        num_regs = self._num_regs
         dispatched = 0
         taken_branches = 0
-        while self.fetch_seq < len(trace) and dispatched < config.width:
-            inst = trace[self.fetch_seq]
-            reason = self._dispatch_blocked_reason(inst)
+        while fetch_seq < trace_len and dispatched < width:
+            inst = insts[fetch_seq]
+            kind = m_kind[fetch_seq]
+            if len(rob) >= rob_size:
+                reason = "rob"
+            elif self.iq_occ >= iq_size:
+                reason = "iq"
+            elif kind == KIND_LOAD and self.lq_occ >= lq_size:
+                reason = "lq"
+            elif kind == KIND_STORE and self.sq_occ >= sq_size:
+                reason = "sq"
+            elif inst.dst_reg >= 0 and self.reg_occ >= num_regs:
+                reason = "regs"
+            else:
+                reason = None
             if reason is not None:
-                stats.note_dispatch_stall(reason)
-                return
-            if inst.is_store:
-                if self.ssn.wrap_pending and self.svw is not None:
-                    self.drain_wait = True
-                    stats.note_dispatch_stall("drain")
-                    return
-            if inst.is_branch and inst.taken and taken_branches >= 1 and dispatched > 0:
+                self.fetch_seq = fetch_seq
+                self._note_stall(reason)
+                break
+            if kind == KIND_STORE and ssn.wrap_pending and svw_present:
+                # Entering drain_wait is a state transition the skip-ahead
+                # scheduler has no wake-up candidate for (with an empty ROB
+                # the drain would fire on the very next cycle), so the
+                # cycle must count as worked.
+                self.drain_wait = True
+                self._worked = True
+                self.fetch_seq = fetch_seq
+                self._note_stall("drain")
+                break
+            if kind == KIND_BRANCH and inst.taken and taken_branches >= 1 and dispatched > 0:
                 # Can fetch past one taken branch per cycle.
-                return
-            entry = InFlight(inst, self.cycle)
-            if inst.is_store and not self.lsu.store_dispatch_ready(entry):
-                stats.note_dispatch_stall("fsq")
-                return
+                self.fetch_seq = fetch_seq
+                break
+            entry = InFlight(inst, cycle)
+            if (
+                kind == KIND_STORE
+                and store_dispatch_ready is not None
+                and not store_dispatch_ready(entry)
+            ):
+                self.fetch_seq = fetch_seq
+                self._note_stall("fsq")
+                break
             # Register dataflow.  Stores split address (issue-gating) from
             # data (commit/forwarding-gating) operands.
-            if inst.is_store:
-                addr_producer = self.inflight_by_seq.get(inst.base_seq)
+            if kind == KIND_STORE:
+                addr_producer = inflight_by_seq.get(inst.base_seq)
                 if addr_producer is not None and not addr_producer.done:
                     entry.pending_srcs += 1
                     addr_producer.add_waiter(entry)
-                data_producer = self.inflight_by_seq.get(inst.store_data_seq)
+                data_producer = inflight_by_seq.get(inst.store_data_seq)
                 if data_producer is not None and not data_producer.done:
                     entry.data_pending = 1
                     data_producer.add_waiter(entry, role=1)
             else:
                 for src in inst.src_seqs:
-                    producer = self.inflight_by_seq.get(src)
+                    producer = inflight_by_seq.get(src)
                     if producer is not None and not producer.done:
                         entry.pending_srcs += 1
                         producer.add_waiter(entry)
-            dispatch_done = self._dispatch_one(entry)
-            if not dispatch_done:
-                return
+            # Place the entry into the window.
+            if kind == KIND_LOAD:
+                self._dispatch_load(entry)
+            elif kind == KIND_STORE:
+                self._dispatch_store(entry)
+            else:
+                if kind == KIND_BRANCH:
+                    self._dispatch_branch(entry)
+                self.iq_occ += 1
+            rob.append(entry)
+            inflight_by_seq[entry.seq] = entry
+            if inst.dst_reg >= 0:
+                self.reg_occ += 1
+            if not entry.eliminated and not entry.issued and entry.pending_srcs == 0:
+                tiebreak = self._tiebreak + 1
+                self._tiebreak = tiebreak
+                heappush(self._ready, (entry.seq, tiebreak, entry))
             dispatched += 1
-            self.fetch_seq += 1
-            if inst.is_branch and inst.taken:
+            fetch_seq += 1
+            self.fetch_seq = fetch_seq
+            if kind == KIND_BRANCH and inst.taken:
                 taken_branches += 1
             if entry.mispredicted:
-                return
-
-    def _dispatch_one(self, entry: InFlight) -> bool:
-        """Place ``entry`` into the window.  Returns False to stall instead."""
-        inst = entry.inst
-        if inst.is_load:
-            self._dispatch_load(entry)
-        elif inst.is_store:
-            self._dispatch_store(entry)
-        elif inst.is_branch:
-            self._dispatch_branch(entry)
-            self.iq_occ += 1
-        else:
-            self.iq_occ += 1
-        self.rob.append(entry)
-        self.inflight_by_seq[entry.seq] = entry
-        if inst.dst_reg >= 0:
-            self.reg_occ += 1
-        if not entry.eliminated and not entry.issued and entry.pending_srcs == 0:
-            self._push_ready(entry)
-        return True
+                break
+        if dispatched:
+            self._worked = True
 
     def _dispatch_branch(self, entry: InFlight) -> None:
         inst = entry.inst
@@ -691,10 +1107,12 @@ class Processor:
         inst = entry.inst
         self.lq_occ += 1
         self._uncommitted_loads.append(entry.seq)
-        if self.config.uses_rex:
-            entry.rex_state = RexState.PENDING
-        if self.svw is not None:
-            entry.svw = self.svw.svw_at_dispatch()
+        svw = self.svw
+        if self._uses_rex:
+            entry.rex_state = _PENDING
+        if svw is not None:
+            # svw_at_dispatch() inlined: the NLQ/SSQ baseline window.
+            entry.svw = svw.ssn.retire
         # RLE: try to integrate before doing anything else.
         if self.it is not None and self._try_integrate(entry):
             self.rex_queue.append(entry)
@@ -709,14 +1127,14 @@ class Processor:
                     entry.pending_srcs += 1
                     blocker.add_waiter(entry)
                     self.stats.store_set_waits += 1
-        self.lsu.on_load_dispatch(entry)
-        if self.config.uses_rex:
+        if self._on_load_dispatch is not None:
+            self._on_load_dispatch(entry)
+        if self._uses_rex:
             self.rex_queue.append(entry)
 
     def _try_integrate(self, entry: InFlight) -> bool:
         """RLE at rename: eliminate the load if the IT has its signature."""
-        assert self.it is not None
-        signature = signature_of(entry.inst)
+        signature = self.meta.signature[entry.seq]
         if signature is None:
             return False
         it_entry = self.it.lookup(signature)
@@ -749,9 +1167,14 @@ class Processor:
         self.sq_occ += 1
         self.iq_occ += 1
         entry.ssn = self.ssn.dispatch_store()
-        for word in inst.words():
-            self.store_words.setdefault(word, []).append(entry)
-        heapq.heappush(self._unresolved, (entry.seq, entry))
+        store_words = self.store_words
+        for word in self.meta.words[entry.seq]:
+            bucket = store_words.get(word)
+            if bucket is None:
+                store_words[word] = [entry]
+            else:
+                bucket.append(entry)
+        heappush(self._unresolved, (entry.seq, entry))
         if self.store_sets is not None:
             previous = self.store_sets.store_dispatched(inst.pc, entry.seq)
             if previous is not None:
@@ -759,12 +1182,13 @@ class Processor:
                 if blocker is not None and blocker.inst.is_store and not blocker.done:
                     entry.pending_srcs += 1
                     blocker.add_waiter(entry)
-        self.lsu.on_store_dispatch(entry)
+        if self._on_store_dispatch is not None:
+            self._on_store_dispatch(entry)
         if self.it is not None:
-            signature = signature_of(inst)
+            signature = self.meta.signature[entry.seq]
             if signature is not None:
                 self.it.create(signature, entry, ssn=entry.ssn, from_store=True)
-        if self.config.uses_rex:
+        if self._uses_rex:
             self.rex_queue.append(entry)
 
     # ------------------------------------------------------------------ flushes
@@ -795,24 +1219,36 @@ class Processor:
 
     def _squash_from(self, flush_seq: int) -> None:
         """Remove every in-flight instruction with seq >= flush_seq."""
+        self._worked = True
         self.stats.flushes += 1
         rob = self.rob
+        m_kind = self.meta.kind
+        m_words = self.meta.words
+        store_words = self.store_words
+        on_squash = self._on_squash
         while rob and rob[-1].seq >= flush_seq:
             entry = rob.pop()
             entry.squashed = True
             del self.inflight_by_seq[entry.seq]
             inst = entry.inst
+            kind = m_kind[entry.seq]
             if not entry.issued and not entry.eliminated:
                 self.iq_occ -= 1
+                if entry.pending_srcs == 0:
+                    # The entry sits in the ready heap; remember the stale
+                    # member so the issue loop knows it still has one to
+                    # drop (see _ready_stale).
+                    self._ready_stale += 1
             if inst.dst_reg >= 0:
                 self.reg_occ -= 1
-            if inst.is_load:
+            if kind == KIND_LOAD:
                 self.lq_occ -= 1
-                self.lsu.on_squash(entry)
-            elif inst.is_store:
+                if on_squash is not None:
+                    on_squash(entry)
+            elif kind == KIND_STORE:
                 self.sq_occ -= 1
-                for word in inst.words():
-                    stores = self.store_words.get(word)
+                for word in m_words[entry.seq]:
+                    stores = store_words.get(word)
                     if stores:
                         if stores[-1] is entry:
                             stores.pop()
@@ -822,14 +1258,17 @@ class Processor:
                             except ValueError:
                                 pass
                         if not stores:
-                            del self.store_words[word]
+                            del store_words[word]
                 if self.store_sets is not None:
                     self.store_sets.store_done(inst.pc, entry.seq)
-                self.lsu.on_squash(entry)
-        while self._uncommitted_loads and self._uncommitted_loads[-1] >= flush_seq:
-            self._uncommitted_loads.pop()
-        while self.rex_queue and self.rex_queue[-1].seq >= flush_seq:
-            self.rex_queue.pop()
+                if on_squash is not None:
+                    on_squash(entry)
+        uncommitted = self._uncommitted_loads
+        while uncommitted and uncommitted[-1] >= flush_seq:
+            uncommitted.pop()
+        rex_queue = self.rex_queue
+        while rex_queue and rex_queue[-1].seq >= flush_seq:
+            rex_queue.pop()
         self.ssn.squash_to(self.sq_occ)
         if self.it is not None:
             self.it.on_squash(flush_seq, keep_squash_reuse=self.config.squash_reuse)
@@ -855,9 +1294,10 @@ class Processor:
         single-thread functional correctness is preserved while the
         re-execution cost is measured faithfully.
         """
+        m_kind = self.meta.kind
         line_addr = None
         for entry in reversed(self.rob):
-            if entry.inst.is_load and entry.issued:
+            if m_kind[entry.seq] == KIND_LOAD and entry.issued:
                 line_addr = entry.inst.addr & ~63
                 break
         if line_addr is None:
@@ -866,13 +1306,13 @@ class Processor:
         if self.svw is not None:
             self.svw.record_invalidation(line_addr)
         for entry in self.rob:
-            if entry.inst.is_load and entry.rex_state is RexState.PENDING:
+            if m_kind[entry.seq] == KIND_LOAD and entry.rex_state is _PENDING:
                 entry.marked = True
 
     def _inject_wrong_path_updates(self, flush_seq: int) -> None:
         """Model SSBF pollution by wrong-path stores (see DESIGN.md)."""
         assert self.svw is not None
-        for seq in range(flush_seq, min(flush_seq + 8, len(self.trace))):
+        for seq in range(flush_seq, min(flush_seq + 8, self._trace_len)):
             addrs = self.trace.wrong_path_addrs.get(seq)
             if addrs:
                 for addr in addrs:

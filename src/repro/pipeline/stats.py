@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field
 
+from repro.fingerprint import stable_digest
+
 
 @dataclass(slots=True)
 class SimStats:
@@ -98,6 +100,11 @@ class SimStats:
         payload = dict(payload)
         payload["dispatch_stalls"] = dict(payload.get("dispatch_stalls") or {})
         return cls(**payload)  # type: ignore[arg-type]
+
+    def fingerprint(self) -> str:
+        """Stable digest of every counter (used by equivalence tests and the
+        result cache to assert bit-identical simulation outcomes)."""
+        return stable_digest(self.to_dict())
 
     def note_dispatch_stall(self, reason: str) -> None:
         self.dispatch_stalls[reason] = self.dispatch_stalls.get(reason, 0) + 1

@@ -23,23 +23,23 @@ reuse to make the remaining re-executions filterable.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-from repro.isa.inst import NO_PRODUCER, DynInst
+from repro.isa.inst import DynInst, Signature, memory_signature
 from repro.pipeline.inflight import InFlight
 
-Signature = tuple[int, int, int]
+__all__ = ["ITEntry", "IntegrationTable", "Signature", "signature_of"]
 
 
 def signature_of(inst: DynInst) -> Signature | None:
     """Operation signature of a memory instruction, or None if untrackable.
 
     Memory ops whose base register predates the trace window (no producer)
-    are not tracked: their "physical register" identity is unknown.
+    are not tracked: their "physical register" identity is unknown.  The
+    computation lives in :func:`repro.isa.inst.memory_signature` so traces
+    can precompute it per instruction; this is the RLE-facing name.
     """
-    if inst.base_seq == NO_PRODUCER:
-        return None
-    return (inst.base_seq, inst.offset, inst.size)
+    return memory_signature(inst)
 
 
 @dataclass(slots=True)
@@ -71,6 +71,8 @@ class ITEntry:
 
 class IntegrationTable:
     """Set-associative IT with LRU replacement."""
+
+    __slots__ = ("_sets_count", "_assoc", "_sets", "_stamp", "hits", "misses")
 
     def __init__(self, entries: int = 512, assoc: int = 2) -> None:
         if entries % assoc:

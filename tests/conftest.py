@@ -33,11 +33,15 @@ def small_vortex_trace():
 
 @pytest.fixture(scope="session")
 def golden_of():
+    # Key by id() but keep the trace alive alongside the result: without
+    # the strong reference, a freed trace's id can be reused by a new
+    # allocation and the cache would hand back a stale golden execution.
     cache = {}
 
     def _golden(trace):
-        if id(trace) not in cache:
-            cache[id(trace)] = golden_execute(trace)
-        return cache[id(trace)]
+        key = id(trace)
+        if key not in cache:
+            cache[key] = (trace, golden_execute(trace))
+        return cache[key][1]
 
     return _golden
