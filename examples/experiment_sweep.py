@@ -1,15 +1,16 @@
 #!/usr/bin/env python
 """Experiment API walkthrough: declarative specs, backends, cached results.
 
-Builds a small Figure-5-style sweep, runs it three ways -- serially, across
-a process pool, and against a warm on-disk cache -- and shows that all three
-produce identical statistics.
+Builds a small Figure-5-style sweep, runs it four ways -- serially, across
+a process pool, through the workload-batched runner, and against a warm
+on-disk cache -- and shows that all four produce identical statistics.
 """
 
 import tempfile
 import time
 
 from repro.experiments import (
+    BatchRunner,
     ExperimentBuilder,
     ProcessPoolBackend,
     ResultStore,
@@ -37,6 +38,14 @@ def main() -> None:
     pooled = run_experiment(spec, backend=ProcessPoolBackend(jobs=4))
     print(f"process-pool backend: {time.perf_counter() - started:.1f}s")
     assert pooled.to_dict() == serial.to_dict(), "backends must agree bit-for-bit"
+
+    # The batch runner (what `svw-repro --jobs N` uses) generates/encodes
+    # each workload trace once, ships it to workers via shared memory, and
+    # runs all of a workload's configs in a single pass over one trace.
+    started = time.perf_counter()
+    batched = run_experiment(spec, backend=BatchRunner(jobs=4))
+    print(f"batch runner:         {time.perf_counter() - started:.1f}s")
+    assert batched.to_dict() == serial.to_dict(), "backends must agree bit-for-bit"
 
     with tempfile.TemporaryDirectory() as cache_dir:
         store = ResultStore(cache_dir)

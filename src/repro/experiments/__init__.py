@@ -25,8 +25,15 @@ The pieces:
 
 - :class:`ExperimentSpec` / :class:`ExperimentBuilder` -- a hashable,
   declarative description of a sweep (configs x workloads x budget).
-- :class:`SerialBackend` / :class:`ProcessPoolBackend` -- interchangeable
-  executors producing bit-identical statistics for the same spec.
+- :class:`SerialBackend` / :class:`ProcessPoolBackend` /
+  :class:`BatchRunner` -- interchangeable executors producing
+  bit-identical statistics for the same spec.  The batch runner (what
+  ``make_backend`` picks for ``jobs > 1``) groups cells by workload,
+  publishes each encoded trace once per sweep through shared memory, and
+  runs all configs of a workload in a single pass over one decoded trace.
+- :class:`TraceProvider` -- per-sweep trace materialization: generation
+  runs at most once per (workload, seed, budget), optionally backed by an
+  on-disk :class:`~repro.workloads.trace_cache.TraceCache`.
 - :class:`ResultStore` -- a content-addressed JSON cache; each cell is
   keyed by a stable fingerprint of (machine config, workload, budget).
 - :func:`run_experiment` -- spec + backend + store -> :class:`FigureResult`.
@@ -36,13 +43,17 @@ shim over this API.
 """
 
 from repro.experiments.backends import (
+    CellExecutionError,
     ExecutionBackend,
     ProcessPoolBackend,
     SerialBackend,
     execute_request,
     make_backend,
+    submission_order,
 )
+from repro.experiments.batch import BatchRunner
 from repro.experiments.results import FigureResult
+from repro.experiments.traces import TraceProvider, workload_key
 from repro.experiments.run import run_experiment
 from repro.experiments.spec import (
     DEFAULT_INSTS,
@@ -57,6 +68,8 @@ from repro.experiments.store import ResultStore
 
 __all__ = [
     "DEFAULT_INSTS",
+    "BatchRunner",
+    "CellExecutionError",
     "ExecutionBackend",
     "ExperimentBuilder",
     "ExperimentSpec",
@@ -65,10 +78,13 @@ __all__ = [
     "ResultStore",
     "RunRequest",
     "SerialBackend",
+    "TraceProvider",
     "WorkloadSpec",
     "execute_request",
     "make_backend",
     "matrix_spec",
     "resolve_benchmarks",
     "run_experiment",
+    "submission_order",
+    "workload_key",
 ]

@@ -5,26 +5,53 @@ into a list of :class:`~repro.pipeline.stats.SimStats`, **positionally
 aligned with the request list** -- completion order never leaks into
 results, so every backend is deterministic and interchangeable.
 
-:class:`SerialBackend` runs cells in-process and shares one generated trace
-across all configs of a workload (the classic ``run_matrix`` behaviour).
+:class:`SerialBackend` runs cells in-process, materializing each workload's
+trace at most once per sweep through a
+:class:`~repro.experiments.traces.TraceProvider`.
+
 :class:`ProcessPoolBackend` fans cells out across worker processes with
-:mod:`concurrent.futures`; each worker regenerates its trace from the
-workload profile, which is deterministic, so both backends produce
-bit-identical statistics for the same spec.
+:mod:`concurrent.futures`.  By default the parent generates and encodes
+each workload trace exactly once and publishes it through
+:mod:`~repro.experiments.transport` (shared memory, tempfile-mmap
+fallback); workers attach, decode, and cache the decoded trace
+process-locally, so trace generation cost is paid once per sweep instead
+of once per cell.  ``share_traces=False`` restores the historical
+regenerate-per-cell behaviour (kept as the comparison baseline for
+``svw-repro bench-sweep``).
+
+Submissions are ordered longest-expected-job-first (by instruction budget,
+then workload) so stragglers start early; results are still returned in
+request order.  A failing cell surfaces as :class:`CellExecutionError`
+carrying the cell's identity, not a bare worker traceback.
+
+:class:`~repro.experiments.batch.BatchRunner` (re-exported from
+:mod:`repro.experiments`) goes one step further and runs all configs of a
+workload in a single worker pass over one decoded trace; it is what
+:func:`make_backend` returns for ``jobs > 1``.
 """
 
 from __future__ import annotations
 
 import concurrent.futures
+import gc
 import os
 from typing import Callable, Protocol, Sequence
 
 from repro.experiments.spec import RunRequest
+from repro.experiments.traces import TraceProvider, request_key
+from repro.experiments.transport import TraceRef, open_trace, publish_trace, release_trace
+from repro.isa.codec import decode_trace
 from repro.isa.inst import Trace
+from repro.pipeline.config import MachineConfig
 from repro.pipeline.processor import Processor
 from repro.pipeline.stats import SimStats
+from repro.workloads.trace_cache import TraceCache
 
 ProgressFn = Callable[[str], None]
+
+
+class CellExecutionError(RuntimeError):
+    """A sweep cell failed; the message names the cell, the cause chains."""
 
 
 def execute_request(request: RunRequest, trace: Trace | None = None) -> SimStats:
@@ -34,6 +61,84 @@ def execute_request(request: RunRequest, trace: Trace | None = None) -> SimStats
     return Processor(
         request.config, trace, validate=request.validate, warmup=request.warmup
     ).run()
+
+
+def submission_order(requests: Sequence[RunRequest]) -> list[int]:
+    """Longest-expected-job-first indices (budget desc, workload, position).
+
+    Bigger instruction budgets run first so the pool never ends on one
+    straggler; the workload tiebreak keeps one workload's cells adjacent,
+    which is what makes worker-local decoded-trace caches and the parent's
+    generate-publish pipeline effective.  Sorting is stable on the original
+    position, and callers realign results positionally, so submission
+    order never shows in the output.
+    """
+    return sorted(
+        range(len(requests)),
+        key=lambda i: (-requests[i].n_insts, requests[i].workload.name, i),
+    )
+
+
+#: Worker-process memo of decoded traces, keyed by content key.  Two slots:
+#: sorted submission keeps one workload's cells adjacent, so the common
+#: case is a single decode per workload per worker; the second slot absorbs
+#: the overlap at workload boundaries.
+_WORKER_TRACE_SLOTS = 2
+_worker_traces: dict[str, Trace] = {}
+
+
+def decoded_trace(ref: TraceRef) -> Trace:
+    """Worker-side decode of a published trace, memoized per process.
+
+    The decoded trace is tens of thousands of long-lived acyclic objects
+    that every subsequent cyclic-GC pass would otherwise re-walk, so after
+    memoizing it the heap is frozen into the permanent generation.  This
+    is only sound *because* the trace is shared and long-lived -- in the
+    regenerate-per-cell world freezing a per-cell trace would pin garbage.
+    Eviction still frees evicted traces (they are acyclic; refcounting
+    does not care about freezing).
+    """
+    trace = _worker_traces.get(ref.key)
+    if trace is None:
+        enabled = gc.isenabled()
+        if enabled:
+            gc.disable()  # decode allocates ~n objects; don't re-scan mid-build
+        try:
+            with open_trace(ref) as buf:
+                trace = decode_trace(buf)
+        finally:
+            if enabled:
+                gc.enable()
+        _worker_traces[ref.key] = trace
+        while len(_worker_traces) > _WORKER_TRACE_SLOTS:
+            _worker_traces.pop(next(iter(_worker_traces)))
+        gc.collect()
+        gc.freeze()
+    return trace
+
+
+def paused_gc(fn, *args):
+    """Run ``fn`` with cyclic GC paused (simulation allocates heavily but
+    leaks no cycles per run; one collection afterwards settles the heap)."""
+    enabled = gc.isenabled()
+    if enabled:
+        gc.disable()
+    try:
+        return fn(*args)
+    finally:
+        if enabled:
+            gc.enable()
+            gc.collect(0)
+
+
+def _execute_published(
+    config: MachineConfig, warmup: int, validate: bool, ref: TraceRef
+) -> SimStats:
+    """Pool target for shared-trace cells (picklable, tiny arguments)."""
+    trace = decoded_trace(ref)
+    return paused_gc(
+        lambda: Processor(config, trace, validate=validate, warmup=warmup).run()
+    )
 
 
 class ExecutionBackend(Protocol):
@@ -51,63 +156,164 @@ class ExecutionBackend(Protocol):
 class SerialBackend:
     """In-process, in-order execution (the default).
 
-    Traces are generated once per (workload, n_insts) and replayed across
-    configurations, so IPC deltas are workload-identical comparisons
-    without paying regeneration per cell.
+    Traces are materialized once per (workload, n_insts) and replayed
+    across configurations; with a ``trace_cache`` attached, repeated
+    sweeps skip generation entirely and pay only the codec decode.
     """
+
+    def __init__(self, trace_cache: TraceCache | None = None) -> None:
+        self.trace_cache = trace_cache
+        #: The provider of the most recent :meth:`run` (introspection: its
+        #: ``generations`` counter is the sweep's trace-generation count).
+        self.last_provider: TraceProvider | None = None
 
     def run(
         self, requests: Sequence[RunRequest], progress: ProgressFn | None = None
     ) -> list[SimStats]:
-        # Cells arrive workload-major, so a single-entry trace cache gets
+        # Cells arrive workload-major, so a single-slot decoded memo gets
         # every reuse while keeping peak memory at one trace, not one per
         # workload in the sweep.
-        cached_key: tuple[str, int] | None = None
-        cached_trace: Trace | None = None
+        provider = TraceProvider(cache=self.trace_cache, decoded_capacity=1)
+        self.last_provider = provider
         results = []
         for request in requests:
             if progress is not None:
                 progress(request.describe())
-            key = (request.workload.fingerprint(), request.n_insts)
-            if key != cached_key:
-                cached_key = key
-                cached_trace = request.workload.materialize(request.n_insts)
-            results.append(execute_request(request, cached_trace))
+            try:
+                results.append(execute_request(request, provider.trace_for(request)))
+            except Exception as exc:
+                raise CellExecutionError(f"{request.describe()}: {exc}") from exc
         return results
 
 
+def run_with_published_traces(
+    workers: int,
+    provider: TraceProvider,
+    carrier: str | None,
+    units,
+    submit,
+    collect,
+    describe,
+) -> None:
+    """The pooled execution protocol, single-sourced for every backend.
+
+    ``units`` is an iterable of ``(trace_key, exemplar_request, payload)``
+    work units (``trace_key`` None skips publishing -- the regenerate-
+    per-cell compatibility mode).  For each unit, the exemplar's trace is
+    encoded and published **at most once per key**, in submission order,
+    so workers chew on earlier units while the parent prepares the next
+    workload.  ``submit(pool, ref, payload)`` starts a unit,
+    ``collect(payload, result)`` consumes its result, and any failure is
+    wrapped as :class:`CellExecutionError` via ``describe(payload)`` after
+    cancelling outstanding work (fail fast, don't drain the sweep).
+    Published segments are always released after the pool drains --
+    keeping this ordering correct in one place is the point of the helper.
+    """
+    published: dict[str, TraceRef] = {}
+    try:
+        with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
+            futures: dict[concurrent.futures.Future, object] = {}
+            for key, request, payload in units:
+                ref = None
+                if key is not None:
+                    ref = published.get(key)
+                    if ref is None:
+                        ref = publish_trace(
+                            key,
+                            provider.encoded(request.workload, request.n_insts),
+                            carrier=carrier,
+                        )
+                        published[key] = ref
+                futures[submit(pool, ref, payload)] = payload
+            for future in concurrent.futures.as_completed(futures):
+                payload = futures[future]
+                try:
+                    result = future.result()
+                except Exception as exc:
+                    for pending in futures:
+                        pending.cancel()
+                    if isinstance(exc, CellExecutionError):
+                        raise
+                    raise CellExecutionError(f"{describe(payload)}: {exc}") from exc
+                collect(payload, result)
+    finally:
+        for ref in published.values():
+            release_trace(ref)
+
+
 class ProcessPoolBackend:
-    """Fan cells out across worker processes.
+    """Fan cells out across worker processes, one task per cell.
 
     Results are collected by request index, so completion order (which
-    varies with scheduling) cannot affect the output.
+    varies with scheduling) cannot affect the output.  See the module
+    docstring for the trace-distribution strategy.
     """
 
-    def __init__(self, jobs: int | None = None) -> None:
+    def __init__(
+        self,
+        jobs: int | None = None,
+        share_traces: bool = True,
+        trace_cache: TraceCache | None = None,
+        carrier: str | None = None,
+    ) -> None:
         if jobs is not None and jobs < 1:
             raise ValueError("jobs must be >= 1")
         self.jobs = jobs or os.cpu_count() or 1
+        self.share_traces = share_traces
+        self.trace_cache = trace_cache
+        self.carrier = carrier
+        self.last_provider: TraceProvider | None = None
 
     def run(
         self, requests: Sequence[RunRequest], progress: ProgressFn | None = None
     ) -> list[SimStats]:
         requests = list(requests)
         results: list[SimStats | None] = [None] * len(requests)
-        with concurrent.futures.ProcessPoolExecutor(max_workers=self.jobs) as pool:
-            futures = {
-                pool.submit(execute_request, request): index
-                for index, request in enumerate(requests)
-            }
-            for future in concurrent.futures.as_completed(futures):
-                index = futures[future]
-                results[index] = future.result()
-                if progress is not None:
-                    progress(f"{requests[index].describe()} [done]")
+        provider = TraceProvider(cache=self.trace_cache)
+        self.last_provider = provider
+
+        units = [
+            (request_key(requests[i]) if self.share_traces else None, requests[i], i)
+            for i in submission_order(requests)
+        ]
+
+        def submit(pool, ref, index: int):
+            request = requests[index]
+            if ref is None:
+                return pool.submit(execute_request, request)
+            return pool.submit(
+                _execute_published, request.config, request.warmup, request.validate, ref
+            )
+
+        def collect(index: int, stats: SimStats) -> None:
+            results[index] = stats
+            if progress is not None:
+                progress(f"{requests[index].describe()} [done]")
+
+        run_with_published_traces(
+            self.jobs,
+            provider,
+            self.carrier,
+            units,
+            submit,
+            collect,
+            lambda index: requests[index].describe(),
+        )
         return results  # type: ignore[return-value]
 
 
-def make_backend(jobs: int | None) -> ExecutionBackend:
-    """Backend for a ``--jobs`` setting: serial for 1/None, pooled above."""
+def make_backend(
+    jobs: int | None, trace_cache: TraceCache | None = None
+) -> ExecutionBackend:
+    """Backend for a ``--jobs`` setting: serial for 1/None, batched above.
+
+    Parallel sweeps get the :class:`~repro.experiments.batch.BatchRunner`
+    (single-pass multi-config execution over shared traces); plain
+    :class:`ProcessPoolBackend` remains available for callers that want
+    cell-granular scheduling.
+    """
+    from repro.experiments.batch import BatchRunner
+
     if jobs is None or jobs <= 1:
-        return SerialBackend()
-    return ProcessPoolBackend(jobs)
+        return SerialBackend(trace_cache=trace_cache)
+    return BatchRunner(jobs=jobs, trace_cache=trace_cache)

@@ -1,0 +1,220 @@
+"""Single-pass multi-config sweep execution (the ``BatchRunner``).
+
+The figure sweeps are matrices: every workload is simulated under several
+machine configurations.  Cell-granular pools ship one task per cell and
+pay trace materialization per task; the :class:`BatchRunner` instead
+groups a sweep's cells by workload and runs **all configs of one workload
+in a single pass over one decoded trace**:
+
+- the parent generates + encodes each workload trace at most once per
+  sweep (:class:`~repro.experiments.traces.TraceProvider`) and publishes
+  it via shared memory (:mod:`~repro.experiments.transport`);
+- each worker task is a *chunk* -- one workload's configs (or a slice of
+  them when the sweep has fewer workloads than workers) -- that decodes
+  the trace once and feeds the same ``Trace``/``TraceMeta`` object to
+  every :class:`~repro.pipeline.processor.Processor` it builds;
+- chunks are scheduled longest-expected-job-first (by instruction budget x
+  cell count, then workload) so the pool drains evenly.
+
+Results remain positionally aligned with the request list and bit-identical
+to :class:`~repro.experiments.backends.SerialBackend` -- the trace replayed
+in a worker is the codec round-trip of the trace the serial backend would
+generate, and the codec round-trip is exact.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Sequence
+
+from repro.experiments.backends import (
+    CellExecutionError,
+    ProgressFn,
+    decoded_trace,
+    execute_request,
+    paused_gc,
+    run_with_published_traces,
+)
+from repro.experiments.spec import RunRequest
+from repro.experiments.traces import TraceProvider, request_key
+from repro.experiments.transport import TraceRef
+from repro.pipeline.config import MachineConfig
+from repro.pipeline.processor import Processor
+from repro.pipeline.stats import SimStats
+from repro.workloads.trace_cache import TraceCache
+
+#: One cell of a chunk, as shipped to workers: (config, warmup, validate,
+#: human-readable identity for error reports).
+_CellPayload = tuple[MachineConfig, int, bool, str]
+
+
+def _run_chunk(ref: TraceRef, cells: list[_CellPayload]) -> list[SimStats]:
+    """Worker target: decode once, simulate every cell against that trace.
+
+    The whole chunk runs with cyclic GC paused: the frozen decoded trace
+    (see :func:`~repro.experiments.backends.decoded_trace`) plus the
+    sims' cycle-free allocation profile make collections pure overhead
+    here; one collection at chunk end settles the heap.
+    """
+    trace = decoded_trace(ref)
+
+    def simulate() -> list[SimStats]:
+        results = []
+        for config, warmup, validate, describe in cells:
+            try:
+                results.append(
+                    Processor(config, trace, validate=validate, warmup=warmup).run()
+                )
+            except Exception as exc:
+                raise CellExecutionError(f"{describe}: {exc}") from exc
+        return results
+
+    return paused_gc(simulate)
+
+
+class BatchRunner:
+    """Workload-grouped, single-pass sweep execution.
+
+    ``jobs <= 1`` runs the same grouped schedule in-process (no pool, no
+    transport) -- useful for tests and for machines where fork is costly.
+    """
+
+    def __init__(
+        self,
+        jobs: int | None = None,
+        trace_cache: TraceCache | None = None,
+        carrier: str | None = None,
+    ) -> None:
+        if jobs is not None and jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs or os.cpu_count() or 1
+        #: Actual pool size: workers beyond the physical core count only
+        #: timeshare the same CPUs and thrash their caches between
+        #: half-finished simulations, so the pool never oversubscribes the
+        #: machine.  ``jobs`` still expresses the *intended* parallelism
+        #: and keeps driving chunk splitting (a chunk surplus is absorbed
+        #: by the worker-local decode memo; oversubscribed workers are
+        #: pure loss).
+        self.workers = max(1, min(self.jobs, os.cpu_count() or self.jobs))
+        self.trace_cache = trace_cache
+        self.carrier = carrier
+        #: Provider of the most recent run (its ``generations`` counter is
+        #: the amortization proof surfaced by ``svw-repro bench-sweep``).
+        self.last_provider: TraceProvider | None = None
+
+    # -- scheduling ----------------------------------------------------------
+
+    @staticmethod
+    def _groups(requests: Sequence[RunRequest]) -> list[tuple[str, list[int]]]:
+        """Cells grouped by materialized trace, longest-expected-job-first.
+
+        Expected work scales with ``n_insts x cells``; the workload-name
+        tiebreak keeps the order deterministic across runs.
+        """
+        by_key: dict[str, list[int]] = {}
+        for index, request in enumerate(requests):
+            by_key.setdefault(request_key(request), []).append(index)
+        return sorted(
+            by_key.items(),
+            key=lambda item: (
+                -sum(requests[i].n_insts for i in item[1]),
+                requests[item[1][0]].workload.name,
+            ),
+        )
+
+    def _chunks(
+        self, requests: Sequence[RunRequest]
+    ) -> list[tuple[str, list[int]]]:
+        """Groups split until the pool has work for every worker.
+
+        Splitting trades one extra decode (amortized by the worker-local
+        trace memo) for parallelism, so it only happens while chunks
+        outnumbering workers is impossible and some chunk still has more
+        than one cell.
+        """
+        chunks = self._groups(requests)
+        while len(chunks) < self.jobs:
+            key, widest = max(chunks, key=lambda item: len(item[1]))
+            if len(widest) < 2:
+                break
+            chunks.remove((key, widest))
+            half = len(widest) // 2
+            chunks.append((key, widest[:half]))
+            chunks.append((key, widest[half:]))
+            chunks.sort(
+                key=lambda item: (
+                    -sum(requests[i].n_insts for i in item[1]),
+                    requests[item[1][0]].workload.name,
+                    item[1][0],
+                )
+            )
+        return chunks
+
+    # -- execution -----------------------------------------------------------
+
+    def run(
+        self, requests: Sequence[RunRequest], progress: ProgressFn | None = None
+    ) -> list[SimStats]:
+        requests = list(requests)
+        if self.jobs <= 1 or len(requests) <= 1:
+            return self._run_serial(requests, progress)
+        return self._run_pooled(requests, progress)
+
+    def _run_serial(
+        self, requests: Sequence[RunRequest], progress: ProgressFn | None
+    ) -> list[SimStats]:
+        provider = TraceProvider(cache=self.trace_cache, decoded_capacity=1)
+        self.last_provider = provider
+        results: list[SimStats | None] = [None] * len(requests)
+        for _, indices in self._groups(requests):
+            trace = provider.trace_for(requests[indices[0]])
+            for index in indices:
+                request = requests[index]
+                if progress is not None:
+                    progress(f"{request.describe()} [batch]")
+                try:
+                    results[index] = execute_request(request, trace)
+                except Exception as exc:
+                    raise CellExecutionError(f"{request.describe()}: {exc}") from exc
+        return results  # type: ignore[return-value]
+
+    def _run_pooled(
+        self, requests: Sequence[RunRequest], progress: ProgressFn | None
+    ) -> list[SimStats]:
+        provider = TraceProvider(cache=self.trace_cache)
+        self.last_provider = provider
+        results: list[SimStats | None] = [None] * len(requests)
+
+        units = [
+            (key, requests[indices[0]], indices)
+            for key, indices in self._chunks(requests)
+        ]
+
+        def submit(pool, ref, indices: list[int]):
+            cells: list[_CellPayload] = [
+                (
+                    requests[i].config,
+                    requests[i].warmup,
+                    requests[i].validate,
+                    requests[i].describe(),
+                )
+                for i in indices
+            ]
+            return pool.submit(_run_chunk, ref, cells)
+
+        def collect(indices: list[int], chunk_results: list[SimStats]) -> None:
+            for index, stats in zip(indices, chunk_results):
+                results[index] = stats
+                if progress is not None:
+                    progress(f"{requests[index].describe()} [done]")
+
+        run_with_published_traces(
+            self.workers,
+            provider,
+            self.carrier,
+            units,
+            submit,
+            collect,
+            lambda indices: requests[indices[0]].describe(),
+        )
+        return results  # type: ignore[return-value]

@@ -11,10 +11,10 @@ directory at worst redo a cell, never corrupt one.
 from __future__ import annotations
 
 import json
-import os
 from pathlib import Path
 
 from repro.experiments.spec import RunRequest
+from repro.ioutil import atomic_write_text
 from repro.pipeline.stats import SimStats
 
 #: Bump when the on-disk payload layout changes.
@@ -60,10 +60,10 @@ class ResultStore:
             "validate": request.validate,
             "stats": stats.to_dict(),
         }
-        path = self.path_for(request)
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(json.dumps(payload, sort_keys=True, indent=1))
-        os.replace(tmp, path)
+        # Atomic replace via a uniquely-named tmp file: workers of a
+        # parallel sweep sharing one --cache-dir can race on the same cell
+        # without a reader ever observing torn JSON.
+        atomic_write_text(self.path_for(request), json.dumps(payload, sort_keys=True, indent=1))
 
     def __len__(self) -> int:
         return sum(1 for _ in self.root.glob("*.json"))

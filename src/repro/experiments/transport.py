@@ -1,0 +1,174 @@
+"""Zero-copy distribution of encoded traces to worker processes.
+
+A sweep generates and encodes each workload's trace exactly once; workers
+then need the bytes without paying a per-task pickle of ~1.5 MB through
+the pool's pipe.  The parent *publishes* the encoded buffer and ships only
+a tiny picklable :class:`TraceRef`; workers *open* the ref and decode
+straight out of the mapping.
+
+Two interchangeable carriers:
+
+- ``shm``: a :class:`multiprocessing.shared_memory.SharedMemory` segment.
+  One physical copy serves every worker on the machine regardless of
+  worker count.  Workers attach read-only-by-convention and detach after
+  decoding; the parent unlinks at sweep teardown.
+- ``file``: a temporary file that workers ``mmap``.  The fallback when
+  POSIX shared memory is unavailable (or explicitly disabled with
+  ``SVW_TRACE_TRANSPORT=file``); the page cache makes this nearly as
+  cheap.
+
+Either way the decoded columns are copied out of the mapping (the codec
+copies into :mod:`array` columns), so segments never outlive the sweep.
+"""
+
+from __future__ import annotations
+
+import mmap
+import os
+import tempfile
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+try:  # pragma: no cover - exercised indirectly on every platform we run on
+    from multiprocessing import shared_memory
+except ImportError:  # pragma: no cover - ancient/embedded pythons only
+    shared_memory = None  # type: ignore[assignment]
+
+#: Environment override: "file" forces the tempfile carrier, "shm" insists
+#: on shared memory (raising if unavailable).  Unset picks shm when it works.
+TRANSPORT_ENV = "SVW_TRACE_TRANSPORT"
+
+
+@dataclass(frozen=True, slots=True)
+class TraceRef:
+    """Picklable handle to one published encoded trace.
+
+    ``key`` is the content key (workers use it to cache decoded traces);
+    ``carrier`` is ``"shm"`` or ``"file"``; ``name`` is the segment name or
+    file path; ``size`` is the exact payload length (shared-memory segments
+    round up to page size, so the mapping may be longer).
+    """
+
+    key: str
+    carrier: str
+    name: str
+    size: int
+
+
+def _unregister_attachment(name: str) -> None:
+    """Undo the resource-tracker registration an *attach* performed.
+
+    On CPython < 3.13, attaching to an existing segment registers it with
+    the attaching process's resource tracker.  Under the ``fork`` start
+    method every process shares the parent's tracker (a set, so the
+    re-registration is a no-op and must NOT be undone -- the parent's
+    ``unlink`` balances it); under ``spawn``/``forkserver`` workers get
+    their own tracker, which would unlink the parent's live segment when
+    the worker exits unless the attachment is unregistered here.
+    """
+    try:  # pragma: no cover - start-method and version dependent
+        import multiprocessing
+        from multiprocessing import resource_tracker
+
+        if multiprocessing.get_start_method(allow_none=True) == "fork":
+            return
+        resource_tracker.unregister(f"/{name.lstrip('/')}", "shared_memory")
+    except Exception:
+        pass
+
+
+def publish_trace(key: str, data: bytes, carrier: str | None = None) -> TraceRef:
+    """Make ``data`` reachable by worker processes; returns the ref.
+
+    The parent must keep the returned ref and eventually call
+    :func:`release_trace` -- segments and spill files are owned by the
+    publishing process, not the attaching workers.
+    """
+    # An explicitly requested carrier (argument or env var) is honoured or
+    # fails loudly; only the automatic default may fall back, so a run
+    # configured to measure shared memory never silently measures tempfiles.
+    explicit = carrier is not None or bool(os.environ.get(TRANSPORT_ENV))
+    if carrier is None:
+        carrier = os.environ.get(TRANSPORT_ENV) or (
+            "shm" if shared_memory is not None else "file"
+        )
+    if carrier == "shm":
+        if shared_memory is None:
+            raise RuntimeError("shared memory transport requested but unavailable")
+        try:
+            segment = shared_memory.SharedMemory(create=True, size=max(1, len(data)))
+        except OSError:
+            if explicit:
+                raise
+            # /dev/shm may be missing or full (containers); fall back.
+            return publish_trace(key, data, carrier="file")
+        segment.buf[: len(data)] = data
+        ref = TraceRef(key=key, carrier="shm", name=segment.name, size=len(data))
+        # Close our mapping but do not unlink: the segment stays published
+        # until release_trace.  Keeping the fd open would leak one fd per
+        # workload in long sweep processes.
+        segment.close()
+        return ref
+    if carrier == "file":
+        fd, path = tempfile.mkstemp(prefix=f"svwtrace-{os.getpid()}-", suffix=".svwt")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(data)
+        except BaseException:
+            os.unlink(path)
+            raise
+        return TraceRef(key=key, carrier="file", name=path, size=len(data))
+    raise ValueError(f"unknown trace transport {carrier!r}")
+
+
+@contextmanager
+def open_trace(ref: TraceRef) -> Iterator[memoryview]:
+    """Worker-side view of a published trace's bytes (zero-copy mapping)."""
+    if ref.carrier == "shm":
+        assert shared_memory is not None
+        segment = shared_memory.SharedMemory(name=ref.name)
+        _unregister_attachment(ref.name)
+        view = segment.buf[: ref.size]
+        try:
+            yield view
+        finally:
+            # Release our exported view before closing, else the segment
+            # close raises BufferError while pointers are outstanding.
+            view.release()
+            segment.close()
+    elif ref.carrier == "file":
+        with open(ref.name, "rb") as handle:
+            mapping = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+            view = memoryview(mapping)[: ref.size]
+            try:
+                yield view
+            finally:
+                view.release()
+                mapping.close()
+    else:
+        raise ValueError(f"unknown trace transport {ref.carrier!r}")
+
+
+def release_trace(ref: TraceRef) -> None:
+    """Parent-side teardown of a published trace (idempotent)."""
+    if ref.carrier == "shm":
+        assert shared_memory is not None
+        try:
+            segment = shared_memory.SharedMemory(name=ref.name)
+        except FileNotFoundError:
+            return
+        # Re-attaching registered the name again; trackers keep a set, so
+        # unlink()'s single unregister balances create+attach exactly.
+        segment.close()
+        try:
+            segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - racing releases
+            pass
+    elif ref.carrier == "file":
+        try:
+            os.unlink(ref.name)
+        except OSError:
+            pass
+    else:
+        raise ValueError(f"unknown trace transport {ref.carrier!r}")

@@ -49,6 +49,7 @@ import time
 from typing import Callable
 
 from repro.harness.configs import fig5_configs, fig6_configs
+from repro.ioutil import atomic_write_text
 from repro.pipeline.config import MachineConfig
 from repro.pipeline.processor import Processor
 from repro.workloads.spec2000 import spec_profile
@@ -90,8 +91,14 @@ def run_bench(
     repeats: int = 3,
     quick: bool = False,
     progress: Callable[[str], None] | None = None,
+    lsus: list[str] | None = None,
 ) -> dict:
-    """Run the core benchmark; returns the ``BENCH_core.json`` payload."""
+    """Run the core benchmark; returns the ``BENCH_core.json`` payload.
+
+    ``workloads`` and ``lsus`` narrow the matrix (``svw-repro bench
+    --workloads gcc --lsus nlq``), which is how the perf-regression
+    harness targets a single cell during development.
+    """
     if quick:
         workloads = workloads or QUICK_WORKLOADS
         n_insts = min(n_insts, QUICK_INSTS)
@@ -99,6 +106,11 @@ def run_bench(
     elif workloads is None:
         workloads = BENCH_WORKLOADS
     configs = bench_configs()
+    if lsus is not None:
+        unknown = sorted(set(lsus) - set(configs))
+        if unknown:
+            raise ValueError(f"unknown LSU kinds {unknown}; choose from {sorted(configs)}")
+        configs = {kind: configs[kind] for kind in configs if kind in lsus}
     results: list[dict] = []
     traces = {}
     for name in workloads:
@@ -172,9 +184,7 @@ def render_bench(payload: dict) -> str:
 
 
 def write_bench(payload: dict, path: str) -> None:
-    with open(path, "w") as handle:
-        json.dump(payload, handle, indent=1, sort_keys=True)
-        handle.write("\n")
+    atomic_write_text(path, json.dumps(payload, indent=1, sort_keys=True) + "\n")
 
 
 def load_bench(path: str) -> dict:
@@ -232,6 +242,8 @@ def main(argv: list[str] | None = None) -> int:  # pragma: no cover - thin CLI
     parser.add_argument("--quick", action="store_true")
     parser.add_argument("--insts", type=int, default=BENCH_INSTS)
     parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--workloads", type=str, default=None, help="comma-separated subset")
+    parser.add_argument("--lsus", type=str, default=None, help="comma-separated LSU kinds")
     parser.add_argument("--out", default="BENCH_core.json")
     parser.add_argument("--compare", nargs=2, metavar=("OLD", "NEW"))
     args = parser.parse_args(argv)
@@ -239,10 +251,12 @@ def main(argv: list[str] | None = None) -> int:  # pragma: no cover - thin CLI
         print(compare_bench(load_bench(args.compare[0]), load_bench(args.compare[1])))
         return 0
     payload = run_bench(
+        workloads=args.workloads.split(",") if args.workloads else None,
         n_insts=args.insts,
         repeats=args.repeats,
         quick=args.quick,
         progress=lambda msg: print(f"  ... {msg}", file=sys.stderr, flush=True),
+        lsus=args.lsus.split(",") if args.lsus else None,
     )
     print(render_bench(payload))
     write_bench(payload, args.out)

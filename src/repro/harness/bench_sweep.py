@@ -1,0 +1,316 @@
+"""Sweep-throughput benchmark (``svw-repro bench-sweep``).
+
+Where ``svw-repro bench`` measures the simulator core (committed
+instructions per second of one ``Processor.run``), this benchmark measures
+what the paper's figures are actually bottlenecked on: **cells per
+second** of a whole configs x workloads sweep, per execution backend.  It
+is the regression harness for the sweep-execution subsystem (trace codec,
+shared-memory distribution, batch runner) and, because every cell's
+statistics fingerprint is recorded and cross-checked against
+:class:`~repro.experiments.backends.SerialBackend`, every speedup claim in
+``BENCH_sweep.json`` doubles as a bit-identical equivalence proof.
+
+Modes (same cell set, same machine):
+
+- ``serial``        -- ``SerialBackend``: the in-process reference.
+- ``pool_regen``    -- ``ProcessPoolBackend(share_traces=False)``: the
+  pre-batching parallel backend; every worker regenerates its cell's
+  trace from the workload profile.  This is the comparison baseline.
+- ``pool_shared``   -- ``ProcessPoolBackend``: per-cell tasks, but traces
+  are generated/encoded once in the parent and published through shared
+  memory; workers decode and memoize.
+- ``batch``         -- ``BatchRunner``: single decode per workload chunk,
+  all of its configs run in one pass over one ``Trace``/``TraceMeta``.
+
+All provider-backed modes share one on-disk
+:class:`~repro.workloads.trace_cache.TraceCache` for the duration of the
+benchmark, so across *all* modes and repeats each (workload, seed, budget)
+trace is generated at most once -- the ``trace_generations`` numbers in
+the payload are the amortization proof.  ``pool_regen`` cannot use it by
+construction (that is the behaviour being measured).
+
+``BENCH_sweep.json`` schema (``schema_version`` 1)::
+
+    {
+      "schema_version": 1, "created_unix": ..., "python": ..., "platform": ...,
+      "jobs": 2, "n_insts": 30000, "repeats": 2,
+      "workloads": [...], "configs": [...], "n_cells": 50,
+      "cells": [{"workload": ..., "config": ..., "stats_fingerprint": ...}],
+      "modes": {"serial": {"wall_seconds": ..., "cells_per_sec": ...,
+                           "trace_generations": ...}, ...},
+      "equivalence": {"identical": true, "diverged": []},
+      "speedups": {"batch_vs_pool_regen": ..., "pool_shared_vs_pool_regen": ...,
+                   "batch_vs_serial": ...}
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import tempfile
+import time
+from typing import Callable
+
+from repro.experiments.backends import ProcessPoolBackend, SerialBackend
+from repro.experiments.batch import BatchRunner
+from repro.experiments.spec import ExperimentSpec, matrix_spec
+from repro.harness.bench import BENCH_WORKLOADS, QUICK_WORKLOADS
+from repro.harness.configs import fig5_configs, fig6_configs
+from repro.ioutil import atomic_write_text
+from repro.pipeline.config import MachineConfig
+from repro.workloads.trace_cache import TraceCache
+
+SWEEP_SCHEMA_VERSION = 1
+
+#: Default instruction budget per cell (the figure sweeps' default).
+SWEEP_INSTS = 30_000
+
+#: Default worker count for the pooled modes.
+SWEEP_JOBS = 2
+
+QUICK_INSTS = 6_000
+
+#: The baseline mode speedups are quoted against (the pre-batching
+#: parallel backend).
+BASELINE_MODE = "pool_regen"
+
+MODE_ORDER = ("serial", "pool_regen", "pool_shared", "batch")
+
+
+def sweep_configs() -> dict[str, MachineConfig]:
+    """The default figure sweep's configurations.
+
+    The union of the Figure 5 (NLQ) and Figure 6 (SSQ) families -- ten
+    configurations per workload, which is the amortization profile the
+    paper's evaluation actually has: many machines replaying one trace.
+    """
+    configs = {f"fig5/{label}": config for label, config in fig5_configs().items()}
+    configs.update(
+        {f"fig6/{label}": config for label, config in fig6_configs().items()}
+    )
+    return configs
+
+
+def sweep_spec(
+    workloads: list[str] | None = None,
+    n_insts: int = SWEEP_INSTS,
+    quick: bool = False,
+) -> ExperimentSpec:
+    """The benchmark's sweep: default figure configs x bench workloads."""
+    if quick:
+        workloads = workloads or QUICK_WORKLOADS
+        n_insts = min(n_insts, QUICK_INSTS)
+        configs = {f"fig5/{label}": config for label, config in fig5_configs().items()}
+    else:
+        workloads = workloads or BENCH_WORKLOADS
+        configs = sweep_configs()
+    return matrix_spec(
+        "bench_sweep", configs, workloads, n_insts, baseline="fig5/baseline"
+    )
+
+
+def _make_backends(jobs: int, cache: TraceCache) -> dict[str, object]:
+    return {
+        "serial": SerialBackend(trace_cache=cache),
+        "pool_regen": ProcessPoolBackend(jobs=jobs, share_traces=False),
+        "pool_shared": ProcessPoolBackend(jobs=jobs, trace_cache=cache),
+        "batch": BatchRunner(jobs=jobs, trace_cache=cache),
+    }
+
+
+def run_sweep_bench(
+    workloads: list[str] | None = None,
+    n_insts: int = SWEEP_INSTS,
+    jobs: int = SWEEP_JOBS,
+    repeats: int = 2,
+    quick: bool = False,
+    progress: Callable[[str], None] | None = None,
+    trace_cache_dir: str | None = None,
+) -> dict:
+    """Run the sweep benchmark; returns the ``BENCH_sweep.json`` payload."""
+    if quick:
+        repeats = min(repeats, 1)
+    spec = sweep_spec(workloads, n_insts, quick=quick)
+    requests = spec.cells()
+    cell_ids = [(r.workload.name, r.config_label) for r in requests]
+
+    with tempfile.TemporaryDirectory(prefix="svw-bench-sweep-") as default_dir:
+        cache = TraceCache(trace_cache_dir or default_dir)
+        backends = _make_backends(jobs, cache)
+        mode_rows: dict[str, dict] = {}
+        fingerprints: dict[str, list[str]] = {}
+        for mode in MODE_ORDER:
+            backend = backends[mode]
+            best = float("inf")
+            generations = 0
+            stats = None
+            for repeat in range(max(1, repeats)):
+                if progress is not None:
+                    progress(f"bench-sweep: {mode} ({len(requests)} cells, "
+                             f"repeat {repeat + 1})")
+                started = time.perf_counter()
+                stats = backend.run(requests)
+                best = min(best, time.perf_counter() - started)
+                provider = getattr(backend, "last_provider", None)
+                if provider is not None:
+                    generations += provider.generations
+            assert stats is not None
+            if mode == BASELINE_MODE:
+                # Workers regenerate per cell by construction; the parent
+                # cannot observe it, but the count is exact.
+                generations = len(requests) * max(1, repeats)
+            fingerprints[mode] = [s.fingerprint() for s in stats]
+            mode_rows[mode] = {
+                "wall_seconds": best,
+                "cells_per_sec": len(requests) / best if best else 0.0,
+                "trace_generations": generations,
+            }
+
+    reference = fingerprints["serial"]
+    diverged = sorted(
+        f"{mode}:{workload}/{config}"
+        for mode, prints in fingerprints.items()
+        for (workload, config), ours, theirs in zip(cell_ids, prints, reference)
+        if ours != theirs
+    )
+    baseline_rate = mode_rows[BASELINE_MODE]["cells_per_sec"]
+    speedup = lambda mode: (  # noqa: E731 - local one-liner
+        mode_rows[mode]["cells_per_sec"] / baseline_rate if baseline_rate else 0.0
+    )
+    return {
+        "schema_version": SWEEP_SCHEMA_VERSION,
+        "created_unix": time.time(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "jobs": jobs,
+        "n_insts": spec.n_insts,
+        "repeats": max(1, repeats),
+        "workloads": spec.benchmark_names,
+        "configs": spec.config_order,
+        "n_cells": len(requests),
+        "cells": [
+            {"workload": workload, "config": config, "stats_fingerprint": print_}
+            for (workload, config), print_ in zip(cell_ids, reference)
+        ],
+        "modes": mode_rows,
+        "equivalence": {"identical": not diverged, "diverged": diverged},
+        "speedups": {
+            "batch_vs_pool_regen": speedup("batch"),
+            "pool_shared_vs_pool_regen": speedup("pool_shared"),
+            "batch_vs_serial": (
+                mode_rows["batch"]["cells_per_sec"]
+                / mode_rows["serial"]["cells_per_sec"]
+                if mode_rows["serial"]["cells_per_sec"]
+                else 0.0
+            ),
+        },
+    }
+
+
+def render_sweep_bench(payload: dict) -> str:
+    """Human-readable table for a sweep-benchmark payload."""
+    lines = [
+        f"sweep benchmark: {payload['n_cells']} cells "
+        f"({len(payload['workloads'])} workloads x {len(payload['configs'])} configs, "
+        f"{payload['n_insts']} insts/cell), jobs={payload['jobs']}, "
+        f"best of {payload['repeats']}, python {payload['python']}",
+        f"{'mode':14s} {'wall s':>8s} {'cells/s':>9s} {'trace gens':>11s} {'vs pre-PR':>10s}",
+    ]
+    baseline = payload["modes"][BASELINE_MODE]["cells_per_sec"]
+    for mode in MODE_ORDER:
+        row = payload["modes"].get(mode)
+        if row is None:
+            continue
+        ratio = row["cells_per_sec"] / baseline if baseline else float("nan")
+        lines.append(
+            f"{mode:14s} {row['wall_seconds']:8.2f} {row['cells_per_sec']:9.2f} "
+            f"{row['trace_generations']:11d} {ratio:9.2f}x"
+        )
+    equivalence = payload["equivalence"]
+    if equivalence["identical"]:
+        lines.append("results bit-identical to SerialBackend across all modes")
+    else:
+        lines.append(f"WARNING: diverged cells: {equivalence['diverged']}")
+    return "\n".join(lines)
+
+
+def write_sweep_bench(payload: dict, path: str) -> None:
+    atomic_write_text(path, json.dumps(payload, indent=1, sort_keys=True) + "\n")
+
+
+def load_sweep_bench(path: str) -> dict:
+    with open(path) as handle:
+        payload = json.load(handle)
+    version = payload.get("schema_version")
+    if version != SWEEP_SCHEMA_VERSION:
+        raise ValueError(f"{path}: unsupported sweep-bench schema {version!r}")
+    return payload
+
+
+def compare_sweep_bench(old: dict, new: dict) -> str:
+    """Cells/sec ratios between two ``BENCH_sweep.json`` payloads."""
+    lines = [f"{'mode':14s} {'old c/s':>9s} {'new c/s':>9s} {'speedup':>8s}"]
+    for mode, new_row in new["modes"].items():
+        old_row = old["modes"].get(mode)
+        if old_row is None:
+            continue
+        ratio = (
+            new_row["cells_per_sec"] / old_row["cells_per_sec"]
+            if old_row["cells_per_sec"]
+            else float("nan")
+        )
+        lines.append(
+            f"{mode:14s} {old_row['cells_per_sec']:9.2f} "
+            f"{new_row['cells_per_sec']:9.2f} {ratio:7.2f}x"
+        )
+    old_fp = {
+        (c["workload"], c["config"]): c["stats_fingerprint"] for c in old["cells"]
+    }
+    diverged = sorted(
+        f"{c['workload']}/{c['config']}"
+        for c in new["cells"]
+        if old_fp.get((c["workload"], c["config"]), c["stats_fingerprint"])
+        != c["stats_fingerprint"]
+    )
+    if diverged:
+        lines.append(f"WARNING: results diverged for {diverged}")
+    else:
+        lines.append("results bit-identical across comparable cells")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:  # pragma: no cover - thin CLI
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument("--insts", type=int, default=SWEEP_INSTS)
+    parser.add_argument("--jobs", type=int, default=SWEEP_JOBS)
+    parser.add_argument("--repeats", type=int, default=2)
+    parser.add_argument("--workloads", type=str, default=None)
+    parser.add_argument("--trace-cache-dir", type=str, default=None)
+    parser.add_argument("--out", default="BENCH_sweep.json")
+    parser.add_argument("--compare", nargs=2, metavar=("OLD", "NEW"))
+    args = parser.parse_args(argv)
+    if args.compare:
+        print(
+            compare_sweep_bench(
+                load_sweep_bench(args.compare[0]), load_sweep_bench(args.compare[1])
+            )
+        )
+        return 0
+    payload = run_sweep_bench(
+        workloads=args.workloads.split(",") if args.workloads else None,
+        n_insts=args.insts,
+        jobs=args.jobs,
+        repeats=args.repeats,
+        quick=args.quick,
+        progress=lambda msg: print(f"  ... {msg}", file=sys.stderr, flush=True),
+        trace_cache_dir=args.trace_cache_dir,
+    )
+    print(render_sweep_bench(payload))
+    write_sweep_bench(payload, args.out)
+    print(f"wrote {args.out}")
+    return 0 if payload["equivalence"]["identical"] else 1

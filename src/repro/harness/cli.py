@@ -9,8 +9,11 @@ Examples::
     svw-repro fig5 --jobs 8                # fan cells out across processes
     svw-repro all --cache-dir ~/.cache/svw # reruns become cache reads
     svw-repro fig5 --json results.json     # machine-readable results
+    svw-repro fig5 --jobs 8 --trace-cache-dir ~/.cache/svw-traces
     svw-repro bench                        # core-throughput benchmark
     svw-repro bench --quick --out BENCH_core.json
+    svw-repro bench --workloads gcc --lsus nlq   # one cell, for development
+    svw-repro bench-sweep --jobs 4         # sweep-throughput benchmark
 """
 
 from __future__ import annotations
@@ -25,8 +28,9 @@ from repro.experiments.backends import make_backend
 from repro.experiments.results import FigureResult
 from repro.experiments.spec import DEFAULT_INSTS
 from repro.experiments.store import ResultStore
-from repro.harness import bench, figures
+from repro.harness import bench, bench_sweep, figures
 from repro.harness.report import render_claims, render_figure
+from repro.workloads.trace_cache import TraceCache
 
 _EXPERIMENTS: dict[str, Callable[..., FigureResult]] = {
     "fig5": figures.figure5,
@@ -78,9 +82,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(_EXPERIMENTS) + ["all", "bench"],
+        choices=sorted(_EXPERIMENTS) + ["all", "bench", "bench-sweep"],
         help="which table/figure to regenerate ('bench' runs the "
-        "core-simulator throughput benchmark instead)",
+        "core-simulator throughput benchmark, 'bench-sweep' the "
+        "sweep-throughput/backend-equivalence benchmark)",
     )
     parser.add_argument(
         "--insts",
@@ -98,8 +103,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--jobs",
         type=int,
-        default=1,
-        help="worker processes per sweep (default 1: serial in-process)",
+        default=None,
+        help="worker processes per sweep (default: serial in-process; "
+        "bench-sweep defaults to 2)",
     )
     parser.add_argument(
         "--cache-dir",
@@ -115,53 +121,103 @@ def main(argv: list[str] | None = None) -> int:
         help="also write results as JSON to PATH ('-' writes JSON to stdout "
         "and suppresses the rendered tables, keeping stdout machine-parseable)",
     )
+    parser.add_argument(
+        "--trace-cache-dir",
+        type=str,
+        default=None,
+        help="on-disk encoded-trace cache; sweeps (and bench-sweep) skip "
+        "trace generation for workloads cached here",
+    )
     parser.add_argument("--quiet", action="store_true", help="suppress progress output")
     parser.add_argument(
         "--quick",
         action="store_true",
-        help="bench only: reduced workload/instruction budget (CI smoke)",
+        help="bench/bench-sweep only: reduced budget (CI smoke)",
     )
     parser.add_argument(
         "--repeats",
         type=int,
-        default=3,
-        help="bench only: timing repetitions per cell (best-of; default 3)",
+        default=None,
+        help="bench/bench-sweep only: timing repetitions (best-of; "
+        "default 3 for bench, 2 for bench-sweep)",
+    )
+    parser.add_argument(
+        "--workloads",
+        type=str,
+        default=None,
+        help="bench/bench-sweep only: comma-separated workload subset "
+        "(for figures use --benchmarks)",
+    )
+    parser.add_argument(
+        "--lsus",
+        type=str,
+        default=None,
+        help="bench only: comma-separated LSU kinds (conventional,nlq,ssq); "
+        "with --workloads this narrows the harness to a single cell",
     )
     parser.add_argument(
         "--out",
         type=str,
         default=None,
         metavar="PATH",
-        help="bench only: where to write the benchmark JSON "
-        "(default BENCH_core.json unless --json already directs it)",
+        help="bench/bench-sweep only: where to write the benchmark JSON "
+        "(default BENCH_core.json / BENCH_sweep.json unless --json "
+        "already directs it)",
     )
     args = parser.parse_args(argv)
 
     benchmarks = args.benchmarks.split(",") if args.benchmarks else None
-    if args.experiment == "bench":
-        payload = bench.run_bench(
-            workloads=benchmarks,
-            n_insts=args.insts,
-            repeats=args.repeats,
-            quick=args.quick,
-            progress=None if args.quiet else _progress,
-        )
+    workloads = args.workloads.split(",") if args.workloads else benchmarks
+
+    def emit_benchmark(payload: dict, render, write, default_out: str) -> None:
+        """Shared --json/--out plumbing for the benchmark subcommands."""
         if args.json == "-":
             print(json.dumps(payload, indent=1, sort_keys=True))
         else:
-            print(bench.render_bench(payload))
+            print(render(payload))
             if args.json is not None:
-                bench.write_bench(payload, args.json)
+                write(payload, args.json)
         out = args.out
         if out is None and args.json is None:
-            out = "BENCH_core.json"
+            out = default_out
         if out is not None:
-            bench.write_bench(payload, out)
+            write(payload, out)
             if not args.quiet:
                 print(f"wrote {out}", file=sys.stderr)
+
+    if args.experiment == "bench":
+        payload = bench.run_bench(
+            workloads=workloads,
+            n_insts=args.insts,
+            repeats=3 if args.repeats is None else args.repeats,
+            quick=args.quick,
+            progress=None if args.quiet else _progress,
+            lsus=args.lsus.split(",") if args.lsus else None,
+        )
+        emit_benchmark(payload, bench.render_bench, bench.write_bench, "BENCH_core.json")
         return 0
+    if args.experiment == "bench-sweep":
+        payload = bench_sweep.run_sweep_bench(
+            workloads=workloads,
+            n_insts=args.insts,
+            jobs=bench_sweep.SWEEP_JOBS if args.jobs is None else args.jobs,
+            repeats=2 if args.repeats is None else args.repeats,
+            quick=args.quick,
+            progress=None if args.quiet else _progress,
+            trace_cache_dir=args.trace_cache_dir,
+        )
+        emit_benchmark(
+            payload,
+            bench_sweep.render_sweep_bench,
+            bench_sweep.write_sweep_bench,
+            "BENCH_sweep.json",
+        )
+        # A sweep benchmark whose backends disagree is a failed run: the
+        # CI smoke job leans on this exit code.
+        return 0 if payload["equivalence"]["identical"] else 1
     names = sorted(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    backend = make_backend(args.jobs)
+    trace_cache = TraceCache(args.trace_cache_dir) if args.trace_cache_dir else None
+    backend = make_backend(args.jobs, trace_cache=trace_cache)
     store = ResultStore(args.cache_dir) if args.cache_dir else None
     results: dict[str, FigureResult] = {}
     for name in names:

@@ -152,6 +152,31 @@ class TraceMeta:
             for inst in insts
         ]
 
+    @classmethod
+    def from_columns(
+        cls,
+        kind: list[int],
+        latency: list[int],
+        issue_class: list[int],
+        words: list[tuple[int, ...]],
+        signature: list["Signature | None"],
+    ) -> "TraceMeta":
+        """Adopt already-materialized columns without touching a trace.
+
+        This is the decode path of :mod:`repro.isa.codec`: the columns were
+        computed once at encode time, so reattaching them must not walk the
+        instruction list or the ops tables again.
+        """
+        if not (len(kind) == len(latency) == len(issue_class) == len(words) == len(signature)):
+            raise ValueError("TraceMeta columns must have equal lengths")
+        meta = cls.__new__(cls)
+        meta.kind = kind
+        meta.latency = latency
+        meta.issue_class = issue_class
+        meta.words = words
+        meta.signature = signature
+        return meta
+
 
 @dataclass(slots=True)
 class Trace:
@@ -184,6 +209,18 @@ class Trace:
         if self._meta is None:
             self._meta = TraceMeta(self.insts)
         return self._meta
+
+    def attach_meta(self, meta: TraceMeta) -> None:
+        """Install externally-built metadata (the trace codec's decode path).
+
+        The caller guarantees ``meta`` describes exactly this instruction
+        stream; sizes are cross-checked, content is trusted.
+        """
+        if len(meta.kind) != len(self.insts):
+            raise ValueError(
+                f"meta covers {len(meta.kind)} insts, trace has {len(self.insts)}"
+            )
+        self._meta = meta
 
     def __iter__(self) -> Iterator[DynInst]:
         return iter(self.insts)

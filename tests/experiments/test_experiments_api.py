@@ -139,10 +139,12 @@ class TestBackendParity:
                 ), (benchmark, config)
 
     def test_make_backend_dispatch(self):
+        from repro.experiments import BatchRunner
+
         assert isinstance(make_backend(None), SerialBackend)
         assert isinstance(make_backend(1), SerialBackend)
         backend = make_backend(3)
-        assert isinstance(backend, ProcessPoolBackend) and backend.jobs == 3
+        assert isinstance(backend, BatchRunner) and backend.jobs == 3
 
     def test_run_matrix_shim_matches_new_api(self, serial_result):
         shimmed = run_matrix("small", small_configs(), ["gcc", "bzip2"], INSTS)

@@ -1,0 +1,86 @@
+"""The trace transport: publish/open/release, carriers, fallback policy."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+import repro.experiments.transport as transport
+from repro.experiments.transport import (
+    TraceRef,
+    open_trace,
+    publish_trace,
+    release_trace,
+)
+
+PAYLOAD = b"svw trace bytes " * 1000
+
+
+@pytest.mark.parametrize("carrier", ["shm", "file"])
+def test_publish_open_release_round_trip(carrier):
+    ref = publish_trace("key-1", PAYLOAD, carrier=carrier)
+    assert ref.carrier == carrier
+    assert ref.size == len(PAYLOAD)
+    try:
+        with open_trace(ref) as view:
+            assert bytes(view) == PAYLOAD
+        # A second reader sees the same bytes (the segment outlives readers).
+        with open_trace(ref) as view:
+            assert bytes(view) == PAYLOAD
+    finally:
+        release_trace(ref)
+    # Released payloads are gone; release is idempotent.
+    with pytest.raises((FileNotFoundError, OSError)):
+        with open_trace(ref):
+            pass
+    release_trace(ref)
+
+
+def test_file_carrier_cleans_up_on_release(tmp_path):
+    ref = publish_trace("key-2", PAYLOAD, carrier="file")
+    assert os.path.exists(ref.name)
+    release_trace(ref)
+    assert not os.path.exists(ref.name)
+
+
+def test_unknown_carrier_rejected():
+    with pytest.raises(ValueError, match="transport"):
+        publish_trace("key-3", PAYLOAD, carrier="carrier-pigeon")
+    with pytest.raises(ValueError, match="transport"):
+        release_trace(TraceRef(key="k", carrier="carrier-pigeon", name="x", size=1))
+
+
+class _NoShm:
+    def __init__(self, *args, **kwargs):
+        raise OSError("no /dev/shm in this test")
+
+
+def test_default_carrier_falls_back_to_file(monkeypatch):
+    monkeypatch.setattr(transport.shared_memory, "SharedMemory", _NoShm)
+    monkeypatch.delenv(transport.TRANSPORT_ENV, raising=False)
+    ref = publish_trace("key-4", PAYLOAD)  # automatic choice may fall back
+    try:
+        assert ref.carrier == "file"
+        with open_trace(ref) as view:
+            assert bytes(view) == PAYLOAD
+    finally:
+        release_trace(ref)
+
+
+def test_explicit_shm_does_not_fall_back(monkeypatch):
+    monkeypatch.setattr(transport.shared_memory, "SharedMemory", _NoShm)
+    with pytest.raises(OSError, match="no /dev/shm"):
+        publish_trace("key-5", PAYLOAD, carrier="shm")
+    monkeypatch.setenv(transport.TRANSPORT_ENV, "shm")
+    with pytest.raises(OSError, match="no /dev/shm"):
+        publish_trace("key-6", PAYLOAD)
+
+
+def test_env_var_forces_file_carrier(monkeypatch):
+    monkeypatch.setenv(transport.TRANSPORT_ENV, "file")
+    ref = publish_trace("key-7", PAYLOAD)
+    try:
+        assert ref.carrier == "file"
+    finally:
+        release_trace(ref)

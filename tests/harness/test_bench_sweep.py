@@ -1,0 +1,95 @@
+"""The sweep-throughput benchmark harness (``svw-repro bench-sweep``)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.harness.bench import run_bench
+from repro.harness.bench_sweep import (
+    MODE_ORDER,
+    SWEEP_SCHEMA_VERSION,
+    compare_sweep_bench,
+    load_sweep_bench,
+    render_sweep_bench,
+    run_sweep_bench,
+    sweep_configs,
+    write_sweep_bench,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_payload():
+    return run_sweep_bench(workloads=["gcc"], n_insts=1200, jobs=2, repeats=1)
+
+
+def test_schema_and_mode_coverage(tiny_payload):
+    payload = tiny_payload
+    assert payload["schema_version"] == SWEEP_SCHEMA_VERSION
+    assert set(payload["modes"]) == set(MODE_ORDER)
+    assert payload["workloads"] == ["gcc"]
+    assert payload["configs"] == list(sweep_configs())
+    assert payload["n_cells"] == len(sweep_configs()) == len(payload["cells"])
+    for mode, row in payload["modes"].items():
+        assert row["wall_seconds"] > 0, mode
+        assert row["cells_per_sec"] > 0, mode
+    for cell in payload["cells"]:
+        assert len(cell["stats_fingerprint"]) == 64
+
+
+def test_all_backends_bit_identical(tiny_payload):
+    assert tiny_payload["equivalence"]["identical"], tiny_payload["equivalence"]
+
+
+def test_generation_amortized_across_modes(tiny_payload):
+    """serial/pool_shared/batch share one trace cache: one generation for
+    the whole benchmark; the pre-PR mode regenerates per cell."""
+    modes = tiny_payload["modes"]
+    provider_generations = sum(
+        modes[mode]["trace_generations"] for mode in MODE_ORDER if mode != "pool_regen"
+    )
+    assert provider_generations == len(tiny_payload["workloads"])
+    assert modes["pool_regen"]["trace_generations"] == tiny_payload["n_cells"]
+
+
+def test_speedups_present(tiny_payload):
+    speedups = tiny_payload["speedups"]
+    assert set(speedups) == {
+        "batch_vs_pool_regen",
+        "pool_shared_vs_pool_regen",
+        "batch_vs_serial",
+    }
+    assert all(value > 0 for value in speedups.values())
+
+
+def test_render_write_load_compare(tiny_payload, tmp_path):
+    path = tmp_path / "BENCH_sweep.json"
+    write_sweep_bench(tiny_payload, str(path))
+    loaded = load_sweep_bench(str(path))
+    assert loaded == json.loads(path.read_text())
+    rendered = render_sweep_bench(loaded)
+    assert "bit-identical" in rendered
+    assert "batch" in rendered
+    report = compare_sweep_bench(loaded, tiny_payload)
+    assert "1.00x" in report
+    assert "WARNING" not in report
+
+
+def test_load_rejects_other_schemas(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps({"schema_version": 999}))
+    with pytest.raises(ValueError, match="schema"):
+        load_sweep_bench(str(path))
+
+
+class TestBenchFilters:
+    def test_lsus_filter_narrows_matrix(self):
+        payload = run_bench(workloads=["gcc"], n_insts=1000, repeats=1, lsus=["nlq"])
+        assert {r["lsu"] for r in payload["results"]} == {"nlq"}
+        assert payload["workloads"] == ["gcc"]
+        assert set(payload["aggregate"]) == {"nlq", "all"}
+
+    def test_unknown_lsu_rejected(self):
+        with pytest.raises(ValueError, match="unknown LSU"):
+            run_bench(workloads=["gcc"], n_insts=1000, repeats=1, lsus=["vliw"])
