@@ -51,7 +51,8 @@ from repro.experiments.backends import (
     make_backend,
     submission_order,
 )
-from repro.experiments.batch import BatchRunner
+from repro.experiments.batch import BatchRunner, CostModel
+from repro.experiments.pool import shutdown_session_pools
 from repro.experiments.results import FigureResult
 from repro.experiments.traces import TraceProvider, workload_key
 from repro.experiments.run import run_experiment
@@ -70,6 +71,7 @@ __all__ = [
     "DEFAULT_INSTS",
     "BatchRunner",
     "CellExecutionError",
+    "CostModel",
     "ExecutionBackend",
     "ExperimentBuilder",
     "ExperimentSpec",
@@ -85,6 +87,7 @@ __all__ = [
     "matrix_spec",
     "resolve_benchmarks",
     "run_experiment",
+    "shutdown_session_pools",
     "submission_order",
     "workload_key",
 ]

@@ -13,11 +13,17 @@ trace at most once per sweep through a
 :mod:`concurrent.futures`.  By default the parent generates and encodes
 each workload trace exactly once and publishes it through
 :mod:`~repro.experiments.transport` (shared memory, tempfile-mmap
-fallback); workers attach, decode, and cache the decoded trace
-process-locally, so trace generation cost is paid once per sweep instead
-of once per cell.  ``share_traces=False`` restores the historical
-regenerate-per-cell behaviour (kept as the comparison baseline for
-``svw-repro bench-sweep``).
+fallback); workers attach, decode straight into a column-native
+:class:`~repro.isa.coltrace.ColumnTrace` (no ``DynInst`` graph is ever
+built), and cache it process-locally, so trace generation cost is paid
+once per sweep instead of once per cell.  ``share_traces=False`` restores
+the historical regenerate-per-cell behaviour (kept as the comparison
+baseline for ``svw-repro bench-sweep``).
+
+``pool_scope`` (see :mod:`repro.experiments.pool`) selects worker-pool
+lifetime: per-sweep (default) or one session-scoped pool reused across
+runs -- ``svw-repro all --pool-scope session`` amortizes fork+import over
+all eight figure sweeps and keeps worker-side trace memos warm.
 
 Submissions are ordered longest-expected-job-first (by instruction budget,
 then workload) so stragglers start early; results are still returned in
@@ -37,10 +43,12 @@ import gc
 import os
 from typing import Callable, Protocol, Sequence
 
+from repro.experiments.pool import acquire_pool, validate_pool_scope
 from repro.experiments.spec import RunRequest
 from repro.experiments.traces import TraceProvider, request_key
 from repro.experiments.transport import TraceRef, open_trace, publish_trace, release_trace
 from repro.isa.codec import decode_trace
+from repro.isa.coltrace import ColumnTrace
 from repro.isa.inst import Trace
 from repro.pipeline.config import MachineConfig
 from repro.pipeline.processor import Processor
@@ -54,7 +62,9 @@ class CellExecutionError(RuntimeError):
     """A sweep cell failed; the message names the cell, the cause chains."""
 
 
-def execute_request(request: RunRequest, trace: Trace | None = None) -> SimStats:
+def execute_request(
+    request: RunRequest, trace: Trace | ColumnTrace | None = None
+) -> SimStats:
     """Simulate one cell.  Top-level so process pools can pickle it."""
     if trace is None:
         trace = request.workload.materialize(request.n_insts)
@@ -84,19 +94,20 @@ def submission_order(requests: Sequence[RunRequest]) -> list[int]:
 #: case is a single decode per workload per worker; the second slot absorbs
 #: the overlap at workload boundaries.
 _WORKER_TRACE_SLOTS = 2
-_worker_traces: dict[str, Trace] = {}
+_worker_traces: dict[str, ColumnTrace] = {}
 
 
-def decoded_trace(ref: TraceRef) -> Trace:
+def decoded_trace(ref: TraceRef) -> ColumnTrace:
     """Worker-side decode of a published trace, memoized per process.
 
-    The decoded trace is tens of thousands of long-lived acyclic objects
-    that every subsequent cyclic-GC pass would otherwise re-walk, so after
-    memoizing it the heap is frozen into the permanent generation.  This
-    is only sound *because* the trace is shared and long-lived -- in the
-    regenerate-per-cell world freezing a per-cell trace would pin garbage.
-    Eviction still frees evicted traces (they are acyclic; refcounting
-    does not care about freezing).
+    Decoding is column-native: the bytes become typed-array columns (plus
+    lazily-built metadata/hot views), never a ``DynInst`` object graph, so
+    the per-worker footprint is a fraction of the old decoded trace.  The
+    result is long-lived and acyclic, so after memoizing it the heap is
+    frozen into the permanent generation -- subsequent cyclic-GC passes
+    stop re-walking it.  Eviction still frees evicted traces (refcounting
+    does not care about freezing).  With a session-scoped pool this memo
+    survives across sweeps, so figures sharing workloads decode nothing.
     """
     trace = _worker_traces.get(ref.key)
     if trace is None:
@@ -194,6 +205,7 @@ def run_with_published_traces(
     submit,
     collect,
     describe,
+    pool_scope: str = "sweep",
 ) -> None:
     """The pooled execution protocol, single-sourced for every backend.
 
@@ -211,31 +223,44 @@ def run_with_published_traces(
     """
     published: dict[str, TraceRef] = {}
     try:
-        with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
+        with acquire_pool(workers, pool_scope) as pool:
             futures: dict[concurrent.futures.Future, object] = {}
-            for key, request, payload in units:
-                ref = None
-                if key is not None:
-                    ref = published.get(key)
-                    if ref is None:
-                        ref = publish_trace(
-                            key,
-                            provider.encoded(request.workload, request.n_insts),
-                            carrier=carrier,
-                        )
-                        published[key] = ref
-                futures[submit(pool, ref, payload)] = payload
-            for future in concurrent.futures.as_completed(futures):
-                payload = futures[future]
-                try:
-                    result = future.result()
-                except Exception as exc:
-                    for pending in futures:
-                        pending.cancel()
-                    if isinstance(exc, CellExecutionError):
+            try:
+                for key, request, payload in units:
+                    ref = None
+                    if key is not None:
+                        ref = published.get(key)
+                        if ref is None:
+                            ref = publish_trace(
+                                key,
+                                provider.encoded(request.workload, request.n_insts),
+                                carrier=carrier,
+                            )
+                            published[key] = ref
+                    futures[submit(pool, ref, payload)] = payload
+                for future in concurrent.futures.as_completed(futures):
+                    payload = futures[future]
+                    try:
+                        result = future.result()
+                    except CellExecutionError:
                         raise
-                    raise CellExecutionError(f"{describe(payload)}: {exc}") from exc
-                collect(payload, result)
+                    except Exception as exc:
+                        raise CellExecutionError(
+                            f"{describe(payload)}: {exc}"
+                        ) from exc
+                    collect(payload, result)
+            except BaseException:
+                # Whatever failed -- a worker, a publish, collect() --
+                # cancel what has not started and drain what has before
+                # the finally below unlinks the published segments: a
+                # session-scoped pool outlives this call, and its
+                # still-running chunks must not watch their trace vanish
+                # mid-decode (sweep scope got this for free from the
+                # executor's shutdown-on-exit; session scope does not).
+                for pending in futures:
+                    pending.cancel()
+                concurrent.futures.wait(list(futures))
+                raise
     finally:
         for ref in published.values():
             release_trace(ref)
@@ -255,6 +280,7 @@ class ProcessPoolBackend:
         share_traces: bool = True,
         trace_cache: TraceCache | None = None,
         carrier: str | None = None,
+        pool_scope: str = "sweep",
     ) -> None:
         if jobs is not None and jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -262,6 +288,7 @@ class ProcessPoolBackend:
         self.share_traces = share_traces
         self.trace_cache = trace_cache
         self.carrier = carrier
+        self.pool_scope = validate_pool_scope(pool_scope)
         self.last_provider: TraceProvider | None = None
 
     def run(
@@ -298,22 +325,26 @@ class ProcessPoolBackend:
             submit,
             collect,
             lambda index: requests[index].describe(),
+            pool_scope=self.pool_scope,
         )
         return results  # type: ignore[return-value]
 
 
 def make_backend(
-    jobs: int | None, trace_cache: TraceCache | None = None
+    jobs: int | None,
+    trace_cache: TraceCache | None = None,
+    pool_scope: str = "sweep",
 ) -> ExecutionBackend:
     """Backend for a ``--jobs`` setting: serial for 1/None, batched above.
 
     Parallel sweeps get the :class:`~repro.experiments.batch.BatchRunner`
     (single-pass multi-config execution over shared traces); plain
     :class:`ProcessPoolBackend` remains available for callers that want
-    cell-granular scheduling.
+    cell-granular scheduling.  ``pool_scope="session"`` makes the batched
+    backend reuse one long-lived worker pool across runs.
     """
     from repro.experiments.batch import BatchRunner
 
     if jobs is None or jobs <= 1:
         return SerialBackend(trace_cache=trace_cache)
-    return BatchRunner(jobs=jobs, trace_cache=trace_cache)
+    return BatchRunner(jobs=jobs, trace_cache=trace_cache, pool_scope=pool_scope)

@@ -11,20 +11,29 @@ in a single pass over one decoded trace**:
   it via shared memory (:mod:`~repro.experiments.transport`);
 - each worker task is a *chunk* -- one workload's configs (or a slice of
   them when the sweep has fewer workloads than workers) -- that decodes
-  the trace once and feeds the same ``Trace``/``TraceMeta`` object to
-  every :class:`~repro.pipeline.processor.Processor` it builds;
-- chunks are scheduled longest-expected-job-first (by instruction budget x
-  cell count, then workload) so the pool drains evenly.
+  the trace once into a column-native
+  :class:`~repro.isa.coltrace.ColumnTrace` and feeds the same columns and
+  ``TraceMeta`` to every :class:`~repro.pipeline.processor.Processor` it
+  builds;
+- chunks are scheduled costliest-first, where cost is *adaptive*: a
+  :class:`CostModel` weights each cell by its measured per-config
+  seconds-per-instruction (seeded by heuristics -- ``+PERFECT``-style
+  ideal re-execution simulates slower than timing-true configs -- and
+  updated from every completed cell, persisting across the sweeps of a
+  session), so wide sweeps balance by expected *work*, not raw cell
+  count.
 
 Results remain positionally aligned with the request list and bit-identical
 to :class:`~repro.experiments.backends.SerialBackend` -- the trace replayed
 in a worker is the codec round-trip of the trace the serial backend would
-generate, and the codec round-trip is exact.
+generate, and the codec round-trip is exact.  The cost model only reorders
+and resizes chunks; it can never change a cell's result.
 """
 
 from __future__ import annotations
 
 import os
+import time
 from typing import Sequence
 
 from repro.experiments.backends import (
@@ -35,10 +44,11 @@ from repro.experiments.backends import (
     paused_gc,
     run_with_published_traces,
 )
+from repro.experiments.pool import validate_pool_scope
 from repro.experiments.spec import RunRequest
 from repro.experiments.traces import TraceProvider, request_key
 from repro.experiments.transport import TraceRef
-from repro.pipeline.config import MachineConfig
+from repro.pipeline.config import MachineConfig, RexMode
 from repro.pipeline.processor import Processor
 from repro.pipeline.stats import SimStats
 from repro.workloads.trace_cache import TraceCache
@@ -48,25 +58,83 @@ from repro.workloads.trace_cache import TraceCache
 _CellPayload = tuple[MachineConfig, int, bool, str]
 
 
-def _run_chunk(ref: TraceRef, cells: list[_CellPayload]) -> list[SimStats]:
+class CostModel:
+    """Relative simulation cost of a sweep cell, learned from timings.
+
+    Tracks an exponential moving average of measured seconds-per-committed-
+    instruction per configuration name.  Unmeasured configurations fall
+    back to a heuristic: ``RexMode.PERFECT`` machines re-derive the
+    program-order value of every marked load at commit, which reliably
+    simulates slower than timing-true re-execution, so they weigh heavier.
+    Weights are *relative* (measured rates are normalized by the running
+    mean), making measured and heuristic cells comparable.
+
+    The model feeds :class:`BatchRunner` scheduling only -- grouping order
+    and chunk split points -- never results; a wildly wrong model costs
+    balance, not correctness.
+    """
+
+    #: Heuristic weight for ideal-re-execution configs before any timing.
+    PERFECT_WEIGHT = 1.6
+
+    __slots__ = ("_rates",)
+
+    def __init__(self) -> None:
+        #: config name -> EMA of seconds per instruction.
+        self._rates: dict[str, float] = {}
+
+    def weight(self, config: MachineConfig) -> float:
+        """Relative per-instruction cost of ``config`` (1.0 = average)."""
+        rate = self._rates.get(config.name)
+        if rate is not None and self._rates:
+            mean = sum(self._rates.values()) / len(self._rates)
+            if mean > 0.0:
+                return rate / mean
+        return self.PERFECT_WEIGHT if config.rex_mode is RexMode.PERFECT else 1.0
+
+    def observe(self, config: MachineConfig, n_insts: int, seconds: float) -> None:
+        """Fold one measured cell (``n_insts`` simulated in ``seconds``) in."""
+        if n_insts <= 0 or seconds <= 0.0:
+            return
+        rate = seconds / n_insts
+        previous = self._rates.get(config.name)
+        self._rates[config.name] = (
+            rate if previous is None else 0.5 * previous + 0.5 * rate
+        )
+
+    def cost(self, request: RunRequest) -> float:
+        """Expected cost of one cell (weighted instruction budget)."""
+        return request.n_insts * self.weight(request.config)
+
+
+#: Session-wide default model: sweeps run back to back (``svw-repro all``)
+#: seed each other's chunking, which is the point of measuring at all.
+_SESSION_COST_MODEL = CostModel()
+
+
+def _run_chunk(
+    ref: TraceRef, cells: list[_CellPayload]
+) -> list[tuple[SimStats, float]]:
     """Worker target: decode once, simulate every cell against that trace.
 
-    The whole chunk runs with cyclic GC paused: the frozen decoded trace
-    (see :func:`~repro.experiments.backends.decoded_trace`) plus the
-    sims' cycle-free allocation profile make collections pure overhead
-    here; one collection at chunk end settles the heap.
+    Returns ``(stats, seconds)`` per cell so the parent's cost model can
+    learn real per-config rates.  The whole chunk runs with cyclic GC
+    paused: the frozen decoded trace (see
+    :func:`~repro.experiments.backends.decoded_trace`) plus the sims'
+    cycle-free allocation profile make collections pure overhead here; one
+    collection at chunk end settles the heap.
     """
     trace = decoded_trace(ref)
 
-    def simulate() -> list[SimStats]:
+    def simulate() -> list[tuple[SimStats, float]]:
         results = []
         for config, warmup, validate, describe in cells:
+            started = time.perf_counter()
             try:
-                results.append(
-                    Processor(config, trace, validate=validate, warmup=warmup).run()
-                )
+                stats = Processor(config, trace, validate=validate, warmup=warmup).run()
             except Exception as exc:
                 raise CellExecutionError(f"{describe}: {exc}") from exc
+            results.append((stats, time.perf_counter() - started))
         return results
 
     return paused_gc(simulate)
@@ -77,6 +145,9 @@ class BatchRunner:
 
     ``jobs <= 1`` runs the same grouped schedule in-process (no pool, no
     transport) -- useful for tests and for machines where fork is costly.
+    ``pool_scope="session"`` reuses one long-lived pool across runs (see
+    :mod:`repro.experiments.pool`); ``cost_model`` defaults to a shared
+    session-wide model so later sweeps chunk on earlier sweeps' timings.
     """
 
     def __init__(
@@ -84,6 +155,8 @@ class BatchRunner:
         jobs: int | None = None,
         trace_cache: TraceCache | None = None,
         carrier: str | None = None,
+        pool_scope: str = "sweep",
+        cost_model: CostModel | None = None,
     ) -> None:
         if jobs is not None and jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -98,26 +171,29 @@ class BatchRunner:
         self.workers = max(1, min(self.jobs, os.cpu_count() or self.jobs))
         self.trace_cache = trace_cache
         self.carrier = carrier
+        self.pool_scope = validate_pool_scope(pool_scope)
+        self.cost_model = cost_model if cost_model is not None else _SESSION_COST_MODEL
         #: Provider of the most recent run (its ``generations`` counter is
         #: the amortization proof surfaced by ``svw-repro bench-sweep``).
         self.last_provider: TraceProvider | None = None
 
     # -- scheduling ----------------------------------------------------------
 
-    @staticmethod
-    def _groups(requests: Sequence[RunRequest]) -> list[tuple[str, list[int]]]:
-        """Cells grouped by materialized trace, longest-expected-job-first.
+    def _groups(self, requests: Sequence[RunRequest]) -> list[tuple[str, list[int]]]:
+        """Cells grouped by materialized trace, costliest-expected-first.
 
-        Expected work scales with ``n_insts x cells``; the workload-name
-        tiebreak keeps the order deterministic across runs.
+        Expected work is the cost model's weighted instruction budget; the
+        workload-name tiebreak keeps the order deterministic across runs
+        for a given model state.
         """
         by_key: dict[str, list[int]] = {}
         for index, request in enumerate(requests):
             by_key.setdefault(request_key(request), []).append(index)
+        cost = self.cost_model.cost
         return sorted(
             by_key.items(),
             key=lambda item: (
-                -sum(requests[i].n_insts for i in item[1]),
+                -sum(cost(requests[i]) for i in item[1]),
                 requests[item[1][0]].workload.name,
             ),
         )
@@ -130,20 +206,40 @@ class BatchRunner:
         Splitting trades one extra decode (amortized by the worker-local
         trace memo) for parallelism, so it only happens while chunks
         outnumbering workers is impossible and some chunk still has more
-        than one cell.
+        than one cell.  The costliest chunk splits first, at the cell
+        boundary that best balances its two halves' expected cost --
+        with a learned model this keeps one ``+PERFECT`` cell from
+        dragging a whole half-chunk behind it.
         """
         chunks = self._groups(requests)
+        cost = self.cost_model.cost
+        chunk_cost = lambda indices: sum(cost(requests[i]) for i in indices)  # noqa: E731
         while len(chunks) < self.jobs:
-            key, widest = max(chunks, key=lambda item: len(item[1]))
-            if len(widest) < 2:
+            # Split the costliest chunk that still *can* split -- a
+            # single-cell chunk may well be the costliest (one slow config
+            # on one workload) without meaning the others are done too.
+            splittable = [item for item in chunks if len(item[1]) >= 2]
+            if not splittable:
                 break
+            key, widest = max(
+                splittable, key=lambda item: (chunk_cost(item[1]), len(item[1]))
+            )
             chunks.remove((key, widest))
-            half = len(widest) // 2
-            chunks.append((key, widest[:half]))
-            chunks.append((key, widest[half:]))
+            # Prefix-cost split point closest to half the chunk's cost
+            # (always leaving at least one cell on each side).
+            total = chunk_cost(widest)
+            prefix = 0.0
+            split = 1
+            for position in range(len(widest) - 1):
+                prefix += cost(requests[widest[position]])
+                split = position + 1
+                if prefix * 2 >= total:
+                    break
+            chunks.append((key, widest[:split]))
+            chunks.append((key, widest[split:]))
             chunks.sort(
                 key=lambda item: (
-                    -sum(requests[i].n_insts for i in item[1]),
+                    -chunk_cost(item[1]),
                     requests[item[1][0]].workload.name,
                     item[1][0],
                 )
@@ -165,6 +261,7 @@ class BatchRunner:
     ) -> list[SimStats]:
         provider = TraceProvider(cache=self.trace_cache, decoded_capacity=1)
         self.last_provider = provider
+        observe = self.cost_model.observe
         results: list[SimStats | None] = [None] * len(requests)
         for _, indices in self._groups(requests):
             trace = provider.trace_for(requests[indices[0]])
@@ -172,10 +269,12 @@ class BatchRunner:
                 request = requests[index]
                 if progress is not None:
                     progress(f"{request.describe()} [batch]")
+                started = time.perf_counter()
                 try:
                     results[index] = execute_request(request, trace)
                 except Exception as exc:
                     raise CellExecutionError(f"{request.describe()}: {exc}") from exc
+                observe(request.config, request.n_insts, time.perf_counter() - started)
         return results  # type: ignore[return-value]
 
     def _run_pooled(
@@ -183,6 +282,7 @@ class BatchRunner:
     ) -> list[SimStats]:
         provider = TraceProvider(cache=self.trace_cache)
         self.last_provider = provider
+        observe = self.cost_model.observe
         results: list[SimStats | None] = [None] * len(requests)
 
         units = [
@@ -202,9 +302,12 @@ class BatchRunner:
             ]
             return pool.submit(_run_chunk, ref, cells)
 
-        def collect(indices: list[int], chunk_results: list[SimStats]) -> None:
-            for index, stats in zip(indices, chunk_results):
+        def collect(
+            indices: list[int], chunk_results: list[tuple[SimStats, float]]
+        ) -> None:
+            for index, (stats, seconds) in zip(indices, chunk_results):
                 results[index] = stats
+                observe(requests[index].config, requests[index].n_insts, seconds)
                 if progress is not None:
                     progress(f"{requests[index].describe()} [done]")
 
@@ -216,5 +319,6 @@ class BatchRunner:
             submit,
             collect,
             lambda indices: requests[indices[0]].describe(),
+            pool_scope=self.pool_scope,
         )
         return results  # type: ignore[return-value]

@@ -1,0 +1,91 @@
+"""Worker-pool lifecycle: per-sweep pools and the session-scoped pool.
+
+Every pooled backend used to create (and tear down) one
+``ProcessPoolExecutor`` per ``run()`` call, which makes a multi-sweep
+session -- ``svw-repro all`` runs eight figure sweeps back to back -- pay
+worker fork+import once per sweep and throw away the workers' decoded-trace
+memos between figures that share workloads.
+
+``pool_scope`` selects the lifetime:
+
+- ``"sweep"`` (default): a fresh pool per run, shut down when the run
+  finishes.  Fully isolated; what every caller got before.
+- ``"session"``: one process-wide pool per worker count, created on first
+  use and reused by every subsequent run that asks for the same size.
+  Workers stay alive across sweeps, so fork+import is paid once per
+  session and worker-side caches (the decoded-trace memo in
+  :mod:`repro.experiments.backends`) stay warm across figures.  Pools are
+  shut down at interpreter exit (or explicitly via
+  :func:`shutdown_session_pools`); a pool broken by a crashed worker is
+  discarded and replaced on the next acquisition.
+
+Session scope changes *scheduling* only -- results remain positionally
+aligned and bit-identical to serial execution either way.
+"""
+
+from __future__ import annotations
+
+import atexit
+from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
+from typing import Iterator
+
+POOL_SCOPES = ("sweep", "session")
+
+#: Live session pools keyed by worker count.
+_session_pools: dict[int, ProcessPoolExecutor] = {}
+
+
+def validate_pool_scope(scope: str) -> str:
+    if scope not in POOL_SCOPES:
+        raise ValueError(f"pool_scope must be one of {POOL_SCOPES}, got {scope!r}")
+    return scope
+
+
+def _probe() -> None:
+    """No-op task submitted to health-check a cached pool."""
+
+
+def session_pool(workers: int) -> ProcessPoolExecutor:
+    """The session-scoped pool for ``workers``, created or revived on demand."""
+    pool = _session_pools.get(workers)
+    if pool is not None:
+        try:
+            # Documented-behavior health check: submit raises
+            # BrokenProcessPool if a worker died mid-task (the executor is
+            # then permanently unusable) and RuntimeError if something shut
+            # the pool down -- either way it must be replaced, and this
+            # avoids depending on the executor's private broken flag.
+            pool.submit(_probe)
+        except Exception:
+            pool.shutdown(wait=False, cancel_futures=True)
+            pool = None
+    if pool is None:
+        pool = ProcessPoolExecutor(max_workers=workers)
+        _session_pools[workers] = pool
+    return pool
+
+
+@contextmanager
+def acquire_pool(workers: int, scope: str = "sweep") -> Iterator[ProcessPoolExecutor]:
+    """A pool with the requested lifetime.
+
+    Sweep scope owns (and shuts down) its pool; session scope hands out the
+    shared long-lived pool and leaves it running on exit.
+    """
+    validate_pool_scope(scope)
+    if scope == "sweep":
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            yield pool
+        return
+    yield session_pool(workers)
+
+
+def shutdown_session_pools(wait: bool = True) -> None:
+    """Tear down every session-scoped pool (idempotent; also runs atexit)."""
+    while _session_pools:
+        _, pool = _session_pools.popitem()
+        pool.shutdown(wait=wait, cancel_futures=True)
+
+
+atexit.register(shutdown_session_pools)

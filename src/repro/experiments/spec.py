@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Mapping
 
 from repro.fingerprint import stable_digest
+from repro.isa.coltrace import ColumnTrace
 from repro.isa.inst import Trace
 from repro.pipeline.config import MachineConfig
 from repro.workloads.profile import WorkloadProfile
@@ -41,7 +42,7 @@ def resolve_benchmarks(benchmarks: Iterable[str] | None) -> list[str]:
     return [short_to_full.get(name, name) for name in benchmarks]
 
 
-def _trace_digest(trace: Trace) -> str:
+def _trace_digest(trace: Trace | ColumnTrace) -> str:
     insts = [
         (
             inst.seq,
@@ -83,7 +84,7 @@ class WorkloadSpec:
 
     name: str
     profile: WorkloadProfile | None = None
-    trace: Trace | None = field(default=None, compare=False)
+    trace: Trace | ColumnTrace | None = field(default=None, compare=False)
     trace_digest: str | None = None
 
     def __post_init__(self) -> None:
@@ -103,7 +104,7 @@ class WorkloadSpec:
         return cls(name=profile.name, profile=profile)
 
     @classmethod
-    def from_trace(cls, name: str, trace: Trace) -> "WorkloadSpec":
+    def from_trace(cls, name: str, trace: Trace | ColumnTrace) -> "WorkloadSpec":
         return cls(name=name, trace=trace)
 
     def fingerprint(self) -> str:
@@ -113,8 +114,9 @@ class WorkloadSpec:
         assert self.trace_digest is not None
         return self.trace_digest
 
-    def materialize(self, n_insts: int) -> Trace:
-        """The trace to simulate (generated for profiles, as-is for traces)."""
+    def materialize(self, n_insts: int) -> Trace | ColumnTrace:
+        """The trace to simulate (column-native for profiles, as-is for
+        fixed traces)."""
         if self.trace is not None:
             return self.trace
         assert self.profile is not None
@@ -280,7 +282,7 @@ class ExperimentBuilder:
             self.workload(workload)
         return self
 
-    def trace(self, name: str, trace: Trace) -> "ExperimentBuilder":
+    def trace(self, name: str, trace: Trace | ColumnTrace) -> "ExperimentBuilder":
         self._workloads.append(WorkloadSpec.from_trace(name, trace))
         return self
 
@@ -319,7 +321,7 @@ def matrix_spec(
     n_insts: int = DEFAULT_INSTS,
     baseline: str = "baseline",
     validate: bool = False,
-    traces: Mapping[str, Trace] | None = None,
+    traces: Mapping[str, Trace | ColumnTrace] | None = None,
     warmup: int | None = None,
 ) -> ExperimentSpec:
     """Spec for a classic config x benchmark matrix (the ``run_matrix`` shape).

@@ -10,8 +10,11 @@ contract the batch subsystem is built on:
 - the encoded (:mod:`repro.isa.codec`) form is memoized in-process and,
   when a :class:`~repro.workloads.trace_cache.TraceCache` is attached,
   persisted across sweeps and processes;
-- decoded traces carry their :class:`~repro.isa.inst.TraceMeta`, so no
-  consumer ever rebuilds per-instruction metadata.
+- traces flow column-native end to end: the generator emits a
+  :class:`~repro.isa.coltrace.ColumnTrace`, the codec ships its columns
+  verbatim, and decode rebuilds columns (never a ``DynInst`` graph) that
+  the simulator core consumes directly, with ``TraceMeta`` derived once
+  per trace.
 
 Fixed-trace workloads (kernels, hand-built streams) participate too: their
 "generation" is free, but encoding them once lets the transport layer ship
@@ -22,6 +25,7 @@ from __future__ import annotations
 
 from repro.experiments.spec import RunRequest, WorkloadSpec
 from repro.isa.codec import TraceCodecError, decode_trace, encode_trace, verify_encoded
+from repro.isa.coltrace import ColumnTrace
 from repro.isa.inst import Trace
 from repro.workloads.synthetic import generate_trace
 from repro.workloads.trace_cache import TraceCache, trace_key
@@ -51,7 +55,7 @@ class TraceProvider:
         self.cache = cache
         self.decoded_capacity = max(1, decoded_capacity)
         self._encoded: dict[str, bytes] = {}
-        self._decoded: dict[str, Trace] = {}
+        self._decoded: dict[str, Trace | ColumnTrace] = {}
         #: Actual ``generate_trace`` invocations (the amortization proof).
         self.generations = 0
         #: Encoded payloads served from the on-disk cache.
@@ -92,8 +96,9 @@ class TraceProvider:
 
     # -- decoded form --------------------------------------------------------
 
-    def trace(self, workload: WorkloadSpec, n_insts: int) -> Trace:
-        """The decoded trace (meta attached), reusing any memoized form."""
+    def trace(self, workload: WorkloadSpec, n_insts: int) -> Trace | ColumnTrace:
+        """The decoded trace (column-native for generated workloads),
+        reusing any memoized form."""
         key = workload_key(workload, n_insts)
         trace = self._decoded.get(key)
         if trace is not None:
@@ -129,23 +134,22 @@ class TraceProvider:
         self._remember_decoded(key, trace)
         return trace
 
-    def trace_for(self, request: RunRequest) -> Trace:
+    def trace_for(self, request: RunRequest) -> Trace | ColumnTrace:
         return self.trace(request.workload, request.n_insts)
 
     # -- internals -----------------------------------------------------------
 
-    def _generate(self, workload: WorkloadSpec, n_insts: int) -> Trace:
+    def _generate(self, workload: WorkloadSpec, n_insts: int) -> Trace | ColumnTrace:
         if workload.trace is not None:
-            trace = workload.trace
-            trace.meta()  # build once here; the encoding carries it
-            return trace
+            # Fixed traces are returned as-is: the codec columnizes (and
+            # caches the columns) on encode, and simulators derive their
+            # metadata from the columns, so nothing needs pre-building.
+            return workload.trace
         assert workload.profile is not None
         self.generations += 1
-        trace = generate_trace(workload.profile, n_insts)
-        trace.meta()
-        return trace
+        return generate_trace(workload.profile, n_insts)
 
-    def _remember_decoded(self, key: str, trace: Trace) -> None:
+    def _remember_decoded(self, key: str, trace: Trace | ColumnTrace) -> None:
         self._decoded[key] = trace
         while len(self._decoded) > self.decoded_capacity:
             self._decoded.pop(next(iter(self._decoded)))

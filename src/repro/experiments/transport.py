@@ -19,10 +19,20 @@ Two interchangeable carriers:
 
 Either way the decoded columns are copied out of the mapping (the codec
 copies into :mod:`array` columns), so segments never outlive the sweep.
+
+Crash safety.  Worker attachments are *untracked*: a crashed worker's
+resource tracker must never unlink a segment the parent still owns (which
+would starve the surviving workers and spray "leaked shared_memory"
+warnings under the ``spawn`` start method).  Python 3.13+ attaches with
+``track=False``; earlier versions attach and immediately unregister (see
+:func:`_attach`).  On the parent side every published ref is remembered
+until released, and :func:`release_stranded` -- registered ``atexit`` --
+tears down anything a crashed or interrupted sweep left behind.
 """
 
 from __future__ import annotations
 
+import atexit
 import mmap
 import os
 import tempfile
@@ -78,6 +88,47 @@ def _unregister_attachment(name: str) -> None:
         pass
 
 
+def _attach(name: str):
+    """Attach to an existing segment without tracker registration.
+
+    ``track=False`` (3.13+) never registers; the pre-3.13 fallback
+    registers on attach and unregisters immediately after, leaving only
+    the instants between the two calls exposed to a hard crash.  Either
+    way a worker dying mid-decode cannot cause its resource tracker to
+    unlink the parent's live segment.
+    """
+    assert shared_memory is not None
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # pragma: no cover - Python < 3.13
+        segment = shared_memory.SharedMemory(name=name)
+        _unregister_attachment(name)
+        return segment
+
+
+#: Published-but-unreleased refs, keyed by (carrier, name): the atexit
+#: safety net for sweeps that die between publish and release.
+_live_refs: dict[tuple[str, str], "TraceRef"] = {}
+
+
+def release_stranded() -> int:
+    """Release every still-published trace; returns how many were torn down.
+
+    Normal sweeps release as they go (``run_with_published_traces`` does so
+    in a ``finally``); this catches publishers interrupted before their
+    cleanup ran.  Registered ``atexit``; safe to call any time.
+    """
+    count = 0
+    while _live_refs:
+        _, ref = _live_refs.popitem()
+        release_trace(ref)
+        count += 1
+    return count
+
+
+atexit.register(release_stranded)
+
+
 def publish_trace(key: str, data: bytes, carrier: str | None = None) -> TraceRef:
     """Make ``data`` reachable by worker processes; returns the ref.
 
@@ -109,6 +160,7 @@ def publish_trace(key: str, data: bytes, carrier: str | None = None) -> TraceRef
         # until release_trace.  Keeping the fd open would leak one fd per
         # workload in long sweep processes.
         segment.close()
+        _live_refs[(ref.carrier, ref.name)] = ref
         return ref
     if carrier == "file":
         fd, path = tempfile.mkstemp(prefix=f"svwtrace-{os.getpid()}-", suffix=".svwt")
@@ -118,7 +170,9 @@ def publish_trace(key: str, data: bytes, carrier: str | None = None) -> TraceRef
         except BaseException:
             os.unlink(path)
             raise
-        return TraceRef(key=key, carrier="file", name=path, size=len(data))
+        ref = TraceRef(key=key, carrier="file", name=path, size=len(data))
+        _live_refs[(ref.carrier, ref.name)] = ref
+        return ref
     raise ValueError(f"unknown trace transport {carrier!r}")
 
 
@@ -126,9 +180,7 @@ def publish_trace(key: str, data: bytes, carrier: str | None = None) -> TraceRef
 def open_trace(ref: TraceRef) -> Iterator[memoryview]:
     """Worker-side view of a published trace's bytes (zero-copy mapping)."""
     if ref.carrier == "shm":
-        assert shared_memory is not None
-        segment = shared_memory.SharedMemory(name=ref.name)
-        _unregister_attachment(ref.name)
+        segment = _attach(ref.name)
         view = segment.buf[: ref.size]
         try:
             yield view
@@ -152,14 +204,18 @@ def open_trace(ref: TraceRef) -> Iterator[memoryview]:
 
 def release_trace(ref: TraceRef) -> None:
     """Parent-side teardown of a published trace (idempotent)."""
+    _live_refs.pop((ref.carrier, ref.name), None)
     if ref.carrier == "shm":
         assert shared_memory is not None
         try:
+            # Tracked attach, deliberately: trackers keep a set, so the
+            # re-registration is a no-op and unlink()'s single unregister
+            # balances the original create registration exactly.  (The
+            # untracked _attach is for *workers*, whose trackers must
+            # never learn the name at all.)
             segment = shared_memory.SharedMemory(name=ref.name)
         except FileNotFoundError:
             return
-        # Re-attaching registered the name again; trackers keep a set, so
-        # unlink()'s single unregister balances create+attach exactly.
         segment.close()
         try:
             segment.unlink()

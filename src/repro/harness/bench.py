@@ -196,6 +196,48 @@ def load_bench(path: str) -> dict:
     return payload
 
 
+def check_fingerprints(baseline: dict, payload: dict) -> list[str]:
+    """Divergent ``(lsu, workload)`` cells of ``payload`` vs a snapshot.
+
+    The bit-identity gate behind ``svw-repro bench --check``: a fresh run
+    must reproduce the checked-in snapshot's per-cell statistics
+    fingerprints exactly.  Raises ``ValueError`` when the runs are not
+    comparable (different instruction budgets, or no overlapping cells) --
+    a gate that compares nothing must fail loudly, not pass silently.
+    """
+    if baseline.get("n_insts") != payload.get("n_insts"):
+        raise ValueError(
+            f"fingerprint check needs matching budgets: baseline ran "
+            f"{baseline.get('n_insts')} insts, this run {payload.get('n_insts')}"
+        )
+    old = {
+        (r["lsu"], r["workload"]): r["stats_fingerprint"]
+        for r in baseline["results"]
+    }
+    comparable = [
+        r for r in payload["results"] if (r["lsu"], r["workload"]) in old
+    ]
+    if not comparable:
+        raise ValueError("fingerprint check found no overlapping cells")
+    return sorted(
+        f"{r['lsu']}/{r['workload']}"
+        for r in comparable
+        if r["stats_fingerprint"] != old[(r["lsu"], r["workload"])]
+    )
+
+
+def render_gate(baseline: dict, payload: dict) -> tuple[bool, str]:
+    """Shared ``--check`` verdict for both bench entry points.
+
+    Returns ``(passed, message)``; comparability errors propagate as
+    ``ValueError`` from :func:`check_fingerprints`.
+    """
+    diverged = check_fingerprints(baseline, payload)
+    if diverged:
+        return False, f"FINGERPRINT DIVERGENCE: {diverged}"
+    return True, "fingerprints identical to the baseline snapshot"
+
+
 def compare_bench(old: dict, new: dict) -> str:
     """Per-LSU-kind speedup table between two ``BENCH_core.json`` payloads.
 
@@ -246,10 +288,14 @@ def main(argv: list[str] | None = None) -> int:  # pragma: no cover - thin CLI
     parser.add_argument("--lsus", type=str, default=None, help="comma-separated LSU kinds")
     parser.add_argument("--out", default="BENCH_core.json")
     parser.add_argument("--compare", nargs=2, metavar=("OLD", "NEW"))
+    parser.add_argument("--check", metavar="BASELINE", default=None)
     args = parser.parse_args(argv)
     if args.compare:
         print(compare_bench(load_bench(args.compare[0]), load_bench(args.compare[1])))
         return 0
+    # Read the baseline up front: --out defaults to BENCH_core.json, the
+    # usual --check target, and the gate must never compare a run to itself.
+    baseline = load_bench(args.check) if args.check else None
     payload = run_bench(
         workloads=args.workloads.split(",") if args.workloads else None,
         n_insts=args.insts,
@@ -259,6 +305,20 @@ def main(argv: list[str] | None = None) -> int:  # pragma: no cover - thin CLI
         lsus=args.lsus.split(",") if args.lsus else None,
     )
     print(render_bench(payload))
-    write_bench(payload, args.out)
-    print(f"wrote {args.out}")
+    passed, message = (
+        render_gate(baseline, payload) if baseline is not None else (True, "")
+    )
+    import os as _os
+
+    if passed or _os.path.abspath(args.out) != _os.path.abspath(args.check):
+        write_bench(payload, args.out)
+        print(f"wrote {args.out}")
+    else:
+        # Never replace the baseline with the payload that just failed
+        # against it -- an immediate re-run would falsely pass.
+        print(f"not overwriting {args.out}: fingerprint gate failed against it")
+    if baseline is not None:
+        print(f"{message} ({args.check})")
+        if not passed:
+            return 1
     return 0

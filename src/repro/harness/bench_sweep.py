@@ -38,6 +38,8 @@ construction (that is the behaviour being measured).
       "cells": [{"workload": ..., "config": ..., "stats_fingerprint": ...}],
       "modes": {"serial": {"wall_seconds": ..., "cells_per_sec": ...,
                            "trace_generations": ...}, ...},
+      "trace_generation": {"insts_per_sec": ..., "legacy_insts_per_sec": ...,
+                           "speedup": ...},
       "equivalence": {"identical": true, "diverged": []},
       "speedups": {"batch_vs_pool_regen": ..., "pool_shared_vs_pool_regen": ...,
                    "batch_vs_serial": ...}
@@ -59,7 +61,11 @@ from repro.experiments.spec import ExperimentSpec, matrix_spec
 from repro.harness.bench import BENCH_WORKLOADS, QUICK_WORKLOADS
 from repro.harness.configs import fig5_configs, fig6_configs
 from repro.ioutil import atomic_write_text
+from repro.isa.codec import encode_trace
 from repro.pipeline.config import MachineConfig
+from repro.workloads.reference import generate_trace_objects
+from repro.workloads.spec2000 import spec_profile
+from repro.workloads.synthetic import generate_trace
 from repro.workloads.trace_cache import TraceCache
 
 SWEEP_SCHEMA_VERSION = 1
@@ -120,6 +126,52 @@ def _make_backends(jobs: int, cache: TraceCache) -> dict[str, object]:
     }
 
 
+def measure_generation(
+    workloads: list[str], n_insts: int, repeats: int = 2
+) -> dict:
+    """Cold-sweep trace-production throughput, column-native vs reference.
+
+    Times what a cold sweep pays per workload -- generate the trace and
+    encode it for publication -- for the column-native generator and for
+    the *pre-column pipeline* reconstructed from its frozen pieces: the
+    object-path reference generator
+    (:func:`~repro.workloads.reference.generate_trace_objects`, whose
+    output is bit-identical) plus the explicit ``TraceMeta`` build its
+    encoder used to perform.  Today's ``encode_trace`` derives metadata
+    from the op column and ignores a prebuilt ``TraceMeta``, so the
+    ``meta()`` call below is charged deliberately: the baseline is the
+    historical cost of producing a publishable trace, not the cost of
+    running the old generator through the new encoder.  Best-of-
+    ``repeats`` per workload; the aggregate speedup is the refactor's
+    trace-generation claim.
+    """
+    column_wall = 0.0
+    legacy_wall = 0.0
+    total = 0
+    for name in workloads:
+        profile = spec_profile(name)
+        best_column = best_legacy = float("inf")
+        for _ in range(max(1, repeats)):
+            started = time.perf_counter()
+            encode_trace(generate_trace(profile, n_insts))
+            best_column = min(best_column, time.perf_counter() - started)
+            started = time.perf_counter()
+            trace = generate_trace_objects(profile, n_insts)
+            trace.meta()
+            encode_trace(trace)
+            best_legacy = min(best_legacy, time.perf_counter() - started)
+        column_wall += best_column
+        legacy_wall += best_legacy
+        total += n_insts
+    return {
+        "n_insts": n_insts,
+        "workloads": list(workloads),
+        "insts_per_sec": total / column_wall if column_wall else 0.0,
+        "legacy_insts_per_sec": total / legacy_wall if legacy_wall else 0.0,
+        "speedup": legacy_wall / column_wall if column_wall else 0.0,
+    }
+
+
 def run_sweep_bench(
     workloads: list[str] | None = None,
     n_insts: int = SWEEP_INSTS,
@@ -168,6 +220,12 @@ def run_sweep_bench(
                 "trace_generations": generations,
             }
 
+    if progress is not None:
+        progress("bench-sweep: trace generation (column-native vs reference)")
+    generation = measure_generation(
+        spec.benchmark_names, spec.n_insts, repeats=max(1, repeats)
+    )
+
     reference = fingerprints["serial"]
     diverged = sorted(
         f"{mode}:{workload}/{config}"
@@ -195,6 +253,7 @@ def run_sweep_bench(
             for (workload, config), print_ in zip(cell_ids, reference)
         ],
         "modes": mode_rows,
+        "trace_generation": generation,
         "equivalence": {"identical": not diverged, "diverged": diverged},
         "speedups": {
             "batch_vs_pool_regen": speedup("batch"),
@@ -227,6 +286,13 @@ def render_sweep_bench(payload: dict) -> str:
         lines.append(
             f"{mode:14s} {row['wall_seconds']:8.2f} {row['cells_per_sec']:9.2f} "
             f"{row['trace_generations']:11d} {ratio:9.2f}x"
+        )
+    generation = payload.get("trace_generation")
+    if generation:
+        lines.append(
+            f"trace generation: {generation['insts_per_sec'] / 1000:.0f}k insts/s "
+            f"column-native vs {generation['legacy_insts_per_sec'] / 1000:.0f}k "
+            f"object-path ({generation['speedup']:.2f}x)"
         )
     equivalence = payload["equivalence"]
     if equivalence["identical"]:

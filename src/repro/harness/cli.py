@@ -7,6 +7,7 @@ Examples::
     svw-repro fig7 --benchmarks crafty,vortex
     svw-repro all --insts 20000            # every experiment
     svw-repro fig5 --jobs 8                # fan cells out across processes
+    svw-repro all --jobs 8 --pool-scope session  # one pool for all sweeps
     svw-repro all --cache-dir ~/.cache/svw # reruns become cache reads
     svw-repro fig5 --json results.json     # machine-readable results
     svw-repro fig5 --jobs 8 --trace-cache-dir ~/.cache/svw-traces
@@ -20,11 +21,13 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from typing import Callable
 
 from repro.experiments.backends import make_backend
+from repro.experiments.pool import shutdown_session_pools
 from repro.experiments.results import FigureResult
 from repro.experiments.spec import DEFAULT_INSTS
 from repro.experiments.store import ResultStore
@@ -108,6 +111,15 @@ def main(argv: list[str] | None = None) -> int:
         "bench-sweep defaults to 2)",
     )
     parser.add_argument(
+        "--pool-scope",
+        choices=["sweep", "session"],
+        default=None,
+        help="worker-pool lifetime for parallel sweeps: 'sweep' tears the "
+        "pool down per sweep, 'session' reuses one pool (and its warm "
+        "worker-side trace memos) across sweeps; default is 'session' for "
+        "'all' with --jobs, else 'sweep'",
+    )
+    parser.add_argument(
         "--cache-dir",
         type=str,
         default=None,
@@ -164,28 +176,60 @@ def main(argv: list[str] | None = None) -> int:
         "(default BENCH_core.json / BENCH_sweep.json unless --json "
         "already directs it)",
     )
+    parser.add_argument(
+        "--check",
+        type=str,
+        default=None,
+        metavar="BASELINE",
+        help="bench only: compare this run's per-cell stats fingerprints "
+        "against a BENCH_core.json snapshot and exit non-zero on any "
+        "divergence (the column-native bit-identity gate; budgets must "
+        "match the snapshot's)",
+    )
     args = parser.parse_args(argv)
 
     benchmarks = args.benchmarks.split(",") if args.benchmarks else None
     workloads = args.workloads.split(",") if args.workloads else benchmarks
 
-    def emit_benchmark(payload: dict, render, write, default_out: str) -> None:
-        """Shared --json/--out plumbing for the benchmark subcommands."""
+    def emit_benchmark(
+        payload: dict, render, write, default_out: str, protect: str | None = None
+    ) -> None:
+        """Shared --json/--out plumbing for the benchmark subcommands.
+
+        ``protect`` names a file that must not be overwritten (the --check
+        baseline after a failed gate: clobbering it with the divergent
+        payload would make an immediate re-run falsely pass and destroy
+        the regression evidence).
+        """
+
+        def guarded_write(data, path):
+            if protect is not None and os.path.abspath(path) == os.path.abspath(protect):
+                print(
+                    f"not overwriting {path}: fingerprint gate failed against it",
+                    file=sys.stderr,
+                )
+                return
+            write(data, path)
+
         if args.json == "-":
             print(json.dumps(payload, indent=1, sort_keys=True))
         else:
             print(render(payload))
             if args.json is not None:
-                write(payload, args.json)
+                guarded_write(payload, args.json)
         out = args.out
         if out is None and args.json is None:
             out = default_out
         if out is not None:
-            write(payload, out)
+            guarded_write(payload, out)
             if not args.quiet:
                 print(f"wrote {out}", file=sys.stderr)
 
     if args.experiment == "bench":
+        # Load the gate baseline before anything can write to its path:
+        # with no --out, emit_benchmark writes the fresh payload to
+        # BENCH_core.json, which is exactly where the baseline usually is.
+        check_baseline = bench.load_bench(args.check) if args.check else None
         payload = bench.run_bench(
             workloads=workloads,
             n_insts=args.insts,
@@ -194,7 +238,24 @@ def main(argv: list[str] | None = None) -> int:
             progress=None if args.quiet else _progress,
             lsus=args.lsus.split(",") if args.lsus else None,
         )
-        emit_benchmark(payload, bench.render_bench, bench.write_bench, "BENCH_core.json")
+        passed, message = (
+            bench.render_gate(check_baseline, payload)
+            if check_baseline is not None
+            else (True, "")
+        )
+        emit_benchmark(
+            payload,
+            bench.render_bench,
+            bench.write_bench,
+            "BENCH_core.json",
+            protect=None if passed else args.check,
+        )
+        if check_baseline is not None:
+            if not passed:
+                print(f"{message} (vs {args.check})", file=sys.stderr)
+                return 1
+            if not args.quiet:
+                print(f"{message} ({args.check})", file=sys.stderr)
         return 0
     if args.experiment == "bench-sweep":
         payload = bench_sweep.run_sweep_bench(
@@ -217,19 +278,28 @@ def main(argv: list[str] | None = None) -> int:
         return 0 if payload["equivalence"]["identical"] else 1
     names = sorted(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     trace_cache = TraceCache(args.trace_cache_dir) if args.trace_cache_dir else None
-    backend = make_backend(args.jobs, trace_cache=trace_cache)
+    pool_scope = args.pool_scope
+    if pool_scope is None:
+        # 'all' runs eight sweeps back to back: amortize fork+import and
+        # keep worker-side decoded-trace memos warm across the figures.
+        parallel = args.jobs is not None and args.jobs > 1
+        pool_scope = "session" if args.experiment == "all" and parallel else "sweep"
+    backend = make_backend(args.jobs, trace_cache=trace_cache, pool_scope=pool_scope)
     store = ResultStore(args.cache_dir) if args.cache_dir else None
     results: dict[str, FigureResult] = {}
-    for name in names:
-        results[name] = run_experiment(
-            name,
-            benchmarks,
-            args.insts,
-            args.quiet,
-            backend=backend,
-            store=store,
-            render=args.json != "-",
-        )
+    try:
+        for name in names:
+            results[name] = run_experiment(
+                name,
+                benchmarks,
+                args.insts,
+                args.quiet,
+                backend=backend,
+                store=store,
+                render=args.json != "-",
+            )
+    finally:
+        shutdown_session_pools()
     if args.json is not None:
         payload = json.dumps(
             {name: result.to_dict() for name, result in results.items()}, indent=1

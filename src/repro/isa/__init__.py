@@ -6,22 +6,27 @@ rather than on an encoded machine ISA.  This mirrors what the paper's
 mechanisms actually observe: operation class, register dataflow, PCs,
 effective addresses, access sizes, and store values.
 
-Three layers live here:
+Four layers live here:
 
 - :mod:`repro.isa.ops` -- operation classes and their execution latencies.
 - :mod:`repro.isa.inst` -- the :class:`DynInst` record and trace containers.
+- :mod:`repro.isa.coltrace` -- the column-native :class:`ColumnTrace`
+  representation (flat per-field arrays; ``DynInst`` demoted to a lazy
+  view) shared by the generator, the codec, and the simulator core.
 - :mod:`repro.isa.program` / :mod:`repro.isa.golden` -- a small assembler for
   register-level kernel programs and a functional executor that both produces
   dynamic traces from them and defines architecturally-correct results for
   end-to-end verification.
 """
 
+from repro.isa.coltrace import ColumnTrace
 from repro.isa.golden import GoldenResult, golden_execute, golden_memory_image
 from repro.isa.inst import DynInst, Trace
 from repro.isa.ops import OpClass, latency_of
 from repro.isa.program import Label, Op, Program, ProgramBuilder
 
 __all__ = [
+    "ColumnTrace",
     "DynInst",
     "GoldenResult",
     "Label",

@@ -1,19 +1,20 @@
 """Compact binary trace codec (the ``TraceCodec``).
 
-Serializes a :class:`~repro.isa.inst.Trace` -- including its cached
-:class:`~repro.isa.inst.TraceMeta` -- into a flat-array columnar form that
-is cheap to produce, cheap to ship (one contiguous buffer fits a
-``multiprocessing.shared_memory`` segment or a mmapped cache file), and
-cheap to decode: a decoder rebuilds the ``DynInst`` list from typed-array
-columns and reattaches ``TraceMeta`` *without* re-deriving latencies,
-issue classes, or kinds from the ops tables.
+Serializes a trace into its flat-array columnar form and back.  Since the
+column-native refactor, the codec is a thin framing layer around
+:class:`~repro.isa.coltrace.ColumnTrace`: the in-memory representation and
+the wire representation share one layout, so encoding is one ``tobytes()``
+per column and decoding is one ``frombytes()`` per column -- **no**
+``DynInst`` object graph is built on either side.  Object-built
+:class:`~repro.isa.inst.Trace` inputs are accepted too (normalized through
+:meth:`Trace.columns`) and produce bit-identical bytes.
 
 Why not pickle?  A pickled 30K-instruction trace is ~2 MB of per-object
 overhead that both sides pay again on every transfer; the columnar form is
-~25% smaller (and several times smaller than the decoded object graph it
-stands in for), versioned, checksummed (so an on-disk trace cache can
-detect torn or stale entries), and its layout is owned by this module
-rather than by whatever ``pickle`` decides to emit for a frozen dataclass.
+~25% smaller (and several times smaller than a decoded object graph),
+versioned, checksummed (so an on-disk trace cache can detect torn or stale
+entries), and its layout is owned by this module rather than by whatever
+``pickle`` decides to emit for a frozen dataclass.
 
 Wire layout (all little-endian)::
 
@@ -24,7 +25,9 @@ column payload, and the ordered ``(column, typecode, item_count)`` table
 the decoder slices the payload with.  Columns are :mod:`array` typecodes;
 variable-length per-instruction data (register sources, wrong-path address
 sets) is stored as a flattened value column plus an offsets column, the
-standard CSR trick.
+standard CSR trick.  The ``meta_*`` columns are retained for wire-format
+compatibility (decoders of version 1 may consume them); this decoder
+re-derives them from the op column, which is the same computation.
 """
 
 from __future__ import annotations
@@ -33,18 +36,10 @@ import json
 import struct
 import zlib
 from array import array
-from typing import Sequence
 
-from repro.isa.inst import (
-    KIND_LOAD,
-    KIND_STORE,
-    NO_PRODUCER,
-    DynInst,
-    Trace,
-    TraceMeta,
-    memory_signature,
-)
-from repro.isa.ops import OpClass
+from repro.isa.coltrace import INST_COLUMNS, KIND_BY_OP, ColumnTrace, narrowest_array
+from repro.isa.inst import Trace, memory_signature
+from repro.isa.ops import ISSUE_CLASS_BY_OP, LATENCY_BY_OP
 
 MAGIC = b"SVWT"
 
@@ -55,22 +50,14 @@ CODEC_VERSION = 1
 _HEADER_FMT = "<4sII"
 _HEADER_SIZE = struct.calcsize(_HEADER_FMT)
 
-#: Fixed-width per-instruction columns: (name, preferred/wide typecodes,
-#: attribute).  ``seq`` is implicit (dense 0..n-1) and not stored.  Columns
-#: are written with the narrow typecode when every value fits and silently
-#: widen otherwise; decoders read typecodes from the column table, so both
-#: widths are one wire format.
-_INST_COLUMNS: tuple[tuple[str, str, str, str], ...] = (
-    ("pc", "I", "Q", "pc"),
-    ("op", "B", "B", "op"),
-    ("dst_reg", "i", "q", "dst_reg"),
-    ("addr", "I", "Q", "addr"),
-    ("size", "B", "B", "size"),
-    ("store_value", "Q", "Q", "store_value"),
-    ("store_data_seq", "i", "q", "store_data_seq"),
-    ("taken", "B", "B", "taken"),
-    ("base_seq", "i", "q", "base_seq"),
-    ("offset", "i", "q", "offset"),
+#: Byte-translation tables mapping the (one-byte) op column to the derived
+#: meta columns in a single C-level pass.
+_KIND_TABLE = bytes(KIND_BY_OP[i] if i < len(KIND_BY_OP) else 0 for i in range(256))
+_LATENCY_TABLE = bytes(
+    LATENCY_BY_OP[i] if i < len(LATENCY_BY_OP) else 0 for i in range(256)
+)
+_ISSUE_TABLE = bytes(
+    ISSUE_CLASS_BY_OP[i] if i < len(ISSUE_CLASS_BY_OP) else 0 for i in range(256)
 )
 
 
@@ -78,71 +65,52 @@ class TraceCodecError(ValueError):
     """Raised when a buffer is not a decodable encoded trace."""
 
 
-def _narrowest(values, narrow: str, wide: str) -> array:
-    """An :mod:`array` of ``values`` in ``narrow`` form, widened on overflow."""
-    if narrow != wide:
-        try:
-            return array(narrow, values)
-        except OverflowError:
-            pass
-    return array(wide, values)
+def encode_trace(trace: Trace | ColumnTrace) -> bytes:
+    """Serialize ``trace`` (columns plus derived metadata) to bytes.
 
-
-def _column_arrays(insts: Sequence[DynInst]) -> dict[str, array]:
-    columns: dict[str, array] = {}
-    for name, narrow, wide, attr in _INST_COLUMNS:
-        columns[name] = _narrowest([getattr(inst, attr) for inst in insts], narrow, wide)
-    # Register sources, CSR-style: offsets[i]..offsets[i+1] slice src_flat.
-    src_offsets = array("Q", bytes(8 * (len(insts) + 1)))
-    src_flat: list[int] = []
-    total = 0
-    for i, inst in enumerate(insts):
-        src_flat.extend(inst.src_seqs)
-        total += len(inst.src_seqs)
-        src_offsets[i + 1] = total
-    columns["src_offsets"] = _narrowest(src_offsets, "I", "Q")
-    columns["src_flat"] = _narrowest(src_flat, "i", "q")
-    return columns
-
-
-def encode_trace(trace: Trace) -> bytes:
-    """Serialize ``trace`` (plus its :class:`TraceMeta`) to bytes.
-
-    Calls :meth:`Trace.meta`, so the metadata is built here exactly once;
-    every decoder reattaches it instead of recomputing.
+    Accepts a :class:`ColumnTrace` (zero-copy: the columns are written
+    as-is) or an object-built :class:`Trace` (columnized once via
+    :meth:`Trace.columns`); both forms of the same stream encode to
+    identical bytes.
     """
-    insts = trace.insts
-    columns = _column_arrays(insts)
+    ct = trace.columns()
+    columns: dict[str, array] = {
+        name: getattr(ct, name) for name, _, _ in INST_COLUMNS
+    }
+    columns["src_offsets"] = ct.src_offsets
+    columns["src_flat"] = ct.src_flat
 
-    meta = trace.meta()
-    columns["meta_kind"] = array("B", meta.kind)
-    columns["meta_latency"] = array("B", meta.latency)
-    columns["meta_issue_class"] = array("B", meta.issue_class)
+    # Derived per-instruction metadata, translated from the op bytes in one
+    # C-level pass each (identical values to TraceMeta's tables).
+    op_bytes = ct.op.tobytes()
+    columns["meta_kind"] = array("B", op_bytes.translate(_KIND_TABLE))
+    columns["meta_latency"] = array("B", op_bytes.translate(_LATENCY_TABLE))
+    columns["meta_issue_class"] = array("B", op_bytes.translate(_ISSUE_TABLE))
 
     # Initial memory image and wrong-path address sets.  Iteration order of
     # both dicts is preserved bit-for-bit: nothing downstream should depend
     # on it, but "decode(encode(t)) is indistinguishable from t" is a far
     # easier invariant to test than "order never matters".
-    columns["mem_addr"] = _narrowest(trace.initial_memory.keys(), "I", "Q")
-    columns["mem_value"] = array("Q", trace.initial_memory.values())
-    wp_seq = _narrowest(trace.wrong_path_addrs.keys(), "I", "Q")
+    columns["mem_addr"] = narrowest_array(ct.initial_memory.keys(), "I", "Q")
+    columns["mem_value"] = array("Q", ct.initial_memory.values())
+    wp_seq = narrowest_array(ct.wrong_path_addrs.keys(), "I", "Q")
     wp_offsets = array("Q", bytes(8 * (len(wp_seq) + 1)))
     wp_flat: list[int] = []
     total = 0
-    for i, addrs in enumerate(trace.wrong_path_addrs.values()):
+    for i, addrs in enumerate(ct.wrong_path_addrs.values()):
         wp_flat.extend(addrs)
         total += len(addrs)
         wp_offsets[i + 1] = total
     columns["wp_seq"] = wp_seq
-    columns["wp_offsets"] = _narrowest(wp_offsets, "I", "Q")
-    columns["wp_flat"] = _narrowest(wp_flat, "I", "Q")
+    columns["wp_offsets"] = narrowest_array(wp_offsets, "I", "Q")
+    columns["wp_flat"] = narrowest_array(wp_flat, "I", "Q")
 
     table = [[name, col.typecode, len(col)] for name, col in columns.items()]
     payload = b"".join(col.tobytes() for col in columns.values())
     header = json.dumps(
         {
-            "name": trace.name,
-            "n_insts": len(insts),
+            "name": ct.name,
+            "n_insts": len(ct),
             "crc32": zlib.crc32(payload),
             "columns": table,
         },
@@ -214,10 +182,9 @@ def verify_encoded(buf) -> None:
 
     Checks the magic/version/header schema, the column-table arithmetic,
     and the payload checksum -- everything :func:`decode_trace` would
-    reject -- at a fraction of its cost (no ``DynInst`` construction).
-    Raises :class:`TraceCodecError` on any problem.  This is what lets an
-    on-disk trace cache trust an entry it is about to hand to workers
-    by reference.
+    reject -- at a fraction of its cost (no column construction).  Raises
+    :class:`TraceCodecError` on any problem.  This is what lets an on-disk
+    trace cache trust an entry it is about to hand to workers by reference.
     """
     header, payload = _read_header(buf)
     _checked_payload(header, payload)
@@ -236,18 +203,19 @@ def _read_columns(header: dict, payload: memoryview) -> dict[str, array]:
     return columns
 
 
-def decode_trace(buf) -> Trace:
-    """Rebuild a :class:`Trace` (with :class:`TraceMeta` attached) from
-    :func:`encode_trace` output.
+def decode_trace(buf) -> ColumnTrace:
+    """Rebuild a :class:`ColumnTrace` from :func:`encode_trace` output.
 
     ``buf`` is any bytes-like object -- a ``bytes`` string, an ``mmap``, or
     the buffer of a shared-memory segment; columns are copied out of it, so
-    the underlying mapping may be closed once this returns.
+    the underlying mapping may be closed once this returns.  No ``DynInst``
+    list is built; consumers that need the object view pay for it lazily
+    via :attr:`ColumnTrace.insts`.
     """
     header, payload = _read_header(buf)
     columns = _read_columns(header, payload)
     try:
-        return _build_trace(header, columns)
+        return _build_column_trace(header, columns)
     except TraceCodecError:
         raise
     except (KeyError, IndexError, ValueError, OverflowError) as exc:
@@ -258,50 +226,18 @@ def decode_trace(buf) -> Trace:
         raise TraceCodecError(f"malformed trace columns: {exc!r}") from exc
 
 
-def _build_trace(header: dict, columns: dict[str, array]) -> Trace:
+def _build_column_trace(header: dict, columns: dict[str, array]) -> ColumnTrace:
     n = header["n_insts"]
-    try:
-        pc = columns["pc"]
-        op_codes = columns["op"]
-        dst_reg = columns["dst_reg"]
-        addr = columns["addr"]
-        size = columns["size"]
-        store_value = columns["store_value"]
-        store_data_seq = columns["store_data_seq"]
-        taken = columns["taken"]
-        base_seq = columns["base_seq"]
-        offset_col = columns["offset"]
-        src_offsets = columns["src_offsets"]
-        src_flat = columns["src_flat"]
-    except KeyError as exc:
-        raise TraceCodecError(f"missing column {exc}") from exc
-    if any(len(columns[name]) != n for name, *_ in _INST_COLUMNS):
-        raise TraceCodecError("instruction column length mismatch")
-
-    # Column-at-a-time materialization, then one C-level map over DynInst:
-    # measurably faster than a per-row comprehension at 30K+ instructions,
-    # and decode speed is what sweep workers pay per workload.
-    ops = tuple(OpClass)
-    op_objs = [ops[code] for code in op_codes]
-    srcs = [tuple(src_flat[src_offsets[i] : src_offsets[i + 1]]) for i in range(n)]
-    takens = [t != 0 for t in taken]
-    insts = list(
-        map(
-            DynInst,
-            range(n),
-            pc,
-            op_objs,
-            srcs,
-            dst_reg,
-            addr,
-            size,
-            store_value,
-            store_data_seq,
-            takens,
-            base_seq,
-            offset_col,
-        )
-    )
+    for name, _, _ in INST_COLUMNS:
+        col = columns.get(name)
+        if col is None:
+            raise TraceCodecError(f"missing column {name!r}")
+        if len(col) != n:
+            raise TraceCodecError("instruction column length mismatch")
+    if "src_offsets" not in columns or "src_flat" not in columns:
+        raise TraceCodecError("missing register-source columns")
+    if len(columns.get("meta_kind", ())) != n:
+        raise TraceCodecError("meta column length mismatch")
 
     initial_memory = dict(zip(columns["mem_addr"], columns["mem_value"]))
     wp_offsets = columns["wp_offsets"]
@@ -310,44 +246,15 @@ def _build_trace(header: dict, columns: dict[str, array]) -> Trace:
         seq: tuple(wp_flat[wp_offsets[i] : wp_offsets[i + 1]])
         for i, seq in enumerate(columns["wp_seq"])
     }
-    trace = Trace(
+    return ColumnTrace(
         name=header["name"],
-        insts=insts,
+        columns=columns,
         initial_memory=initial_memory,
         wrong_path_addrs=wrong_path,
     )
 
-    # Reattach metadata from the encoded columns.  Words and signatures are
-    # derived from already-decoded columns (not via DynInst attribute walks
-    # or the ops tables), keeping decode+attach well under a meta rebuild.
-    kind = list(columns["meta_kind"])
-    if len(kind) != n:
-        raise TraceCodecError("meta column length mismatch")
-    mem_kinds = (KIND_LOAD, KIND_STORE)
-    words: list[tuple[int, ...]] = [
-        ((addr[i],) if size[i] <= 4 else (addr[i], addr[i] + 4))
-        if kind[i] in mem_kinds
-        else ()
-        for i in range(n)
-    ]
-    signature = [
-        (base_seq[i], offset_col[i], size[i])
-        if kind[i] in mem_kinds and base_seq[i] != NO_PRODUCER
-        else None
-        for i in range(n)
-    ]
-    meta = TraceMeta.from_columns(
-        kind=kind,
-        latency=list(columns["meta_latency"]),
-        issue_class=list(columns["meta_issue_class"]),
-        words=words,
-        signature=signature,
-    )
-    trace.attach_meta(meta)
-    return trace
 
-
-def roundtrip_equal(a: Trace, b: Trace) -> bool:
+def roundtrip_equal(a: Trace | ColumnTrace, b: Trace | ColumnTrace) -> bool:
     """Structural equality of two traces (used by tests and cache checks)."""
     return (
         a.name == b.name

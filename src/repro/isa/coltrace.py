@@ -1,0 +1,389 @@
+"""Column-native traces: flat per-field arrays with ``DynInst`` as a view.
+
+A :class:`ColumnTrace` stores one dynamic instruction stream as typed
+:mod:`array` columns -- one array per :class:`~repro.isa.inst.DynInst`
+field, plus a CSR pair (``src_offsets``/``src_flat``) for the
+variable-length register-source lists.  This is the same layout the trace
+codec puts on the wire, which makes it the natural *native* representation
+of a trace end to end:
+
+- the synthetic generator emits these columns directly (no per-instruction
+  object allocation);
+- :func:`repro.isa.codec.encode_trace` serializes them with one
+  ``tobytes()`` per column, and ``decode_trace`` rebuilds them with one
+  ``frombytes()`` per column -- no object graph on either side;
+- the :class:`~repro.pipeline.processor.Processor` reads the columns by
+  dynamic seq in its dispatch loop instead of walking ``DynInst`` records.
+
+``DynInst`` still exists, demoted to a *view*: :attr:`ColumnTrace.insts`
+materializes the object list lazily for compatibility consumers (golden
+execution of legacy traces, analysis code, tests), and
+:meth:`ColumnTrace.from_trace` converts an object-built
+:class:`~repro.isa.inst.Trace` (kernels, hand-written streams) into
+columns.  The two representations are interchangeable and bit-identical:
+``encode(from_trace(t)) == encode(t)`` and simulating either yields the
+same :meth:`~repro.pipeline.stats.SimStats.fingerprint`.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Iterator, Mapping, Sequence
+
+from repro.isa.inst import (
+    KIND_BRANCH,
+    KIND_LOAD,
+    KIND_OTHER,
+    KIND_STORE,
+    NO_PRODUCER,
+    DynInst,
+    Trace,
+    TraceMeta,
+)
+from repro.isa.ops import ISSUE_CLASS_BY_OP, LATENCY_BY_OP, OpClass
+
+#: Fixed-width per-instruction columns: ``(name, narrow typecode, wide
+#: typecode)``.  ``seq`` is implicit (dense ``0..n-1``) and never stored.
+#: Columns are kept in the narrow typecode when every value fits and
+#: silently widen otherwise; consumers read the typecode off the array.
+INST_COLUMNS: tuple[tuple[str, str, str], ...] = (
+    ("pc", "I", "Q"),
+    ("op", "B", "B"),
+    ("dst_reg", "i", "q"),
+    ("addr", "I", "Q"),
+    ("size", "B", "B"),
+    ("store_value", "Q", "Q"),
+    ("store_data_seq", "i", "q"),
+    ("taken", "B", "B"),
+    ("base_seq", "i", "q"),
+    ("offset", "i", "q"),
+)
+
+#: KIND_* code per ``int(OpClass)``.
+KIND_BY_OP: tuple[int, ...] = tuple(
+    KIND_LOAD
+    if op is OpClass.LOAD
+    else KIND_STORE
+    if op is OpClass.STORE
+    else KIND_BRANCH
+    if op is OpClass.BRANCH
+    else KIND_OTHER
+    for op in OpClass
+)
+
+_MEM_KINDS = (KIND_LOAD, KIND_STORE)
+
+
+def narrowest_array(values, narrow: str, wide: str) -> array:
+    """An :mod:`array` of ``values`` in ``narrow`` form, widened on overflow."""
+    if narrow != wide:
+        try:
+            return array(narrow, values)
+        except OverflowError:
+            pass
+    return array(wide, values)
+
+
+class HotColumns:
+    """Plain-list views of the per-instruction columns for hot loops.
+
+    Typed arrays box a fresh int object on every subscript; the processor's
+    dispatch loop indexes these columns once per dispatched instruction
+    (re-dispatches included), so a one-time ``list()`` conversion -- shared
+    by every machine configuration replaying the trace -- keeps the sim
+    core at object-path speed.  ``srcs`` holds the CSR slices as tuples and
+    ``taken`` is pre-converted to ``bool``.
+    """
+
+    __slots__ = (
+        "pc",
+        "dst_reg",
+        "addr",
+        "size",
+        "store_value",
+        "store_data_seq",
+        "base_seq",
+        "taken",
+        "srcs",
+    )
+
+
+class ColumnTrace:
+    """A program-ordered dynamic instruction stream in columnar form.
+
+    Duck-types :class:`~repro.isa.inst.Trace` (``name``, ``initial_memory``,
+    ``wrong_path_addrs``, ``len``, iteration/indexing over ``DynInst``
+    views, ``meta()``, ``validate()``, ``stats()``) so existing consumers
+    keep working; column-aware consumers read the arrays directly.
+    """
+
+    __slots__ = (
+        "name",
+        "initial_memory",
+        "wrong_path_addrs",
+        "pc",
+        "op",
+        "dst_reg",
+        "addr",
+        "size",
+        "store_value",
+        "store_data_seq",
+        "taken",
+        "base_seq",
+        "offset",
+        "src_offsets",
+        "src_flat",
+        "_meta",
+        "_hot",
+        "_insts",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        columns: Mapping[str, array],
+        initial_memory: dict[int, int] | None = None,
+        wrong_path_addrs: dict[int, tuple[int, ...]] | None = None,
+    ) -> None:
+        self.name = name
+        n = len(columns["pc"])
+        for col_name, _, _ in INST_COLUMNS:
+            col = columns[col_name]
+            if len(col) != n:
+                raise ValueError(
+                    f"column {col_name!r} has {len(col)} items, expected {n}"
+                )
+            setattr(self, col_name, col)
+        src_offsets = columns["src_offsets"]
+        src_flat = columns["src_flat"]
+        if len(src_offsets) != n + 1:
+            raise ValueError(
+                f"src_offsets has {len(src_offsets)} items, expected {n + 1}"
+            )
+        if n and src_offsets[n] > len(src_flat):
+            raise ValueError("src_offsets reach past src_flat")
+        self.src_offsets = src_offsets
+        self.src_flat = src_flat
+        self.initial_memory = {} if initial_memory is None else initial_memory
+        self.wrong_path_addrs = {} if wrong_path_addrs is None else wrong_path_addrs
+        self._meta: TraceMeta | None = None
+        self._hot: HotColumns | None = None
+        self._insts: list[DynInst] | None = None
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_lists(
+        cls,
+        name: str,
+        columns: Mapping[str, Sequence[int]],
+        initial_memory: dict[int, int] | None = None,
+        wrong_path_addrs: dict[int, tuple[int, ...]] | None = None,
+    ) -> "ColumnTrace":
+        """Adopt plain-list columns (the generator's output), narrowing each."""
+        arrays: dict[str, array] = {
+            col_name: narrowest_array(columns[col_name], narrow, wide)
+            for col_name, narrow, wide in INST_COLUMNS
+        }
+        arrays["src_offsets"] = narrowest_array(columns["src_offsets"], "I", "Q")
+        arrays["src_flat"] = narrowest_array(columns["src_flat"], "i", "q")
+        return cls(name, arrays, initial_memory, wrong_path_addrs)
+
+    @classmethod
+    def from_trace(cls, trace: Trace) -> "ColumnTrace":
+        """Columnize an object-built :class:`Trace` (kernels, tests)."""
+        insts = trace.insts
+        columns: dict[str, list[int]] = {
+            col_name: [getattr(inst, col_name) for inst in insts]
+            for col_name, _, _ in INST_COLUMNS
+        }
+        src_offsets = [0]
+        src_flat: list[int] = []
+        for inst in insts:
+            src_flat.extend(inst.src_seqs)
+            src_offsets.append(len(src_flat))
+        columns["src_offsets"] = src_offsets
+        columns["src_flat"] = src_flat
+        return cls.from_lists(
+            trace.name,
+            columns,
+            initial_memory=trace.initial_memory,
+            wrong_path_addrs=trace.wrong_path_addrs,
+        )
+
+    # -- protocol ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.pc)
+
+    def columns(self) -> "ColumnTrace":
+        """Self: the shared ``Trace``/``ColumnTrace`` normalization hook."""
+        return self
+
+    def meta(self) -> TraceMeta:
+        """Per-instruction metadata derived from the columns, built once.
+
+        ``kind``/``latency``/``issue_class`` are pure functions of the op
+        column; ``words`` and ``signature`` come straight from the address
+        columns -- no ``DynInst`` is materialized.
+        """
+        if self._meta is None:
+            op = self.op
+            kind = [KIND_BY_OP[code] for code in op]
+            latency = [LATENCY_BY_OP[code] for code in op]
+            issue_class = [ISSUE_CLASS_BY_OP[code] for code in op]
+            addr = self.addr
+            size = self.size
+            base = self.base_seq
+            offset = self.offset
+            mem = _MEM_KINDS
+            words: list[tuple[int, ...]] = [
+                ((addr[i],) if size[i] <= 4 else (addr[i], addr[i] + 4))
+                if kind[i] in mem
+                else ()
+                for i in range(len(op))
+            ]
+            signature = [
+                (base[i], offset[i], size[i])
+                if kind[i] in mem and base[i] != NO_PRODUCER
+                else None
+                for i in range(len(op))
+            ]
+            self._meta = TraceMeta.from_columns(
+                kind=kind,
+                latency=latency,
+                issue_class=issue_class,
+                words=words,
+                signature=signature,
+            )
+        return self._meta
+
+    def hot(self) -> HotColumns:
+        """List views of the dispatch-time columns (cached, shared by all
+        configurations replaying this trace)."""
+        if self._hot is None:
+            hot = HotColumns()
+            hot.pc = list(self.pc)
+            hot.dst_reg = list(self.dst_reg)
+            hot.addr = list(self.addr)
+            hot.size = list(self.size)
+            hot.store_value = list(self.store_value)
+            hot.store_data_seq = list(self.store_data_seq)
+            hot.base_seq = list(self.base_seq)
+            hot.taken = [t != 0 for t in self.taken]
+            flat, offsets = self.src_flat, self.src_offsets
+            hot.srcs = [
+                tuple(flat[offsets[i] : offsets[i + 1]]) for i in range(len(self.pc))
+            ]
+            self._hot = hot
+        return self._hot
+
+    # -- DynInst view (compatibility) ----------------------------------------
+
+    @property
+    def insts(self) -> list[DynInst]:
+        """Lazily-materialized ``DynInst`` list, identical to the object path."""
+        if self._insts is None:
+            n = len(self.pc)
+            ops = tuple(OpClass)
+            hot = self.hot()
+            self._insts = list(
+                map(
+                    DynInst,
+                    range(n),
+                    hot.pc,
+                    [ops[code] for code in self.op],
+                    hot.srcs,
+                    hot.dst_reg,
+                    hot.addr,
+                    hot.size,
+                    hot.store_value,
+                    hot.store_data_seq,
+                    hot.taken,
+                    hot.base_seq,
+                    list(self.offset),
+                )
+            )
+        return self._insts
+
+    def __iter__(self) -> Iterator[DynInst]:
+        return iter(self.insts)
+
+    def __getitem__(self, i: int) -> DynInst:
+        return self.insts[i]
+
+    def as_trace(self) -> Trace:
+        """An object-backed :class:`Trace` sharing this stream (tests/tools)."""
+        trace = Trace(
+            name=self.name,
+            insts=self.insts,
+            initial_memory=self.initial_memory,
+            wrong_path_addrs=self.wrong_path_addrs,
+        )
+        trace.attach_meta(self.meta())
+        return trace
+
+    # -- invariants / statistics ---------------------------------------------
+
+    def validate(self) -> None:
+        """Column-native version of :meth:`Trace.validate` (same invariants:
+        dense seqs are structural here; producers precede consumers; memory
+        ops are aligned and sanely sized; (base, offset) maps to one address).
+
+        Runs after every generation, so the columns are flattened to lists
+        once (C-speed) and walked in a single fused pass.
+        """
+        ops = self.op.tolist()
+        base = self.base_seq.tolist()
+        offset = self.offset.tolist()
+        addr = self.addr.tolist()
+        size = self.size.tolist()
+        flat = self.src_flat.tolist()
+        offsets = self.src_offsets.tolist()
+        load, store = int(OpClass.LOAD), int(OpClass.STORE)
+        signatures: dict[tuple[int, int], int] = {}
+        setdefault = signatures.setdefault
+        j = 0
+        for i, code in enumerate(ops):
+            end = offsets[i + 1]
+            while j < end:
+                src = flat[j]
+                if src < 0 or src >= i:
+                    raise ValueError(f"inst {i} consumes future/invalid producer {src}")
+                j += 1
+            b = base[i]
+            if b != NO_PRODUCER and not 0 <= b < i:
+                raise ValueError(f"inst {i} has invalid base producer {b}")
+            if code == load or code == store:
+                s = size[i]
+                a = addr[i]
+                if s != 8:
+                    if s != 4:
+                        raise ValueError(f"mem inst {i} has size {s}")
+                    if a % 4 != 0:
+                        raise ValueError(f"mem inst {i} unaligned addr {a:#x}")
+                elif a % 8 != 0:
+                    if a % 4 != 0:
+                        raise ValueError(f"mem inst {i} unaligned addr {a:#x}")
+                    raise ValueError(f"mem inst {i} unaligned 8B addr {a:#x}")
+                if b != NO_PRODUCER:
+                    key = (b, offset[i])
+                    previous = setdefault(key, a)
+                    if previous != a:
+                        raise ValueError(
+                            f"mem inst {i}: signature {key} maps to both "
+                            f"{previous:#x} and {a:#x}"
+                        )
+
+    def stats(self) -> dict[str, float]:
+        """Aggregate mix statistics (fractions of the dynamic stream)."""
+        counts = [0] * len(OpClass)
+        for code in self.op:
+            counts[code] += 1
+        total = max(1, len(self.op))
+        return {
+            "insts": float(total),
+            "load_frac": counts[int(OpClass.LOAD)] / total,
+            "store_frac": counts[int(OpClass.STORE)] / total,
+            "branch_frac": counts[int(OpClass.BRANCH)] / total,
+        }

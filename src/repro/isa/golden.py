@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.isa.coltrace import ColumnTrace
 from repro.isa.inst import NO_PRODUCER, DynInst, Trace
 from repro.isa.ops import OpClass
 from repro.isa.program import Mnemonic, Program
@@ -40,11 +41,33 @@ class GoldenResult:
     memory: MemoryImage
 
 
-def golden_execute(trace: Trace) -> GoldenResult:
-    """Execute ``trace`` in program order on a functional memory."""
+def golden_execute(trace: Trace | ColumnTrace) -> GoldenResult:
+    """Execute ``trace`` in program order on a functional memory.
+
+    Column traces are executed straight off their flat columns (no
+    ``DynInst`` materialization); object traces walk the instruction list.
+    Both paths are value-identical.
+    """
     memory = MemoryImage(trace.initial_memory)
     load_values: dict[int, int] = {}
     silent: set[int] = set()
+    if isinstance(trace, ColumnTrace):
+        op = trace.op
+        addr = trace.addr
+        size = trace.size
+        store_value = trace.store_value
+        load, store = int(OpClass.LOAD), int(OpClass.STORE)
+        read, write = memory.read, memory.write
+        for seq in range(len(op)):
+            code = op[seq]
+            if code == load:
+                load_values[seq] = read(addr[seq], size[seq])
+            elif code == store:
+                value = store_value[seq]
+                if read(addr[seq], size[seq]) == value:
+                    silent.add(seq)
+                write(addr[seq], value, size[seq])
+        return GoldenResult(load_values=load_values, silent_stores=silent, memory=memory)
     for inst in trace.insts:
         if inst.op is OpClass.LOAD:
             load_values[inst.seq] = memory.read(inst.addr, inst.size)

@@ -200,9 +200,24 @@ class Trace:
     #: Lazily-built :class:`TraceMeta` cache; identity metadata only, so it
     #: participates in neither equality nor construction by callers.
     _meta: TraceMeta | None = field(default=None, repr=False, compare=False)
+    #: Lazily-built columnar view (see :meth:`columns`); cache only.
+    _columns: object = field(default=None, repr=False, compare=False)
 
     def __len__(self) -> int:
         return len(self.insts)
+
+    def columns(self):
+        """The :class:`~repro.isa.coltrace.ColumnTrace` view of this trace.
+
+        Built once and cached: the column-native simulator core and codec
+        normalize every input through this hook, so object-built traces
+        (kernels, hand-written tests) pay a single conversion per trace.
+        """
+        if self._columns is None:
+            from repro.isa.coltrace import ColumnTrace
+
+            self._columns = ColumnTrace.from_trace(self)
+        return self._columns
 
     def meta(self) -> TraceMeta:
         """Per-instruction metadata, built once and shared across runs."""

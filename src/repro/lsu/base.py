@@ -23,10 +23,9 @@ FROM_MEMORY = -1
 
 def store_word_value(store: InFlight, word: int) -> int:
     """The 32-bit value ``store`` writes to 4-byte-aligned ``word``."""
-    inst = store.inst
-    if word == inst.addr:
-        return inst.store_value & 0xFFFF_FFFF
-    return (inst.store_value >> 32) & 0xFFFF_FFFF
+    if word == store.addr:
+        return store.store_value & 0xFFFF_FFFF
+    return (store.store_value >> 32) & 0xFFFF_FFFF
 
 
 class LoadStoreUnit(abc.ABC):
@@ -128,7 +127,6 @@ class LoadStoreUnit(abc.ABC):
         because this runs once per issued load.
         """
         proc = self.proc
-        inst = load.inst
         load_seq = load.seq
         store_words = proc.store_words
         committed_read = proc.committed_memory.read
@@ -177,7 +175,7 @@ class LoadStoreUnit(abc.ABC):
                 value |= store_word_value(supplier, word) << (32 * shift)
                 sources.append(supplier.seq)
                 forwarded_ssns.append(supplier.ssn)
-        if inst.size == 4:
+        if load.size == 4:
             value &= 0xFFFF_FFFF
         load.exec_value = value
         load.word_sources = tuple(sources)

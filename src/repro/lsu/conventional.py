@@ -10,6 +10,7 @@ one store issue per cycle in the Figure 5 experiments.
 
 from __future__ import annotations
 
+from repro.isa.inst import KIND_LOAD
 from repro.lsu.base import LoadStoreUnit, store_word_value
 from repro.pipeline.inflight import InFlight
 
@@ -66,7 +67,7 @@ class ConventionalLSU(LoadStoreUnit):
         return victim
 
     def _drop(self, load: InFlight) -> None:
-        if load.inst.is_load and load.word_sources is not None:
+        if load.kind == KIND_LOAD and load.word_sources is not None:
             for word in self.proc.meta.words[load.seq]:
                 loads = self._loads_by_word.get(word)
                 if loads is not None:
@@ -79,10 +80,10 @@ class ConventionalLSU(LoadStoreUnit):
         self._drop(load)
 
     def on_squash(self, entry: InFlight) -> None:
-        if entry.inst.is_load:
+        if entry.kind == KIND_LOAD:
             self._drop(entry)
 
 
 def index_of_word(load: InFlight, word: int) -> int:
     """Position of ``word`` in the load's word tuple (0 or 1)."""
-    return 0 if word == load.inst.addr else 1
+    return 0 if word == load.addr else 1

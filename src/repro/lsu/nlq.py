@@ -35,4 +35,4 @@ class NonAssociativeLQ(LoadStoreUnit):
     def on_rex_failure(self, load: InFlight, store_pc: int | None) -> None:
         """Train a precise store-load pair through the SPCT."""
         if store_pc is not None and self.proc.store_sets is not None:
-            self.proc.store_sets.train(load.inst.pc, store_pc)
+            self.proc.store_sets.train(load.pc, store_pc)

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from collections import deque
 
+from repro.isa.inst import KIND_STORE
 from repro.lsu.base import FROM_MEMORY, LoadStoreUnit
 from repro.pipeline.inflight import InFlight
 
@@ -49,19 +50,19 @@ class SpeculativeSQ(LoadStoreUnit):
     # -- dispatch -----------------------------------------------------------------
 
     def store_dispatch_ready(self, store: InFlight) -> bool:
-        if store.inst.pc in self.store_bits:
+        if store.pc in self.store_bits:
             return self.fsq_occupancy < self.fsq_size
         return True
 
     def on_store_dispatch(self, store: InFlight) -> None:
-        if store.inst.pc in self.store_bits:
+        if store.pc in self.store_bits:
             store.fsq = True
             self.fsq_occupancy += 1
 
     def on_load_dispatch(self, load: InFlight) -> None:
         # No natural filter: every load re-executes (absent SVW).
         load.marked = True
-        if load.inst.pc in self.load_bits:
+        if load.pc in self.load_bits:
             load.fsq = True
 
     # -- execution -------------------------------------------------------------------
@@ -73,21 +74,20 @@ class SpeculativeSQ(LoadStoreUnit):
             return
         # Best-effort path: the bank's forwarding buffer, else the cache.
         proc = self.proc
-        inst = load.inst
         words = proc.meta.words[load.seq]
-        bank = proc.hierarchy.load_bank(inst.addr)
+        bank = proc.hierarchy.load_bank(load.addr)
         match: InFlight | None = None
         for store in reversed(self._buffers[bank]):
             if (
                 store.seq < load.seq
                 and not store.squashed
-                and store.inst.addr == inst.addr
-                and store.inst.size == inst.size
+                and store.addr == load.addr
+                and store.size == load.size
             ):
                 match = store
                 break
         if match is not None:
-            load.exec_value = match.inst.store_value
+            load.exec_value = match.store_value
             load.word_sources = tuple(match.seq for _ in words)
             # Best-effort forwarding "does not maintain the invariants
             # required" for the SVW forward update (section 4.2).
@@ -99,7 +99,7 @@ class SpeculativeSQ(LoadStoreUnit):
         value = 0
         for shift, word in enumerate(words):
             value |= proc.committed_memory.read(word, 4) << (32 * shift)
-        if inst.size == 4:
+        if load.size == 4:
             value &= 0xFFFF_FFFF
         load.exec_value = value
         load.word_sources = tuple(FROM_MEMORY for _ in words)
@@ -108,7 +108,7 @@ class SpeculativeSQ(LoadStoreUnit):
     def on_store_forwardable(self, store: InFlight) -> None:
         # Insert into the bank's best-effort buffer (FIFO, unordered) once
         # both the address and the value exist.
-        bank = self.proc.hierarchy.load_bank(store.inst.addr)
+        bank = self.proc.hierarchy.load_bank(store.addr)
         self._buffers[bank].append(store)
 
     # -- retirement / recovery --------------------------------------------------------
@@ -117,14 +117,14 @@ class SpeculativeSQ(LoadStoreUnit):
         self._release(store)
 
     def on_squash(self, entry: InFlight) -> None:
-        if entry.inst.is_store:
+        if entry.kind == KIND_STORE:
             self._release(entry)
 
     def _release(self, store: InFlight) -> None:
         if store.fsq:
             store.fsq = False
             self.fsq_occupancy -= 1
-        bank = self.proc.hierarchy.load_bank(store.inst.addr)
+        bank = self.proc.hierarchy.load_bank(store.addr)
         try:
             self._buffers[bank].remove(store)
         except ValueError:
@@ -137,8 +137,8 @@ class SpeculativeSQ(LoadStoreUnit):
         the store resolved must learn to wait, FSQ or not (both machine
         configurations "use store-sets to manage load speculation").
         """
-        self.load_bits.add(load.inst.pc)
+        self.load_bits.add(load.pc)
         if store_pc is not None:
             self.store_bits.add(store_pc)
             if self.proc.store_sets is not None:
-                self.proc.store_sets.train(load.inst.pc, store_pc)
+                self.proc.store_sets.train(load.pc, store_pc)

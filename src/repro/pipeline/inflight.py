@@ -1,15 +1,18 @@
 """Mutable per-dynamic-instruction pipeline state.
 
-A fresh :class:`InFlight` wraps a :class:`~repro.isa.inst.DynInst` every
-time it is dispatched (including re-dispatch after a squash); all timing
-and speculation state lives here, never in the immutable trace.
+A fresh :class:`InFlight` is allocated every time a dynamic instruction is
+dispatched (including re-dispatch after a squash).  Since the
+column-native refactor it carries the handful of static facts the stage
+loops and LSU variants read -- ``pc``, ``kind``, ``dst_reg`` and, for
+memory ops and branches, ``addr``/``size``/``store_value``/``taken`` --
+copied out of the trace's flat columns at dispatch; it no longer wraps a
+:class:`~repro.isa.inst.DynInst` object.  All timing and speculation state
+lives here, never in the immutable trace.
 """
 
 from __future__ import annotations
 
 import enum
-
-from repro.isa.inst import DynInst
 
 
 class RexState(enum.IntEnum):
@@ -28,8 +31,14 @@ class InFlight:
     """Pipeline state of one dispatched dynamic instruction."""
 
     __slots__ = (
-        "inst",
         "seq",
+        "pc",
+        "kind",
+        "dst_reg",
+        "addr",
+        "size",
+        "store_value",
+        "taken",
         "squashed",
         "pending_srcs",
         "data_pending",
@@ -56,9 +65,20 @@ class InFlight:
         "mispredicted",
     )
 
-    def __init__(self, inst: DynInst, dispatch_cycle: int) -> None:
-        self.inst = inst
-        self.seq = inst.seq
+    def __init__(self, seq: int, pc: int, kind: int, dst_reg: int, dispatch_cycle: int) -> None:
+        self.seq = seq
+        self.pc = pc
+        #: ``KIND_*`` code (see :mod:`repro.isa.inst`).
+        self.kind = kind
+        self.dst_reg = dst_reg
+        #: Effective address / access size (memory ops; the dispatch loop
+        #: fills these from the trace columns), else 0.
+        self.addr = 0
+        self.size = 0
+        #: Value written (stores), else 0.
+        self.store_value = 0
+        #: Branch outcome (branches), else False.
+        self.taken = False
         self.squashed = False
         self.pending_srcs = 0
         #: Stores: 1 while the store-data producer is outstanding.  Store
@@ -114,6 +134,6 @@ class InFlight:
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
-            f"InFlight(seq={self.seq}, op={self.inst.op.name}, issued={self.issued}, "
+            f"InFlight(seq={self.seq}, kind={self.kind}, issued={self.issued}, "
             f"done={self.done}, rex={self.rex_state.name})"
         )

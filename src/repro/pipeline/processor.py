@@ -31,6 +31,12 @@ is written for interpreter throughput while staying *bit-identical* to the
 straightforward formulation (``tests/pipeline/test_skip_ahead.py`` and the
 golden-equivalence suite enforce this):
 
+- the trace is consumed in its column-native form
+  (:class:`~repro.isa.coltrace.ColumnTrace`): the dispatch loop reads the
+  flat per-field columns by dynamic seq and copies the few static facts an
+  in-flight entry needs into :class:`~repro.pipeline.inflight.InFlight`;
+  no ``DynInst`` objects exist on this path (object-built traces are
+  columnized once via :meth:`~repro.isa.inst.Trace.columns`);
 - per-instruction facts (kind, latency, issue class, touched words,
   integration signature) come from :class:`~repro.isa.inst.TraceMeta`,
   precomputed once per trace instead of per cycle;
@@ -56,6 +62,7 @@ from repro.deps.spct import SPCT
 from repro.deps.storesets import StoreSets
 from repro.frontend.btb import BTB
 from repro.frontend.direction import HybridPredictor
+from repro.isa.coltrace import ColumnTrace
 from repro.isa.golden import golden_execute
 from repro.isa.inst import KIND_BRANCH, KIND_LOAD, KIND_STORE, Trace
 from repro.isa.ops import LATENCY_BY_OP, OpClass
@@ -139,8 +146,17 @@ class Processor:
         "_worked",
         "_stall_note",
         "_event_heap",
+        # flat trace columns (hot-loop flattening; see ColumnTrace.hot)
+        "_m_pc",
+        "_m_dst",
+        "_m_addr",
+        "_m_size",
+        "_m_sval",
+        "_m_sdata",
+        "_m_base",
+        "_m_taken",
+        "_m_srcs",
         # cached configuration scalars (hot-loop flattening)
-        "_insts",
         "_trace_len",
         "_width",
         "_rob_size",
@@ -180,14 +196,17 @@ class Processor:
     def __init__(
         self,
         config: MachineConfig,
-        trace: Trace,
+        trace: Trace | ColumnTrace,
         validate: bool = False,
         warmup: int = 0,
         skip_ahead: bool = True,
     ) -> None:
         """Args:
         config: The machine to model.
-        trace: The dynamic instruction stream to execute.
+        trace: The dynamic instruction stream to execute -- natively a
+            :class:`~repro.isa.coltrace.ColumnTrace`; an object-built
+            :class:`Trace` is columnized once (and the conversion cached
+            on it) so both forms simulate bit-identically.
         validate: Check every committed load value against the golden
             functional execution (slower; used by the test suite).
         warmup: Number of committed instructions to exclude from the
@@ -198,6 +217,7 @@ class Processor:
             assert this); disabling it exists for those tests and for
             debugging cycle-by-cycle traces.
         """
+        trace = trace.columns()
         self.config = config
         self.trace = trace
         self.meta = trace.meta()
@@ -264,8 +284,20 @@ class Processor:
         #: per distinct cycle), consumed lazily by the skip-ahead scan.
         self._event_heap: list[int] = []
 
+        # Flat trace columns for the dispatch loop (plain lists, built
+        # once per trace and shared by every configuration replaying it).
+        hot = trace.hot()
+        self._m_pc = hot.pc
+        self._m_dst = hot.dst_reg
+        self._m_addr = hot.addr
+        self._m_size = hot.size
+        self._m_sval = hot.store_value
+        self._m_sdata = hot.store_data_seq
+        self._m_base = hot.base_seq
+        self._m_taken = hot.taken
+        self._m_srcs = hot.srcs
+
         # Flattened configuration scalars for the per-cycle loops.
-        self._insts = trace.insts
         self._trace_len = len(trace)
         self._width = config.width
         self._rob_size = config.rob_size
@@ -409,7 +441,7 @@ class Processor:
             if word_value is None:
                 word_value = committed_read(word, 4)
             value |= word_value << (32 * shift)
-        if load.inst.size == 4:
+        if load.size == 4:
             value &= 0xFFFF_FFFF
         return value
 
@@ -653,7 +685,7 @@ class Processor:
             committed_total = self._committed_total + 1
             self._committed_total = committed_total
             stats.committed += 1
-            if head.inst.dst_reg >= 0:
+            if head.dst_reg >= 0:
                 self.reg_occ -= 1
             if committed_total == warmup:
                 # Measurement begins: stats was just swapped for a fresh
@@ -717,13 +749,12 @@ class Processor:
                 )
 
     def _commit_store(self, head: InFlight) -> None:
-        inst = head.inst
         self.stats.committed_stores += 1
         self.sq_occ -= 1
-        self.hierarchy.store_access(inst.addr)
-        self.committed_memory.write(inst.addr, inst.store_value, inst.size)
+        self.hierarchy.store_access(head.addr)
+        self.committed_memory.write(head.addr, head.store_value, head.size)
         self.ssn.retire_store()
-        self.spct.record(inst.addr, inst.size, inst.pc)
+        self.spct.record(head.addr, head.size, head.pc)
         store_words = self.store_words
         for word in self.meta.words[head.seq]:
             stores = store_words.get(word)
@@ -735,7 +766,7 @@ class Processor:
                 if not stores:
                     del store_words[word]
         if self.store_sets is not None:
-            self.store_sets.store_done(inst.pc, head.seq)
+            self.store_sets.store_done(head.pc, head.seq)
         if head.fsq:
             self.stats.fsq_stores += 1
         if self._on_store_commit is not None:
@@ -775,7 +806,6 @@ class Processor:
             entry = queue[index]
             if not entry.done:
                 break
-            inst = entry.inst
             if m_kind[entry.seq] == KIND_STORE:
                 if entry.rex_state is _NOT_NEEDED:
                     if (
@@ -789,7 +819,7 @@ class Processor:
                         # paper warns about.
                         break
                     if svw is not None:
-                        svw.record_store(inst.addr, inst.size, entry.ssn)
+                        svw.record_store(entry.addr, entry.size, entry.ssn)
                     entry.rex_state = _DONE_OK
                     self._worked = True
                 index += 1
@@ -803,13 +833,13 @@ class Processor:
                     self._worked = True
                 elif rex_mode is RexMode.SVW_ONLY:
                     # Config validation guarantees svw is present here.
-                    if svw.must_reexecute(inst.addr, inst.size, entry.svw):
+                    if svw.must_reexecute(entry.addr, entry.size, entry.svw):
                         entry.rex_state = _SVW_FLUSH
                     else:
                         entry.rex_state = _FILTERED
                     self._worked = True
                 elif svw is not None and not svw.must_reexecute(
-                    inst.addr, inst.size, entry.svw
+                    entry.addr, entry.size, entry.svw
                 ):
                     entry.rex_state = _FILTERED
                     self._worked = True
@@ -819,7 +849,7 @@ class Processor:
                         self.stats.rex_port_stalls += 1
                         break  # in-order start
                     entry.rex_state = _IN_FLIGHT
-                    access = self.hierarchy.rex_access(inst.addr)
+                    access = self.hierarchy.rex_access(entry.addr)
                     # RLE's elongated pipe (register-file address/value
                     # reads) adds latency but does not hold the D$ port.
                     extra = 2 if entry.eliminated else 0
@@ -903,8 +933,7 @@ class Processor:
                     # SQ CAM hit on a store without data: replay next cycle.
                     deferred.append(item)
                     continue
-                inst = entry.inst
-                bank_bit = 1 << ((inst.addr // line_bytes) & bank_mask)
+                bank_bit = 1 << ((entry.addr // line_bytes) & bank_mask)
                 if banks_used & bank_bit:
                     deferred.append(item)
                     continue
@@ -920,7 +949,7 @@ class Processor:
                 # Timing: the configured load-to-use latency covers the
                 # L1D + SQ path; anything beyond the L1 adds the
                 # hierarchy's miss penalty.
-                when = cycle + load_base_latency + load_access(inst.addr)
+                when = cycle + load_base_latency + load_access(entry.addr)
             elif kind == KIND_STORE:
                 entry.issued = True
                 when = cycle + store_latency
@@ -967,12 +996,13 @@ class Processor:
         trace_len = self._trace_len
         if fetch_seq >= trace_len:
             return
-        insts = self._insts
         m_kind = self.meta.kind
+        m_pc = self._m_pc
+        m_dst = self._m_dst
+        m_taken = self._m_taken
         # Cheap first-instruction occupancy check: the majority of calls
         # stall right here, so decide before paying the loop's local binds
         # (the loop re-evaluates the same chain for dispatched entries).
-        first = insts[fetch_seq]
         kind = m_kind[fetch_seq]
         if len(self.rob) >= self._rob_size:
             self._note_stall("rob")
@@ -987,9 +1017,15 @@ class Processor:
         elif kind == KIND_STORE and self.sq_occ >= self._sq_size:
             self._note_stall("sq")
             return
-        if first.dst_reg >= 0 and self.reg_occ >= self._num_regs:
+        if m_dst[fetch_seq] >= 0 and self.reg_occ >= self._num_regs:
             self._note_stall("regs")
             return
+        m_addr = self._m_addr
+        m_size = self._m_size
+        m_sval = self._m_sval
+        m_base = self._m_base
+        m_sdata = self._m_sdata
+        m_srcs = self._m_srcs
         rob = self.rob
         inflight_by_seq = self.inflight_by_seq
         store_dispatch_ready = self._store_dispatch_ready
@@ -1004,8 +1040,8 @@ class Processor:
         dispatched = 0
         taken_branches = 0
         while fetch_seq < trace_len and dispatched < width:
-            inst = insts[fetch_seq]
             kind = m_kind[fetch_seq]
+            dst_reg = m_dst[fetch_seq]
             if len(rob) >= rob_size:
                 reason = "rob"
             elif self.iq_occ >= iq_size:
@@ -1014,7 +1050,7 @@ class Processor:
                 reason = "lq"
             elif kind == KIND_STORE and self.sq_occ >= sq_size:
                 reason = "sq"
-            elif inst.dst_reg >= 0 and self.reg_occ >= num_regs:
+            elif dst_reg >= 0 and self.reg_occ >= num_regs:
                 reason = "regs"
             else:
                 reason = None
@@ -1032,11 +1068,22 @@ class Processor:
                 self.fetch_seq = fetch_seq
                 self._note_stall("drain")
                 break
-            if kind == KIND_BRANCH and inst.taken and taken_branches >= 1 and dispatched > 0:
+            taken = kind == KIND_BRANCH and m_taken[fetch_seq]
+            if taken and taken_branches >= 1 and dispatched > 0:
                 # Can fetch past one taken branch per cycle.
                 self.fetch_seq = fetch_seq
                 break
-            entry = InFlight(inst, cycle)
+            # The in-flight entry is the instruction's *view*: the static
+            # facts the stage loops and LSU hooks read are copied out of
+            # the flat columns here, once per dispatch.
+            entry = InFlight(fetch_seq, m_pc[fetch_seq], kind, dst_reg, cycle)
+            if kind == KIND_LOAD or kind == KIND_STORE:
+                entry.addr = m_addr[fetch_seq]
+                entry.size = m_size[fetch_seq]
+                if kind == KIND_STORE:
+                    entry.store_value = m_sval[fetch_seq]
+            elif taken:
+                entry.taken = True
             if (
                 kind == KIND_STORE
                 and store_dispatch_ready is not None
@@ -1048,16 +1095,16 @@ class Processor:
             # Register dataflow.  Stores split address (issue-gating) from
             # data (commit/forwarding-gating) operands.
             if kind == KIND_STORE:
-                addr_producer = inflight_by_seq.get(inst.base_seq)
+                addr_producer = inflight_by_seq.get(m_base[fetch_seq])
                 if addr_producer is not None and not addr_producer.done:
                     entry.pending_srcs += 1
                     addr_producer.add_waiter(entry)
-                data_producer = inflight_by_seq.get(inst.store_data_seq)
+                data_producer = inflight_by_seq.get(m_sdata[fetch_seq])
                 if data_producer is not None and not data_producer.done:
                     entry.data_pending = 1
                     data_producer.add_waiter(entry, role=1)
             else:
-                for src in inst.src_seqs:
+                for src in m_srcs[fetch_seq]:
                     producer = inflight_by_seq.get(src)
                     if producer is not None and not producer.done:
                         entry.pending_srcs += 1
@@ -1073,7 +1120,7 @@ class Processor:
                 self.iq_occ += 1
             rob.append(entry)
             inflight_by_seq[entry.seq] = entry
-            if inst.dst_reg >= 0:
+            if dst_reg >= 0:
                 self.reg_occ += 1
             if not entry.eliminated and not entry.issued and entry.pending_srcs == 0:
                 tiebreak = self._tiebreak + 1
@@ -1082,7 +1129,7 @@ class Processor:
             dispatched += 1
             fetch_seq += 1
             self.fetch_seq = fetch_seq
-            if kind == KIND_BRANCH and inst.taken:
+            if taken:
                 taken_branches += 1
             if entry.mispredicted:
                 break
@@ -1090,9 +1137,8 @@ class Processor:
             self._worked = True
 
     def _dispatch_branch(self, entry: InFlight) -> None:
-        inst = entry.inst
-        correct = self.predictor.predict_and_update(inst.pc, inst.taken)
-        btb_hit = self.btb.lookup_and_update(inst.pc) if inst.taken else True
+        correct = self.predictor.predict_and_update(entry.pc, entry.taken)
+        btb_hit = self.btb.lookup_and_update(entry.pc) if entry.taken else True
         if not correct:
             entry.mispredicted = True
             self.stats.branch_mispredicts += 1
@@ -1104,7 +1150,6 @@ class Processor:
             )
 
     def _dispatch_load(self, entry: InFlight) -> None:
-        inst = entry.inst
         self.lq_occ += 1
         self._uncommitted_loads.append(entry.seq)
         svw = self.svw
@@ -1120,10 +1165,10 @@ class Processor:
         self.iq_occ += 1
         # Memory dependence prediction.
         if self.store_sets is not None:
-            store_seq = self.store_sets.load_dependence(inst.pc)
+            store_seq = self.store_sets.load_dependence(entry.pc)
             if store_seq is not None:
                 blocker = self.inflight_by_seq.get(store_seq)
-                if blocker is not None and blocker.inst.is_store and not blocker.done:
+                if blocker is not None and blocker.kind == KIND_STORE and not blocker.done:
                     entry.pending_srcs += 1
                     blocker.add_waiter(entry)
                     self.stats.store_set_waits += 1
@@ -1148,7 +1193,7 @@ class Processor:
         entry.it_signature = signature
         entry.squash_reuse = it_entry.creator_squashed or it_entry.creator.seq == entry.seq
         entry.exec_value = it_entry.value
-        if entry.inst.size == 4:
+        if entry.size == 4:
             entry.exec_value &= 0xFFFF_FFFF
         if entry.squash_reuse:
             # SVW cannot cover squash reuse (section 4.3 corner case).
@@ -1163,7 +1208,6 @@ class Processor:
         return True
 
     def _dispatch_store(self, entry: InFlight) -> None:
-        inst = entry.inst
         self.sq_occ += 1
         self.iq_occ += 1
         entry.ssn = self.ssn.dispatch_store()
@@ -1176,10 +1220,10 @@ class Processor:
                 bucket.append(entry)
         heappush(self._unresolved, (entry.seq, entry))
         if self.store_sets is not None:
-            previous = self.store_sets.store_dispatched(inst.pc, entry.seq)
+            previous = self.store_sets.store_dispatched(entry.pc, entry.seq)
             if previous is not None:
                 blocker = self.inflight_by_seq.get(previous)
-                if blocker is not None and blocker.inst.is_store and not blocker.done:
+                if blocker is not None and blocker.kind == KIND_STORE and not blocker.done:
                     entry.pending_srcs += 1
                     blocker.add_waiter(entry)
         if self._on_store_dispatch is not None:
@@ -1197,12 +1241,12 @@ class Processor:
         """Conventional LQ search hit: flush the load and younger."""
         self.stats.ordering_flushes += 1
         if self.store_sets is not None:
-            self.store_sets.train(victim.inst.pc, store.inst.pc)
+            self.store_sets.train(victim.pc, store.pc)
         self._squash_from(victim.seq)
 
     def _rex_failure_flush(self, load: InFlight) -> None:
         """Re-execution mismatch: the load commits corrected; flush younger."""
-        store_pc = self.spct.lookup(load.inst.addr)
+        store_pc = self.spct.lookup(load.addr)
         self.lsu.on_rex_failure(load, store_pc)
         if self.it is not None and load.it_signature is not None:
             self.it.invalidate(load.it_signature)
@@ -1211,10 +1255,10 @@ class Processor:
     def _svw_only_flush(self, load: InFlight) -> None:
         """SVW-as-replacement mode: positive test flushes and refetches."""
         self.stats.svw_only_flushes += 1
-        store_pc = self.spct.lookup(load.inst.addr)
+        store_pc = self.spct.lookup(load.addr)
         self.lsu.on_rex_failure(load, store_pc)
         if self.store_sets is not None and store_pc is not None:
-            self.store_sets.train(load.inst.pc, store_pc)
+            self.store_sets.train(load.pc, store_pc)
         self._squash_from(load.seq)
 
     def _squash_from(self, flush_seq: int) -> None:
@@ -1230,7 +1274,6 @@ class Processor:
             entry = rob.pop()
             entry.squashed = True
             del self.inflight_by_seq[entry.seq]
-            inst = entry.inst
             kind = m_kind[entry.seq]
             if not entry.issued and not entry.eliminated:
                 self.iq_occ -= 1
@@ -1239,7 +1282,7 @@ class Processor:
                     # member so the issue loop knows it still has one to
                     # drop (see _ready_stale).
                     self._ready_stale += 1
-            if inst.dst_reg >= 0:
+            if entry.dst_reg >= 0:
                 self.reg_occ -= 1
             if kind == KIND_LOAD:
                 self.lq_occ -= 1
@@ -1260,7 +1303,7 @@ class Processor:
                         if not stores:
                             del store_words[word]
                 if self.store_sets is not None:
-                    self.store_sets.store_done(inst.pc, entry.seq)
+                    self.store_sets.store_done(entry.pc, entry.seq)
                 if on_squash is not None:
                     on_squash(entry)
         uncommitted = self._uncommitted_loads
@@ -1298,7 +1341,7 @@ class Processor:
         line_addr = None
         for entry in reversed(self.rob):
             if m_kind[entry.seq] == KIND_LOAD and entry.issued:
-                line_addr = entry.inst.addr & ~63
+                line_addr = entry.addr & ~63
                 break
         if line_addr is None:
             return

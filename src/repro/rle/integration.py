@@ -65,7 +65,7 @@ class ITEntry:
     @property
     def value(self) -> int:
         if self.from_store:
-            return self.creator.inst.store_value
+            return self.creator.store_value
         return self.creator.exec_value
 
 

@@ -1,0 +1,586 @@
+"""Frozen object-path reference implementation of the synthetic generator.
+
+This is the pre-column-native :func:`generate_trace` kept verbatim as the
+**test oracle** for the column-native generator in
+:mod:`repro.workloads.synthetic`: it builds the trace the slow way -- one
+:class:`~repro.isa.inst.DynInst` per dynamic instruction -- and the golden
+equivalence suite (``tests/workloads/test_column_equivalence.py``) asserts
+that both generators produce bit-identical encoded traces for every
+shipped profile and seed.  ``svw-repro bench-sweep`` also times this path
+to quote the trace-generation speedup.
+
+Do not modify this module except in lock-step with an intentional,
+fingerprint-breaking change to :mod:`repro.workloads.synthetic` -- its
+entire value is standing still.  Nothing in the hot paths imports it.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from collections import deque
+from dataclasses import dataclass
+
+from repro.isa.inst import NO_PRODUCER, DynInst, Trace
+from repro.isa.ops import OpClass
+from repro.memsys.memimg import MemoryImage
+from repro.workloads.profile import WorkloadProfile
+
+STACK_BASE = 0x1000_0000
+GLOBAL_BASE = 0x2000_0000
+HEAP_BASE = 0x3000_0000
+STREAM_BASE = 0x4000_0000
+#: Dedicated slots for the designated forwarding (spill/fill-style) pairs;
+#: plain stores never write here, so address-indexed training (SPCT) maps
+#: forwarding loads back to forwarding-site stores and nothing else.
+FORWARD_BASE = 0x5000_0000
+
+# Static PC ranges by role (disjoint; sized generously).
+_PC_ALU = 0x10_0000
+_PC_LOAD = 0x20_0000
+_PC_STORE = 0x30_0000
+_PC_BRANCH = 0x40_0000
+_PC_FWD_LOAD = 0x50_0000
+_PC_FWD_STORE = 0x60_0000
+_PC_AMB_STORE = 0x70_0000
+_PC_COLLIDE_LOAD = 0x80_0000
+_PC_REDUNDANT_LOAD = 0x90_0000
+_PC_GLOBAL_LOAD = 0xA0_0000
+_PC_GLOBAL_STORE = 0xB0_0000
+_PC_FALSE_ELIM_STORE = 0xC0_0000
+
+_WORD64 = 0xFFFF_FFFF_FFFF_FFFF
+#: Offset-namespace bias for forwarding-region accesses (must clear the
+#: largest plain stack offset so signatures stay one-to-one with addresses).
+_FWD_OFFSET_BIAS = 1 << 24
+
+
+@dataclass(slots=True)
+class _StoreRecord:
+    seq: int
+    addr: int
+    size: int
+    base_seq: int
+    offset: int
+    site: int
+    pc: int = 0
+
+
+@dataclass(slots=True)
+class _LoadRecord:
+    seq: int
+    addr: int
+    size: int
+    base_seq: int
+    offset: int
+
+
+class _ObjectGenerator:
+    def __init__(self, profile: WorkloadProfile, n_insts: int, seed: int) -> None:
+        profile.validate()
+        self.profile = profile
+        self.n_insts = n_insts
+        # crc32, not hash(): string hashes are randomized per process
+        # (PYTHONHASHSEED), and the trace stream must be identical across
+        # processes for result caching and pool workers to be reproducible.
+        self.rng = random.Random((seed << 16) ^ zlib.crc32(("svw:" + profile.name).encode()) & 0xFFFF_FFFF)
+        self.insts: list[DynInst] = []
+        self.memory = MemoryImage()
+        self.producers: deque[int] = deque(maxlen=128)
+        self.recent_stores: deque[_StoreRecord] = deque(maxlen=96)
+        #: Forwarding-site stores only (the designated spill/fill pairs).
+        self.recent_fwd_stores: deque[_StoreRecord] = deque(maxlen=48)
+        self.recent_loads: deque[_LoadRecord] = deque(maxlen=96)
+        #: Loads to the hot-global region (reliably cache-resident); used as
+        #: base producers for ambiguous stores so ambiguity windows stay
+        #: bounded by the L1 load latency.
+        self.recent_cached_loads: deque[int] = deque(maxlen=16)
+        self.wrong_path: dict[int, tuple[int, ...]] = {}
+        # Region state.
+        self.frame = 0
+        self.sp_producer = NO_PRODUCER
+        self.global_producer = NO_PRODUCER
+        self.heap_producers: deque[int] = deque(maxlen=8)
+        self.stream_cursor = 0
+        self.insts_since_frame = 0
+        # Pending true-collision demand: (addr, size, site, expires_at_seq).
+        self.pending_collision: tuple[int, int, int, int] | None = None
+        # Branch site biases.  Hard-to-predict branches sit at the *cold*
+        # end of the (quadratically hot-skewed) site distribution: hot loop
+        # back-edges are highly predictable in real programs, data-dependent
+        # branches are scattered and cooler.
+        n_hard = max(1, int(profile.static_branches * profile.hard_branch_frac))
+        self.branch_bias = [
+            profile.hard_branch_bias
+            if i >= profile.static_branches - n_hard
+            else profile.easy_branch_bias
+            for i in range(profile.static_branches)
+        ]
+
+    # -- helpers --------------------------------------------------------------
+
+    def _geom(self, mean: float) -> int:
+        return int(self.rng.expovariate(1.0 / max(1.0, mean))) + 1
+
+    def _pick_srcs(self, max_srcs: int = 2) -> tuple[int, ...]:
+        profile, rng = self.profile, self.rng
+        if not self.producers or rng.random() < profile.root_frac:
+            return ()
+        srcs = set()
+        for _ in range(rng.randint(1, max_srcs)):
+            dist = self._geom(profile.dep_distance)
+            idx = len(self.producers) - min(dist, len(self.producers))
+            srcs.add(self.producers[idx])
+        return tuple(sorted(srcs))
+
+    def _skewed_pc(self, base: int, count: int) -> int:
+        """Hot-loop-skewed static PC selection (quadratic bias to low indices)."""
+        idx = int(count * self.rng.random() ** 2)
+        return base + min(idx, count - 1) * 4
+
+    def _emit(self, inst: DynInst, is_producer: bool) -> None:
+        self.insts.append(inst)
+        if is_producer:
+            self.producers.append(inst.seq)
+        self.insts_since_frame += 1
+
+    # -- region address selection ---------------------------------------------
+
+    def _ensure_region_producers(self) -> None:
+        """Refresh frame/global/heap pointer producers as needed."""
+        profile, rng = self.profile, self.rng
+        seq = len(self.insts)
+        if self.sp_producer == NO_PRODUCER or self.insts_since_frame > 200:
+            # New call frame: an ALU op computes the new frame pointer.
+            self._emit(
+                DynInst(seq=seq, pc=_PC_ALU, op=OpClass.IALU, src_seqs=(), dst_reg=29),
+                is_producer=True,
+            )
+            self.sp_producer = seq
+            self.frame = (self.frame + 1) % 1024
+            self.insts_since_frame = 0
+        if self.global_producer == NO_PRODUCER:
+            seq = len(self.insts)
+            self._emit(
+                DynInst(seq=seq, pc=_PC_ALU + 4, op=OpClass.IALU, src_seqs=(), dst_reg=28),
+                is_producer=True,
+            )
+            self.global_producer = seq
+        if not self.heap_producers or rng.random() < 0.01:
+            # A pointer ALU producing a heap base.  Kept dependence-free so
+            # that *store* address-resolution delay is controlled solely by
+            # ``ambiguous_store_frac`` (load-side address depth comes from
+            # ``addr_comp_frac``/``deep_addr_frac`` instead).
+            seq = len(self.insts)
+            self._emit(
+                DynInst(
+                    seq=seq,
+                    pc=self._skewed_pc(_PC_ALU + 8, max(8, profile.static_alu_pcs // 8)),
+                    op=OpClass.IALU,
+                    src_seqs=(),
+                    dst_reg=27,
+                ),
+                is_producer=True,
+            )
+            self.heap_producers.append(seq)
+
+    def _fresh_address(self, for_load: bool = False) -> tuple[int, int, int, int, str]:
+        """Pick (addr, size, base_seq, offset, region) for a fresh access.
+
+        Loads frequently receive a freshly-computed base register (see
+        ``addr_comp_frac``); store bases are overwhelmingly pre-computed.
+        """
+        profile, rng = self.profile, self.rng
+        self._ensure_region_producers()
+        size = 4 if rng.random() < profile.sub_quad_frac else 8
+        global_frac = profile.global_frac
+        if not for_load:
+            # Stores rarely target the hot read-mostly globals; the
+            # displaced probability falls through to the heap.
+            global_frac *= profile.store_global_scale
+        region = "heap"
+        r = rng.random()
+        if r < profile.stack_frac:
+            region = "stack"
+            # Fresh (non-forwarding) stack traffic uses disjoint slot
+            # ranges for loads and stores: compiler-managed frames do not
+            # casually reload what an unrelated store just wrote -- all
+            # window-distance stack forwarding goes through the designated
+            # spill/fill sites instead (see _emit_load's forwarding path).
+            half = max(1, profile.stack_slots // 2)
+            slot = rng.randrange(half) + (half if for_load else 0)
+            offset = slot * 8
+            addr = STACK_BASE + (self.frame * profile.stack_slots * 8 + offset) % (1 << 20)
+            base_seq = self.sp_producer
+        elif r < profile.stack_frac + global_frac:
+            region = "global"
+            word = int(profile.global_words * rng.random() ** 2)
+            offset = word * 8
+            addr, base_seq = GLOBAL_BASE + offset, self.global_producer
+        elif r < profile.stack_frac + global_frac + profile.stream_frac:
+            region = "stream"
+            addr = STREAM_BASE + self.stream_cursor
+            self.stream_cursor = (self.stream_cursor + profile.stream_stride) % (1 << 22)
+            offset, base_seq = addr - STREAM_BASE, NO_PRODUCER
+        else:
+            # Heap access via a pointer producer; loads and stores visit
+            # disjoint halves of the working set (same rationale as the
+            # stack partition above), with the partition carried by the
+            # *offset* so that the address is a pure function of the
+            # (base producer, offset) pair -- register-integration
+            # signatures must imply address equality, as in real renaming.
+            base_seq = rng.choice(list(self.heap_producers))
+            half_heap = profile.heap_bytes // 2
+            if for_load:
+                offset = rng.randrange(half_heap, profile.heap_bytes, 8)
+            else:
+                offset = rng.randrange(0, half_heap, 8)
+            addr = HEAP_BASE + offset
+        if for_load and rng.random() < profile.addr_comp_frac:
+            base_seq = self._emit_addr_computation(base_seq)
+        return addr, size, base_seq, offset, region
+
+    def _emit_addr_computation(self, region_base: int) -> int:
+        """Emit the ALU op that computes a load's effective base register."""
+        profile, rng = self.profile, self.rng
+        srcs = {region_base} if region_base != NO_PRODUCER else set()
+        if rng.random() < profile.deep_addr_frac:
+            srcs.update(self._pick_srcs(1))
+        seq = len(self.insts)
+        self._emit(
+            DynInst(
+                seq=seq,
+                pc=self._skewed_pc(_PC_ALU + 32, max(16, profile.static_alu_pcs // 4)),
+                op=OpClass.IALU,
+                src_seqs=tuple(sorted(srcs)),
+                dst_reg=26,
+            ),
+            is_producer=True,
+        )
+        return seq
+
+    def _align(self, addr: int, size: int) -> int:
+        return addr & ~(size - 1)
+
+    # -- instruction emitters ---------------------------------------------------
+
+    def _emit_alu(self, op: OpClass) -> None:
+        profile = self.profile
+        seq = len(self.insts)
+        self._emit(
+            DynInst(
+                seq=seq,
+                pc=self._skewed_pc(_PC_ALU + 64, profile.static_alu_pcs),
+                op=op,
+                src_seqs=self._pick_srcs(),
+                dst_reg=self.rng.randrange(1, 26),
+            ),
+            is_producer=True,
+        )
+
+    def _emit_branch(self) -> None:
+        profile, rng = self.profile, self.rng
+        site = int(profile.static_branches * rng.random() ** 2)
+        site = min(site, profile.static_branches - 1)
+        taken = rng.random() < self.branch_bias[site]
+        seq = len(self.insts)
+        self._emit(
+            DynInst(
+                seq=seq,
+                pc=_PC_BRANCH + site * 4,
+                op=OpClass.BRANCH,
+                src_seqs=self._pick_srcs(1),
+                taken=taken,
+            ),
+            is_producer=False,
+        )
+        if rng.random() < 0.4:
+            addrs = tuple(
+                self._align(self._fresh_address()[0], 8) for _ in range(rng.randint(1, 2))
+            )
+            self.wrong_path[seq] = addrs
+
+    def _emit_store(self) -> None:
+        profile, rng = self.profile, self.rng
+        addr, size, base_seq, offset, region = self._fresh_address()
+        addr = self._align(addr, size)
+        # Forwarding sites are uniform: real spill/fill pairs spread across
+        # call sites rather than concentrating in one hot store-set.
+        site = rng.randrange(profile.forward_pcs)
+        ambiguous = rng.random() < profile.ambiguous_store_frac and self.recent_loads
+        if ambiguous:
+            # The address depends on a recent load (a pointer read): it
+            # resolves late, opening an ambiguity window.  Cache-resident
+            # (hot-global) loads are preferred so the window length stays
+            # bounded by the L1 latency rather than by miss chaos.
+            if self.recent_cached_loads:
+                base_seq = self.recent_cached_loads[-1]
+            else:
+                base_seq = self.recent_loads[-1].seq
+            pc = _PC_AMB_STORE + site * 4
+            # Rebinding the base to a loaded pointer moves this store into
+            # that pointer's offset namespace: the region-relative offset
+            # would let two ambiguous stores off the same load share a
+            # (base, offset) signature while targeting different regions.
+            # The full target address keeps the signature->address map
+            # one-to-one (the invariant Trace.validate enforces).
+            offset = addr
+        elif region == "global":
+            # Updates of a named global happen at a stable, per-word PC
+            # (so the steering predictor and store-sets see stable pairs).
+            pc = _PC_GLOBAL_STORE + (offset // 8 % 64) * 4
+        else:
+            # Forwarding-site stores are sized to forwarding demand: the
+            # share of stores whose values loads actually reload.  (The
+            # static set of forwarding stores is small and stable.)
+            fwd_store_share = min(
+                0.9, 0.05 + profile.forward_frac * profile.load_frac / max(0.01, profile.store_frac)
+            )
+            if rng.random() < fwd_store_share:
+                pc = _PC_FWD_STORE + site * 4
+                # Spill-style slots rotate with the frame so each dynamic
+                # instance writes a fresh location of its own region.  The
+                # offset namespace is biased away from plain stack offsets
+                # so (base producer, offset) stays a one-to-one address map.
+                slot = (self.frame & 63) * profile.forward_pcs * 4 + site * 4 + rng.randrange(4)
+                offset = _FWD_OFFSET_BIAS + slot * 8
+                addr = FORWARD_BASE + slot * 8
+                base_seq = self.sp_producer
+            else:
+                pc = self._skewed_pc(_PC_STORE, profile.static_store_pcs)
+        current = self.memory.read(addr, size)
+        if rng.random() < profile.silent_store_frac:
+            value = current
+        else:
+            value = rng.getrandbits(size * 8 - 1) & _WORD64
+            if value == current:
+                value = (value + 1) & _WORD64
+        # Stored values were typically computed a while ago (a value is
+        # spilled *because* it has been live for a long time), so the data
+        # producer is drawn from a distance, not the latest instruction.
+        if self.producers:
+            dist = self._geom(profile.dep_distance * 2)
+            data_seq = self.producers[len(self.producers) - min(dist, len(self.producers))]
+        else:
+            data_seq = NO_PRODUCER
+        srcs = tuple(sorted({s for s in (base_seq, data_seq) if s != NO_PRODUCER}))
+        seq = len(self.insts)
+        self._emit(
+            DynInst(
+                seq=seq,
+                pc=pc,
+                op=OpClass.STORE,
+                src_seqs=srcs,
+                addr=addr,
+                size=size,
+                store_value=value,
+                store_data_seq=data_seq,
+                base_seq=base_seq,
+                offset=offset,
+            ),
+            is_producer=False,
+        )
+        self.memory.write(addr, value, size)
+        record = _StoreRecord(
+            seq=seq, addr=addr, size=size, base_seq=base_seq,
+            offset=offset, site=site, pc=pc,
+        )
+        self.recent_stores.append(record)
+        if _PC_FWD_STORE <= pc < _PC_AMB_STORE:
+            self.recent_fwd_stores.append(record)
+        if ambiguous and rng.random() < profile.collision_frac:
+            # Demand a truly-colliding load shortly after this store.
+            self.pending_collision = (addr, size, site, seq + rng.randint(2, 12))
+
+    def _emit_load(self) -> None:
+        profile, rng = self.profile, self.rng
+        seq = len(self.insts)
+
+        if self.pending_collision is not None and seq <= self.pending_collision[3]:
+            addr, size, site, _ = self.pending_collision
+            self.pending_collision = None
+            inst = DynInst(
+                seq=seq,
+                pc=_PC_COLLIDE_LOAD + site * 4,
+                op=OpClass.LOAD,
+                src_seqs=self._pick_srcs(1),
+                dst_reg=rng.randrange(1, 26),
+                addr=addr,
+                size=size,
+                base_seq=NO_PRODUCER,
+                offset=addr & 0xFFFF,
+            )
+            self._emit(inst, is_producer=True)
+            self.recent_loads.append(
+                _LoadRecord(seq=seq, addr=addr, size=size, base_seq=NO_PRODUCER, offset=inst.offset)
+            )
+            return
+        if self.pending_collision is not None and seq > self.pending_collision[3]:
+            self.pending_collision = None
+
+        r = rng.random()
+        if r < profile.forward_frac and self.recent_fwd_stores:
+            # Read a recently-stored address (forwarding candidate).  Only
+            # forwarding-site stores participate: the paper's premise is
+            # that "the static set of forwarding stores and loads is small"
+            # (it is what lets the FSQ steering predictor work).
+            dist = self._geom(profile.forward_distance)
+            # Ring positions approximate instruction distance via the
+            # forwarding-store density of the stream.
+            density = max(0.005, profile.store_frac * 0.3)
+            back = max(1, int(dist * density))
+            back = min(back, len(self.recent_fwd_stores))
+            record = self.recent_fwd_stores[-back]
+            inst = DynInst(
+                seq=seq,
+                pc=_PC_FWD_LOAD + record.site * 4,
+                op=OpClass.LOAD,
+                src_seqs=() if record.base_seq == NO_PRODUCER else (record.base_seq,),
+                dst_reg=rng.randrange(1, 26),
+                addr=record.addr,
+                size=record.size,
+                base_seq=record.base_seq,
+                offset=record.offset,
+            )
+            self._emit(inst, is_producer=True)
+            self.recent_loads.append(
+                _LoadRecord(
+                    seq=seq,
+                    addr=record.addr,
+                    size=record.size,
+                    base_seq=record.base_seq,
+                    offset=record.offset,
+                )
+            )
+            return
+
+        r -= profile.forward_frac
+        if r < profile.redundancy_frac and self.recent_loads:
+            # Repeat an earlier load's address computation (RLE reuse).
+            dist = self._geom(profile.redundancy_distance)
+            back = max(1, int(dist * (profile.load_frac + 0.05)))
+            record = self.recent_loads[-min(back, len(self.recent_loads))]
+            if rng.random() < profile.false_elim_frac:
+                # Unaccounted-for intervening store: a false elimination.
+                value = rng.getrandbits(record.size * 8 - 1)
+                store_seq = len(self.insts)
+                self._emit(
+                    DynInst(
+                        seq=store_seq,
+                        pc=_PC_FALSE_ELIM_STORE + (record.offset % 64),
+                        op=OpClass.STORE,
+                        src_seqs=self._pick_srcs(1),
+                        addr=record.addr,
+                        size=record.size,
+                        store_value=value,
+                        store_data_seq=self.producers[-1] if self.producers else NO_PRODUCER,
+                        base_seq=NO_PRODUCER,
+                        offset=record.offset,
+                    ),
+                    is_producer=False,
+                )
+                self.memory.write(record.addr, value, record.size)
+                self.recent_stores.append(
+                    _StoreRecord(
+                        seq=store_seq,
+                        addr=record.addr,
+                        size=record.size,
+                        base_seq=NO_PRODUCER,
+                        offset=record.offset,
+                        site=0,
+                    )
+                )
+                seq = len(self.insts)
+            inst = DynInst(
+                seq=seq,
+                pc=_PC_REDUNDANT_LOAD + (record.offset % 64) * 4,
+                op=OpClass.LOAD,
+                src_seqs=() if record.base_seq == NO_PRODUCER else (record.base_seq,),
+                dst_reg=rng.randrange(1, 26),
+                addr=record.addr,
+                size=record.size,
+                base_seq=record.base_seq,
+                offset=record.offset,
+            )
+            self._emit(inst, is_producer=True)
+            self.recent_loads.append(
+                _LoadRecord(
+                    seq=seq,
+                    addr=record.addr,
+                    size=record.size,
+                    base_seq=record.base_seq,
+                    offset=record.offset,
+                )
+            )
+            return
+
+        addr, size, base_seq, offset, region = self._fresh_address(for_load=True)
+        addr = self._align(addr, size)
+        seq = len(self.insts)  # _fresh_address may emit producers
+        if region == "global":
+            # Reads of a named global come from a stable, per-word PC.
+            load_pc = _PC_GLOBAL_LOAD + (offset // 8 % 64) * 4
+        else:
+            load_pc = self._skewed_pc(_PC_LOAD, profile.static_load_pcs)
+        inst = DynInst(
+            seq=seq,
+            pc=load_pc,
+            op=OpClass.LOAD,
+            src_seqs=() if base_seq == NO_PRODUCER else (base_seq,),
+            dst_reg=rng.randrange(1, 26),
+            addr=addr,
+            size=size,
+            base_seq=base_seq,
+            offset=offset,
+        )
+        self._emit(inst, is_producer=True)
+        self.recent_loads.append(
+            _LoadRecord(seq=seq, addr=addr, size=size, base_seq=base_seq, offset=offset)
+        )
+        if GLOBAL_BASE <= addr < HEAP_BASE:
+            self.recent_cached_loads.append(seq)
+
+    # -- main loop -----------------------------------------------------------
+
+    def run(self) -> Trace:
+        profile, rng = self.profile, self.rng
+        self._ensure_region_producers()
+        while len(self.insts) < self.n_insts:
+            r = rng.random()
+            if r < profile.load_frac:
+                self._emit_load()
+            elif r < profile.load_frac + profile.store_frac:
+                self._emit_store()
+            elif r < profile.load_frac + profile.store_frac + profile.branch_frac:
+                self._emit_branch()
+            elif r < profile.load_frac + profile.store_frac + profile.branch_frac + profile.imul_frac:
+                self._emit_alu(OpClass.IMUL)
+            elif r < profile.mix_total():
+                self._emit_alu(OpClass.FALU)
+            else:
+                self._emit_alu(OpClass.IALU)
+        trace = Trace(
+            name=profile.name,
+            insts=self.insts[: self.n_insts],
+            initial_memory={},
+            wrong_path_addrs={
+                seq: addrs for seq, addrs in self.wrong_path.items() if seq < self.n_insts
+            },
+        )
+        trace.validate()
+        return trace
+
+
+def generate_trace_objects(
+    profile: WorkloadProfile, n_insts: int, seed: int | None = None
+) -> Trace:
+    """Reference (object-path) trace generation; the equivalence oracle.
+
+    Args:
+        profile: The workload description.
+        n_insts: Number of dynamic instructions to emit.
+        seed: Generator seed; defaults to ``profile.seed``.
+    """
+    if n_insts <= 0:
+        raise ValueError("n_insts must be positive")
+    return _ObjectGenerator(profile, n_insts, profile.seed if seed is None else seed).run()

@@ -2,11 +2,15 @@
 
 from __future__ import annotations
 
+import copy
 import json
+
+import pytest
 
 from repro.harness.bench import (
     BENCH_SCHEMA_VERSION,
     bench_configs,
+    check_fingerprints,
     compare_bench,
     load_bench,
     render_bench,
@@ -63,3 +67,63 @@ def test_bench_fingerprints_are_deterministic():
         for r in payload["results"]
     ]
     assert fp(a) == fp(b)
+
+
+class TestCheckFingerprints:
+    def test_identical_runs_pass(self):
+        payload = _tiny_payload()
+        assert check_fingerprints(payload, payload) == []
+
+    def test_divergence_is_reported(self):
+        payload = _tiny_payload()
+        baseline = copy.deepcopy(payload)
+        baseline["results"][0]["stats_fingerprint"] = "0" * 64
+        row = payload["results"][0]
+        assert check_fingerprints(baseline, payload) == [
+            f"{row['lsu']}/{row['workload']}"
+        ]
+
+    def test_mismatched_budgets_rejected(self):
+        payload = _tiny_payload()
+        baseline = copy.deepcopy(payload)
+        baseline["n_insts"] = payload["n_insts"] * 2
+        with pytest.raises(ValueError, match="budget"):
+            check_fingerprints(baseline, payload)
+
+    def test_disjoint_cells_rejected(self):
+        payload = _tiny_payload()
+        baseline = copy.deepcopy(payload)
+        for row in baseline["results"]:
+            row["workload"] = "elsewhere"
+        with pytest.raises(ValueError, match="no overlapping"):
+            check_fingerprints(baseline, payload)
+
+    def test_cli_gate_reads_baseline_before_overwriting_it(self, tmp_path):
+        """Regression: `svw-repro bench --check BENCH_core.json` (no --out)
+        writes the fresh payload to BENCH_core.json *before* the gate runs;
+        the baseline must have been loaded first, or the gate compares the
+        run to itself (always passing) while destroying the snapshot."""
+        from repro.harness.cli import main
+
+        path = tmp_path / "BENCH_core.json"
+        baseline = run_bench(workloads=["gcc"], n_insts=1000, repeats=1, lsus=["nlq"])
+        doctored = copy.deepcopy(baseline)
+        doctored["results"][0]["stats_fingerprint"] = "0" * 64
+        write_bench(doctored, str(path))
+        args = [
+            "bench",
+            "--workloads", "gcc",
+            "--lsus", "nlq",
+            "--insts", "1000",
+            "--repeats", "1",
+            "--check", str(path),
+            "--out", str(path),
+            "--quiet",
+        ]
+        assert main(args) == 1  # divergence detected even though --out == --check
+        # The failed gate must not have replaced the baseline with the
+        # divergent payload (that would make an immediate re-run pass and
+        # destroy the regression evidence): the doctored snapshot survives
+        # and a second identical run still fails.
+        assert load_bench(str(path))["results"][0]["stats_fingerprint"] == "0" * 64
+        assert main(args) == 1

@@ -2,37 +2,35 @@
 
 import pytest
 
-from repro.isa.inst import DynInst
+from repro.isa.inst import KIND_LOAD, KIND_STORE, DynInst
 from repro.isa.ops import OpClass
 from repro.pipeline.inflight import InFlight
 from repro.rle.integration import IntegrationTable, signature_of
 
 
-def _load(seq, base_seq=3, offset=8, value=0):
-    inst = DynInst(
-        seq=seq, pc=0x100, op=OpClass.LOAD, addr=0x1000, size=8,
-        base_seq=base_seq, offset=offset,
-    )
-    entry = InFlight(inst, dispatch_cycle=0)
+def _load(seq, value=0):
+    entry = InFlight(seq, 0x100, KIND_LOAD, 1, dispatch_cycle=0)
+    entry.addr, entry.size = 0x1000, 8
     entry.done = True
     entry.exec_value = value
     return entry
 
 
-def _store(seq, base_seq=3, offset=8, value=0):
-    inst = DynInst(
-        seq=seq, pc=0x200, op=OpClass.STORE, addr=0x1000, size=8,
-        base_seq=base_seq, offset=offset, store_value=value,
-    )
-    entry = InFlight(inst, dispatch_cycle=0)
+def _store(seq, value=0):
+    entry = InFlight(seq, 0x200, KIND_STORE, -1, dispatch_cycle=0)
+    entry.addr, entry.size = 0x1000, 8
+    entry.store_value = value
     entry.done = True
     return entry
 
 
 class TestSignatures:
     def test_signature_components(self):
-        load = _load(5)
-        assert signature_of(load.inst) == (3, 8, 8)
+        inst = DynInst(
+            seq=5, pc=0x100, op=OpClass.LOAD, addr=0x1000, size=8,
+            base_seq=3, offset=8,
+        )
+        assert signature_of(inst) == (3, 8, 8)
 
     def test_untracked_base_has_no_signature(self):
         inst = DynInst(seq=0, pc=0, op=OpClass.LOAD, addr=0x100, size=8)

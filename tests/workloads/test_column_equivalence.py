@@ -1,0 +1,124 @@
+"""Golden equivalence of the column-native pipeline vs the object path.
+
+Two guarantees are pinned here:
+
+1. **Generator equivalence**: the column-native generator
+   (:func:`repro.workloads.synthetic.generate_trace`) emits bit-identical
+   traces to the frozen object-path reference
+   (:func:`repro.workloads.reference.generate_trace_objects`) for every
+   shipped workload profile x 3 seeds -- proven at the strongest level
+   available, equality of the encoded wire bytes (which covers every
+   column, the CSR source lists, wrong-path sets, metadata, and the name).
+
+2. **Simulator equivalence**: feeding the :class:`Processor` a
+   column-native trace produces the exact ``SimStats.fingerprint()`` that
+   feeding it the object-built trace does, for every LSU kind (synthetic
+   and kernel workloads alike).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.harness.bench import bench_configs
+from repro.isa.codec import decode_trace, encode_trace
+from repro.isa.coltrace import ColumnTrace
+from repro.pipeline.processor import Processor
+from repro.workloads.kernels import kernel_trace
+from repro.workloads.profile import WorkloadProfile
+from repro.workloads.reference import generate_trace_objects
+from repro.workloads.spec2000 import SPEC_ORDER, spec_profile
+from repro.workloads.synthetic import generate_trace
+
+INSTS = 1500
+SEED_SHIFTS = (0, 1, 2)
+
+#: Every shipped profile: the 16 SPEC2000 mixes plus the plain synthetic
+#: default (the base profile every mix is derived from).
+SHIPPED_PROFILES: dict[str, WorkloadProfile] = {
+    name: spec_profile(name) for name in SPEC_ORDER
+}
+SHIPPED_PROFILES["synthetic-default"] = WorkloadProfile(name="synthetic-default")
+
+
+class TestGeneratorEquivalence:
+    @pytest.mark.parametrize("seed_shift", SEED_SHIFTS)
+    @pytest.mark.parametrize("name", sorted(SHIPPED_PROFILES))
+    def test_wire_bytes_identical(self, name, seed_shift):
+        """encode(column-native) == encode(reference objects), per seed."""
+        profile = dataclasses.replace(
+            SHIPPED_PROFILES[name], seed=SHIPPED_PROFILES[name].seed + seed_shift
+        )
+        legacy = generate_trace_objects(profile, INSTS)
+        column = generate_trace(profile, INSTS)
+        assert isinstance(column, ColumnTrace)
+        assert encode_trace(column) == encode_trace(legacy), (name, profile.seed)
+
+    def test_instruction_views_identical(self):
+        """The lazy DynInst view reproduces the reference objects exactly."""
+        profile = spec_profile("gcc")
+        legacy = generate_trace_objects(profile, INSTS)
+        column = generate_trace(profile, INSTS)
+        assert column.insts == legacy.insts
+        assert column.wrong_path_addrs == legacy.wrong_path_addrs
+        assert column.initial_memory == legacy.initial_memory
+
+    def test_heap_draw_bounds_match_randrange_ceiling(self):
+        """The inlined heap-offset rejection loops must use randrange's
+        ceiling division for the candidate count: ``heap_bytes`` is only
+        required to be a multiple of 8, so the half-heap widths need not
+        divide 8 evenly and flooring would drop the last candidate."""
+        from repro.workloads.synthetic import _Generator
+
+        profile = dataclasses.replace(
+            WorkloadProfile(name="odd-heap"), heap_bytes=(1 << 14) + 8
+        )
+        generator = _Generator(profile, 10, 0)
+        half = profile.heap_bytes // 2
+        assert generator._heap_load_n == -(-(profile.heap_bytes - half) // 8)
+        assert generator._heap_store_n == -(-half // 8)
+
+    def test_meta_identical(self):
+        profile = spec_profile("vortex")
+        legacy = generate_trace_objects(profile, INSTS).meta()
+        column = generate_trace(profile, INSTS).meta()
+        assert column.kind == legacy.kind
+        assert column.latency == legacy.latency
+        assert column.issue_class == legacy.issue_class
+        assert column.words == legacy.words
+        assert column.signature == legacy.signature
+
+
+class TestProcessorEquivalence:
+    N = 4000
+
+    @pytest.mark.parametrize("kind", sorted(bench_configs()))
+    def test_columns_match_objects_per_lsu(self, kind):
+        """Processor-on-columns == Processor-on-objects, bit for bit."""
+        _, config = bench_configs()[kind]
+        profile = spec_profile("gcc")
+        legacy = generate_trace_objects(profile, self.N)
+        column = generate_trace(profile, self.N)
+        on_objects = Processor(config, legacy, validate=True, warmup=500).run()
+        on_columns = Processor(config, column, validate=True, warmup=500).run()
+        assert on_objects.fingerprint() == on_columns.fingerprint(), kind
+
+    @pytest.mark.parametrize("kind", sorted(bench_configs()))
+    def test_kernel_columns_match_objects_per_lsu(self, kind, spill_fill_trace):
+        """Fixed (object-built) kernel traces behave identically columnized."""
+        _, config = bench_configs()[kind]
+        columns = ColumnTrace.from_trace(spill_fill_trace)
+        on_objects = Processor(config, spill_fill_trace, validate=True).run()
+        on_columns = Processor(config, columns, validate=True).run()
+        assert on_objects.fingerprint() == on_columns.fingerprint(), kind
+
+    def test_decoded_trace_matches_generated(self):
+        """The codec round-trip simulates identically to the original."""
+        _, config = bench_configs()["nlq"]
+        column = generate_trace(spec_profile("twolf"), self.N)
+        clone = decode_trace(encode_trace(column))
+        direct = Processor(config, column, warmup=500).run()
+        decoded = Processor(config, clone, warmup=500).run()
+        assert direct.fingerprint() == decoded.fingerprint()
