@@ -31,11 +31,18 @@ The pieces:
   ``make_backend`` picks for ``jobs > 1``) groups cells by workload,
   publishes each encoded trace once per sweep through shared memory, and
   runs all configs of a workload in a single pass over one decoded trace.
+- :class:`RemoteBackend` / :class:`WorkerAgent` -- the same sweep fanned
+  out to other hosts over the trace wire format (codec bytes + config
+  ``to_dict`` JSON, nothing pickled), with host-level trace caching,
+  cost-weighted longest-job-first dispatch, and re-dispatch on worker
+  loss.  Start an agent with ``svw-repro worker``.
 - :class:`TraceProvider` -- per-sweep trace materialization: generation
   runs at most once per (workload, seed, budget), optionally backed by an
   on-disk :class:`~repro.workloads.trace_cache.TraceCache`.
 - :class:`ResultStore` -- a content-addressed JSON cache; each cell is
-  keyed by a stable fingerprint of (machine config, workload, budget).
+  keyed by a stable fingerprint of (machine config, workload, budget);
+  stores merge across hosts by content address
+  (:meth:`ResultStore.merge`).
 - :func:`run_experiment` -- spec + backend + store -> :class:`FigureResult`.
 
 ``repro.harness.runner.run_matrix`` remains as a one-call compatibility
@@ -51,8 +58,9 @@ from repro.experiments.backends import (
     make_backend,
     submission_order,
 )
-from repro.experiments.batch import BatchRunner, CostModel
+from repro.experiments.batch import BatchRunner, CostModel, session_cost_model
 from repro.experiments.pool import shutdown_session_pools
+from repro.experiments.remote import RemoteBackend, WorkerAgent, local_worker_fleet
 from repro.experiments.results import FigureResult
 from repro.experiments.traces import TraceProvider, workload_key
 from repro.experiments.run import run_experiment
@@ -65,7 +73,7 @@ from repro.experiments.spec import (
     matrix_spec,
     resolve_benchmarks,
 )
-from repro.experiments.store import ResultStore
+from repro.experiments.store import MergeReport, ResultMergeError, ResultStore
 
 __all__ = [
     "DEFAULT_INSTS",
@@ -76,17 +84,23 @@ __all__ = [
     "ExperimentBuilder",
     "ExperimentSpec",
     "FigureResult",
+    "MergeReport",
     "ProcessPoolBackend",
+    "RemoteBackend",
+    "ResultMergeError",
     "ResultStore",
     "RunRequest",
     "SerialBackend",
     "TraceProvider",
+    "WorkerAgent",
     "WorkloadSpec",
     "execute_request",
+    "local_worker_fleet",
     "make_backend",
     "matrix_spec",
     "resolve_benchmarks",
     "run_experiment",
+    "session_cost_model",
     "shutdown_session_pools",
     "submission_order",
     "workload_key",

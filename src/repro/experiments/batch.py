@@ -32,8 +32,10 @@ and resizes chunks; it can never change a cell's result.
 
 from __future__ import annotations
 
+import json
 import os
 import time
+from pathlib import Path
 from typing import Sequence
 
 from repro.experiments.backends import (
@@ -77,6 +79,9 @@ class CostModel:
     #: Heuristic weight for ideal-re-execution configs before any timing.
     PERFECT_WEIGHT = 1.6
 
+    #: Bump when the persisted payload layout changes.
+    SCHEMA_VERSION = 1
+
     __slots__ = ("_rates",)
 
     def __init__(self) -> None:
@@ -106,10 +111,61 @@ class CostModel:
         """Expected cost of one cell (weighted instruction budget)."""
         return request.n_insts * self.weight(request.config)
 
+    # -- persistence ---------------------------------------------------------
+
+    def to_dict(self) -> dict[str, object]:
+        return {"schema": self.SCHEMA_VERSION, "rates": dict(self._rates)}
+
+    def save(self, path: str | os.PathLike) -> None:
+        """Persist the learned rates (atomic write; see :func:`load_from`).
+
+        The canonical location is next to the
+        :class:`~repro.experiments.store.ResultStore`
+        (``ResultStore.cost_model_path``), so the cache directory that
+        makes results durable also makes *scheduling knowledge* durable:
+        a cold session's first sweep chunks -- and a
+        :class:`~repro.experiments.remote.RemoteBackend` dispatches -- on
+        the previous session's measured per-config rates instead of the
+        heuristic seed.
+        """
+        from repro.ioutil import atomic_write_text
+
+        atomic_write_text(path, json.dumps(self.to_dict(), indent=1, sort_keys=True))
+
+    def load_from(self, path: str | os.PathLike) -> bool:
+        """Fold persisted rates in (disk seeds, fresher in-memory wins).
+
+        Returns True when rates were loaded.  A missing, corrupt, or
+        stale-schema file is a plain cold start, never an error -- the
+        model only steers scheduling.
+        """
+        try:
+            payload = json.loads(Path(path).read_text())
+            if payload["schema"] != self.SCHEMA_VERSION:
+                return False
+            rates = {
+                str(name): float(rate)
+                for name, rate in payload["rates"].items()
+                if float(rate) > 0.0
+            }
+        except (OSError, ValueError, KeyError, TypeError, AttributeError):
+            return False
+        self._rates = {**rates, **self._rates}
+        return True
+
 
 #: Session-wide default model: sweeps run back to back (``svw-repro all``)
 #: seed each other's chunking, which is the point of measuring at all.
 _SESSION_COST_MODEL = CostModel()
+
+
+def session_cost_model() -> CostModel:
+    """The process-wide :class:`CostModel` shared by every backend that
+    schedules on expected cost (:class:`BatchRunner` chunking,
+    :class:`~repro.experiments.remote.RemoteBackend` dispatch order).  The
+    CLI loads persisted rates into it when ``--cache-dir`` names a store,
+    and saves them back on exit."""
+    return _SESSION_COST_MODEL
 
 
 def _run_chunk(

@@ -1,0 +1,799 @@
+"""Remote sweep execution over the trace wire format.
+
+PR 3/4 made traces content-addressed and codec-encoded, so a worker needs
+nothing but bytes to run a cell; this module is the network half of that
+bargain.  It distributes sweep cells to **worker agents** on other hosts
+over a small length-prefixed TCP protocol that reuses the pieces the
+local backends already trust:
+
+- traces travel as :mod:`repro.isa.codec` v1 bytes (the exact buffer
+  shared-memory transport publishes locally), addressed by the same
+  content key (:func:`~repro.experiments.traces.workload_key`);
+- machine configurations travel as their ``to_dict`` form and rebuild via
+  :meth:`~repro.pipeline.config.MachineConfig.from_dict`;
+- results travel as ``SimStats.to_dict`` JSON plus the stats fingerprint,
+  which the client re-derives from the decoded payload -- any wire or
+  schema skew fails loudly instead of corrupting a figure.
+
+Nothing pickled ever crosses the wire (see the trust model in the
+README): every frame is either UTF-8 JSON or raw codec bytes, both fully
+validated before use, so a worker agent never executes attacker-supplied
+code paths beyond "simulate this machine on this trace".
+
+Wire protocol (version 1)
+-------------------------
+
+Frames are ``kind (1 byte) + big-endian u32 length + payload``.  Kind
+``J`` is a JSON object; kind ``T`` is a raw encoded trace.  Per
+connection::
+
+    client                                worker
+    ------                                ------
+    J {type: hello, protocol: 1}    ->
+                                    <-    J {type: hello, protocol: 1, slots}
+    J {type: job, job_id, fingerprint,
+       config, n_insts, warmup,
+       validate, trace_key,
+       trace_sha256?, ...}          ->
+                                    <-    J {type: need_trace, key}   (miss only)
+    T <codec bytes>                 ->
+                                    <-    J {type: result, job_id,
+                                             fingerprint, stats, seconds}
+                                          or J {type: error, job_id, message}
+
+The ``need_trace`` round trip is the **host-level trace cache**: the job
+carries only the content key, and the worker answers from (1) its decoded
+in-memory memo, (2) its on-disk :class:`~repro.workloads.trace_cache.
+TraceCache` when configured, and only then (3) the network.  A fleet
+whose agents share a cache directory downloads each trace once per host,
+not once per sweep.  When the client already holds the encoded bytes
+(memoized this sweep, or in its own trace cache) the job additionally
+pins ``trace_sha256``; a host cache entry that disagrees is refetched
+instead of trusted, so a stale or poisoned host cache costs one transfer,
+never a wrong figure.  A job without a digest trusts the host cache --
+that residual is the perimeter trust model documented in the README.
+
+Scheduling and fault tolerance
+------------------------------
+
+:class:`RemoteBackend` dispatches cells longest-expected-job-first, where
+"expected" comes from the session :class:`~repro.experiments.batch.
+CostModel` (persisted next to the :class:`~repro.experiments.store.
+ResultStore`, so cold sessions start balanced).  One client thread serves
+each worker; a worker that disconnects mid-cell has its in-flight cell
+re-queued at the front and is dropped from the rotation, so a killed host
+costs one re-dispatch, never the sweep.  Deterministic cell failures
+(the simulation itself raising) are *not* retried -- they surface as
+:class:`~repro.experiments.backends.CellExecutionError` exactly like the
+local backends.  Results are positionally aligned with the request list
+and bit-identical to :class:`~repro.experiments.backends.SerialBackend`
+(``svw-repro bench-sweep --remote-workers`` and the ``remote-equivalence``
+CI job enforce this).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import select
+import socket
+import struct
+import subprocess
+import sys
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Callable, Iterator, Sequence
+
+from repro.experiments.backends import CellExecutionError, ProgressFn, paused_gc
+from repro.experiments.spec import RunRequest
+from repro.experiments.traces import TraceProvider, request_key
+from repro.isa.codec import TraceCodecError, decode_trace
+from repro.isa.coltrace import ColumnTrace
+from repro.isa.inst import Trace
+from repro.pipeline.config import MachineConfig
+from repro.pipeline.processor import Processor
+from repro.pipeline.stats import SimStats
+from repro.workloads.trace_cache import TraceCache
+
+PROTOCOL_VERSION = 1
+
+FRAME_JSON = b"J"
+FRAME_TRACE = b"T"
+
+#: Upper bound on a single frame (codec traces are ~1.5 MB at figure
+#: budgets; 1 GiB rejects garbage lengths without constraining real use).
+MAX_FRAME_BYTES = 1 << 30
+
+_HEADER = struct.Struct(">cI")
+
+
+class RemoteProtocolError(RuntimeError):
+    """The peer spoke, but not protocol v1 -- fatal, never retried."""
+
+
+# --------------------------------------------------------------------- framing
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    """Read exactly ``n`` bytes or raise ``ConnectionError`` (peer gone)."""
+    buf = bytearray(n)
+    view = memoryview(buf)
+    got = 0
+    while got < n:
+        read = sock.recv_into(view[got:], n - got)
+        if read == 0:
+            raise ConnectionError("connection closed mid-frame")
+        got += read
+    return bytes(buf)
+
+
+def send_frame(sock: socket.socket, kind: bytes, payload: bytes) -> None:
+    """One wire frame: kind byte, u32 length, payload."""
+    if len(payload) > MAX_FRAME_BYTES:
+        raise RemoteProtocolError(f"frame of {len(payload)} bytes exceeds protocol bound")
+    sock.sendall(_HEADER.pack(kind, len(payload)) + payload)
+
+
+def recv_frame(sock: socket.socket) -> tuple[bytes, bytes]:
+    """The next ``(kind, payload)`` frame; validates kind and length."""
+    kind, length = _HEADER.unpack(_recv_exact(sock, _HEADER.size))
+    if kind not in (FRAME_JSON, FRAME_TRACE):
+        raise RemoteProtocolError(f"unknown frame kind {kind!r}")
+    if length > MAX_FRAME_BYTES:
+        raise RemoteProtocolError(f"frame length {length} exceeds protocol bound")
+    return kind, _recv_exact(sock, length)
+
+
+def send_json(sock: socket.socket, message: dict) -> None:
+    send_frame(sock, FRAME_JSON, json.dumps(message, sort_keys=True).encode("utf-8"))
+
+
+def recv_json(sock: socket.socket) -> dict:
+    """The next frame, which must be JSON with a ``type`` field."""
+    kind, payload = recv_frame(sock)
+    if kind != FRAME_JSON:
+        raise RemoteProtocolError(f"expected a JSON frame, got kind {kind!r}")
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise RemoteProtocolError(f"undecodable JSON frame: {exc}") from exc
+    if not isinstance(message, dict) or "type" not in message:
+        raise RemoteProtocolError("JSON frame is not a typed object")
+    return message
+
+
+def _handshake(sock: socket.socket, reply: dict | None = None) -> dict:
+    """Validate the peer's hello; optionally answer with ``reply``."""
+    hello = recv_json(sock)
+    if hello.get("type") != "hello" or hello.get("protocol") != PROTOCOL_VERSION:
+        raise RemoteProtocolError(
+            f"peer speaks {hello.get('type')!r}/{hello.get('protocol')!r}, "
+            f"need hello/{PROTOCOL_VERSION}"
+        )
+    if reply is not None:
+        send_json(sock, reply)
+    return hello
+
+
+def parse_worker(address: str) -> tuple[str, int]:
+    """``"host:port"`` -> ``(host, port)`` (numeric port required)."""
+    host, sep, port = address.strip().rpartition(":")
+    if not sep or not host or not port.isdigit():
+        raise ValueError(f"worker address must be host:port, got {address!r}")
+    return host, int(port)
+
+
+# ---------------------------------------------------------------- worker agent
+
+
+class WorkerAgent:
+    """One host's sweep-execution agent (``svw-repro worker``).
+
+    A small threaded TCP server: each client connection is served by its
+    own thread, while ``slots`` bounds how many simulations run
+    concurrently (default 1 -- simulation is pure Python, so extra slots
+    only help when a host runs multiple agents or oversubscription is
+    wanted for latency hiding).
+
+    Trace handling is host-level and pickle-free: jobs name traces by
+    content key only; misses are fetched over the wire as codec bytes,
+    persisted to ``trace_cache`` when one is configured (shared between
+    every agent on the host), and decoded into a bounded in-memory memo of
+    column-native traces shared by all connections.
+
+    ``drop_after`` is a chaos knob for re-dispatch testing: after that
+    many completed jobs the agent severs every connection and stops
+    accepting, simulating a killed host mid-sweep.
+    """
+
+    _DECODED_SLOTS = 2
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        slots: int = 1,
+        trace_cache: TraceCache | None = None,
+        drop_after: int | None = None,
+        progress: Callable[[str], None] | None = None,
+    ) -> None:
+        if slots < 1:
+            raise ValueError("slots must be >= 1")
+        self.slots = slots
+        self.trace_cache = trace_cache
+        self.drop_after = drop_after
+        self.progress = progress
+        self._server = socket.create_server((host, port))
+        self.host, self.port = self._server.getsockname()[:2]
+        self._lock = threading.Lock()
+        self._sim_gate = threading.Semaphore(slots)
+        self._closed = threading.Event()
+        #: key -> (decoded trace, SHA-256 of its encoded bytes when known).
+        self._decoded: dict[str, tuple[Trace | ColumnTrace, str | None]] = {}
+        self._connections: set[socket.socket] = set()
+        self._accept_thread: threading.Thread | None = None
+        #: Completed simulations (all connections).
+        self.jobs_done = 0
+        #: Traces fetched over the wire (host-cache misses).
+        self.trace_misses = 0
+        #: Connections accepted over the agent's lifetime.
+        self.connections_served = 0
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "WorkerAgent":
+        """Serve in a background thread (the in-process/test entry point)."""
+        self._accept_thread = threading.Thread(
+            target=self.serve_forever, name=f"svw-worker-{self.port}", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Accept and serve connections until :meth:`close` (blocking)."""
+        while not self._closed.is_set():
+            try:
+                conn, _ = self._server.accept()
+            except OSError:
+                break  # close() closed the listening socket
+            with self._lock:
+                if self._closed.is_set():
+                    conn.close()
+                    break
+                self._connections.add(conn)
+                self.connections_served += 1
+            threading.Thread(
+                target=self._serve_connection, args=(conn,), daemon=True
+            ).start()
+
+    def close(self) -> None:
+        """Stop accepting, sever every live connection (idempotent)."""
+        self._closed.set()
+        try:
+            self._server.close()
+        except OSError:
+            pass
+        with self._lock:
+            connections, self._connections = self._connections, set()
+        for conn in connections:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            conn.close()
+
+    def __enter__(self) -> "WorkerAgent":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- per-connection protocol ---------------------------------------------
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        try:
+            _handshake(
+                conn,
+                reply={"type": "hello", "protocol": PROTOCOL_VERSION, "slots": self.slots},
+            )
+            while not self._closed.is_set():
+                message = recv_json(conn)
+                if message.get("type") != "job":
+                    raise RemoteProtocolError(
+                        f"expected a job frame, got {message.get('type')!r}"
+                    )
+                self._serve_job(conn, message)
+        except (ConnectionError, OSError, RemoteProtocolError):
+            pass  # client went away or spoke garbage; this connection is done
+        finally:
+            with self._lock:
+                self._connections.discard(conn)
+            conn.close()
+
+    def _serve_job(self, conn: socket.socket, job: dict) -> None:
+        if self.drop_after is not None:
+            with self._lock:
+                drop = self.jobs_done >= self.drop_after
+            if drop:
+                # Chaos mode: die like a killed host -- no goodbye frame.
+                self.close()
+                raise ConnectionError("chaos drop")
+        job_id = job.get("job_id")
+        describe = job.get("describe", f"job {job_id}")
+        if self.progress is not None:
+            self.progress(f"worker {self.address}: {describe}")
+        try:
+            config = MachineConfig.from_dict(job["config"])
+            trace = self._trace_for(
+                str(job["trace_key"]), job.get("trace_sha256"), conn
+            )
+            with self._sim_gate:
+                started = time.perf_counter()
+                stats = paused_gc(
+                    lambda: Processor(
+                        config,
+                        trace,
+                        validate=bool(job["validate"]),
+                        warmup=int(job["warmup"]),
+                    ).run()
+                )
+                seconds = time.perf_counter() - started
+        except (ConnectionError, OSError, RemoteProtocolError):
+            raise  # transport trouble is connection-fatal, not a cell error
+        except Exception as exc:  # deterministic cell failure -> error frame
+            send_json(
+                conn,
+                {
+                    "type": "error",
+                    "job_id": job_id,
+                    "message": f"{type(exc).__name__}: {exc}",
+                },
+            )
+            return
+        with self._lock:
+            self.jobs_done += 1
+        send_json(
+            conn,
+            {
+                "type": "result",
+                "job_id": job_id,
+                "fingerprint": stats.fingerprint(),
+                "stats": stats.to_dict(),
+                "seconds": seconds,
+            },
+        )
+
+    def _trace_for(
+        self, key: str, want_digest: str | None, conn: socket.socket
+    ) -> Trace | ColumnTrace:
+        """The decoded trace for ``key``: memo, then disk, then the wire.
+
+        ``want_digest`` is the client's SHA-256 of the encoded bytes, when
+        it knows them (see ``TraceProvider.has_encoded``): a memo or disk
+        entry with a different digest is stale or poisoned and is refetched
+        instead of trusted, and wire bytes that contradict their own
+        claimed digest are a protocol error.  A job without a digest (cold
+        client, warm host) trusts the host cache -- the documented
+        perimeter trust model.
+        """
+        with self._lock:
+            entry = self._decoded.get(key)
+        if entry is not None and (want_digest is None or entry[1] == want_digest):
+            return entry[0]
+        trace = None
+        digest = None
+        data: bytes | None = None
+        if self.trace_cache is not None:
+            data = self.trace_cache.load(key)
+            if data is not None:
+                digest = hashlib.sha256(data).hexdigest()
+                if want_digest is not None and digest != want_digest:
+                    data = None  # stale/poisoned disk entry: refetch
+        if data is not None:
+            try:
+                trace = paused_gc(lambda: decode_trace(data))
+            except TraceCodecError:
+                trace = None  # torn cache entry: fall through to the wire
+        if trace is None:
+            with self._lock:
+                self.trace_misses += 1
+            send_json(conn, {"type": "need_trace", "key": key})
+            kind, payload = recv_frame(conn)
+            if kind != FRAME_TRACE:
+                raise RemoteProtocolError(
+                    f"expected trace bytes for {key!r}, got kind {kind!r}"
+                )
+            digest = hashlib.sha256(payload).hexdigest()
+            if want_digest is not None and digest != want_digest:
+                raise RemoteProtocolError(
+                    f"trace bytes for {key!r} do not match their claimed digest"
+                )
+            # Decode before persisting: a client shipping undecodable bytes
+            # must fail its own cell, not poison the host cache.
+            trace = paused_gc(lambda: decode_trace(payload))
+            if self.trace_cache is not None:
+                self.trace_cache.save(key, payload)
+        with self._lock:
+            self._decoded[key] = (trace, digest)
+            while len(self._decoded) > self._DECODED_SLOTS:
+                self._decoded.pop(next(iter(self._decoded)))
+        return trace
+
+
+# --------------------------------------------------------------- client backend
+
+
+class RemoteBackend:
+    """Fan sweep cells out to :class:`WorkerAgent` hosts over TCP.
+
+    ``workers`` is a sequence of ``"host:port"`` addresses.  Results are
+    positionally aligned with the request list and bit-identical to
+    :class:`~repro.experiments.backends.SerialBackend`; scheduling is
+    longest-expected-job-first under the (persisted) session cost model,
+    and a worker lost mid-cell has its cell re-dispatched to a surviving
+    worker (``max_attempts`` bounds how often one cell may be struck by
+    worker loss before the sweep fails).
+    """
+
+    def __init__(
+        self,
+        workers: Sequence[str],
+        trace_cache: TraceCache | None = None,
+        cost_model: "CostModel | None" = None,
+        max_attempts: int = 3,
+        connect_timeout: float = 10.0,
+    ) -> None:
+        self.addresses = [
+            address if isinstance(address, str) else f"{address[0]}:{address[1]}"
+            for address in workers
+        ]
+        if not self.addresses:
+            raise ValueError("RemoteBackend needs at least one worker address")
+        for address in self.addresses:
+            parse_worker(address)  # fail at construction, not mid-sweep
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self.trace_cache = trace_cache
+        if cost_model is None:
+            from repro.experiments.batch import session_cost_model
+
+            cost_model = session_cost_model()
+        self.cost_model = cost_model
+        self.max_attempts = max_attempts
+        self.connect_timeout = connect_timeout
+        self.last_provider: TraceProvider | None = None
+
+    # -- connection ----------------------------------------------------------
+
+    def _connect(self, address: str) -> socket.socket:
+        host, port = parse_worker(address)
+        conn = socket.create_connection((host, port), timeout=self.connect_timeout)
+        # Sweeps legitimately leave a connection quiet for the length of a
+        # simulation; only connect/handshake get a deadline.
+        send_json(conn, {"type": "hello", "protocol": PROTOCOL_VERSION})
+        _handshake(conn)
+        conn.settimeout(None)
+        return conn
+
+    # -- execution -----------------------------------------------------------
+
+    def run(
+        self, requests: Sequence[RunRequest], progress: ProgressFn | None = None
+    ) -> list[SimStats]:
+        requests = list(requests)
+        results: list[SimStats | None] = [None] * len(requests)
+        provider = TraceProvider(cache=self.trace_cache)
+        self.last_provider = provider
+        if not requests:
+            return []
+
+        cost = self.cost_model.cost
+        order = sorted(
+            range(len(requests)),
+            key=lambda i: (-cost(requests[i]), requests[i].workload.name, i),
+        )
+        # Shared scheduler state, guarded by one condition variable.  A
+        # worker whose queue is empty but whose peers still have cells in
+        # flight must WAIT, not exit: a peer dying would re-queue its cell,
+        # and an exited thread could strand it (the last-cell-kill case).
+        state = threading.Condition()
+        provider_lock = threading.Lock()
+        #: key -> SHA-256 of the encoded trace, once this run knows it
+        #: (guarded by provider_lock, like the provider that feeds it).
+        digests: dict[str, str] = {}
+        queue: deque[int] = deque(order)
+        attempts = [0] * len(requests)
+        in_flight = 0
+        completed = 0
+        failures: list[BaseException] = []
+        worker_errors: dict[str, str] = {}
+
+        def next_index() -> int | None:
+            nonlocal in_flight
+            with state:
+                while True:
+                    if failures:
+                        return None
+                    if queue:
+                        index = queue.popleft()
+                        attempts[index] += 1
+                        in_flight += 1
+                        return index
+                    if completed == len(requests) or in_flight == 0:
+                        return None
+                    state.wait()
+
+        def serve(address: str) -> None:
+            nonlocal in_flight, completed
+            try:
+                conn = self._connect(address)
+            except (OSError, RemoteProtocolError) as exc:
+                with state:
+                    worker_errors[address] = f"connect failed: {exc}"
+                return
+            try:
+                while True:
+                    index = next_index()
+                    if index is None:
+                        return
+                    try:
+                        self._run_cell(
+                            conn, address, requests[index], index, results,
+                            provider, provider_lock, digests, progress,
+                        )
+                        with state:
+                            in_flight -= 1
+                            completed += 1
+                            state.notify_all()
+                    except OSError as exc:
+                        # Worker lost mid-cell: re-queue at the front (it
+                        # was the longest remaining job) and retire this
+                        # worker.  A waiting peer picks it up.
+                        with state:
+                            in_flight -= 1
+                            worker_errors[address] = f"lost mid-cell: {exc}"
+                            if results[index] is None:
+                                if attempts[index] >= self.max_attempts:
+                                    failures.append(
+                                        CellExecutionError(
+                                            f"{requests[index].describe()}: worker "
+                                            f"lost {attempts[index]} times "
+                                            f"(last: {address}: {exc})"
+                                        )
+                                    )
+                                else:
+                                    queue.appendleft(index)
+                            else:
+                                completed += 1
+                            state.notify_all()
+                        return
+                    except Exception as exc:
+                        # Everything that is not worker loss -- cell
+                        # failures, protocol violations, and any schema
+                        # skew _run_cell's parsing trips over (KeyError,
+                        # TypeError, ...) -- is deterministic: retrying on
+                        # another worker would reproduce it.  Fail the
+                        # sweep loudly, and ALWAYS under the condition
+                        # variable: a thread dying without decrementing
+                        # in_flight would leave waiting peers asleep
+                        # forever.
+                        with state:
+                            in_flight -= 1
+                            failures.append(
+                                exc
+                                if isinstance(exc, CellExecutionError)
+                                else CellExecutionError(
+                                    f"{requests[index].describe()} on {address}: "
+                                    f"{type(exc).__name__}: {exc}"
+                                )
+                            )
+                            state.notify_all()
+                        return
+            finally:
+                conn.close()
+
+        threads = [
+            threading.Thread(target=serve, args=(address,), daemon=True)
+            for address in self.addresses
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        if failures:
+            raise failures[0]
+        unfinished = [
+            requests[i].describe() for i, stats in enumerate(results) if stats is None
+        ]
+        if unfinished:
+            detail = "; ".join(
+                f"{address}: {error}" for address, error in sorted(worker_errors.items())
+            )
+            raise CellExecutionError(
+                f"{len(unfinished)} cell(s) unfinished after losing all workers "
+                f"({detail or 'no worker reachable'}): {unfinished[:3]}"
+            )
+        return results  # type: ignore[return-value]
+
+    def _run_cell(
+        self,
+        conn: socket.socket,
+        address: str,
+        request: RunRequest,
+        index: int,
+        results: list[SimStats | None],
+        provider: TraceProvider,
+        provider_lock: threading.Lock,
+        digests: dict[str, str],
+        progress: ProgressFn | None,
+    ) -> None:
+        key = request_key(request)
+        # Pin the trace's content whenever this run already knows it
+        # (bytes memoized or trace-cached locally): a worker whose cached
+        # entry disagrees then refetches instead of simulating the wrong
+        # trace.  Never *generate* just to name a digest -- that would
+        # forfeit the warm-worker path where the client ships nothing.
+        with provider_lock:
+            digest = digests.get(key)
+            if digest is None and provider.has_encoded(request.workload, request.n_insts):
+                digest = hashlib.sha256(
+                    provider.encoded(request.workload, request.n_insts)
+                ).hexdigest()
+                digests[key] = digest
+        job = {
+            "type": "job",
+            "job_id": index,
+            "fingerprint": request.fingerprint(),
+            "describe": request.describe(),
+            "experiment": request.experiment,
+            "workload": request.workload.name,
+            "config_label": request.config_label,
+            "config": request.config.to_dict(),
+            "n_insts": request.n_insts,
+            "warmup": request.warmup,
+            "validate": request.validate,
+            "trace_key": key,
+        }
+        if digest is not None:
+            job["trace_sha256"] = digest
+        send_json(conn, job)
+        while True:
+            message = recv_json(conn)
+            kind = message.get("type")
+            if kind == "need_trace":
+                # Generation/encode is memoized per sweep; the lock keeps
+                # the provider single-writer while both worker threads may
+                # miss on the same workload at once.
+                with provider_lock:
+                    data = provider.encoded(request.workload, request.n_insts)
+                    digests.setdefault(key, hashlib.sha256(data).hexdigest())
+                send_frame(conn, FRAME_TRACE, data)
+            elif kind == "result":
+                stats = SimStats.from_dict(message["stats"])
+                if stats.fingerprint() != message.get("fingerprint"):
+                    raise CellExecutionError(
+                        f"{request.describe()} on {address}: result fingerprint "
+                        "does not match its payload (wire or schema skew)"
+                    )
+                self.cost_model.observe(
+                    request.config, request.n_insts, float(message.get("seconds", 0.0))
+                )
+                results[index] = stats
+                if progress is not None:
+                    progress(f"{request.describe()} [done @{address}]")
+                return
+            elif kind == "error":
+                raise CellExecutionError(
+                    f"{request.describe()} on {address}: {message.get('message')}"
+                )
+            else:
+                raise RemoteProtocolError(f"unexpected frame type {kind!r}")
+
+
+# ---------------------------------------------------------------- loopback fleet
+
+
+def resolve_worker_fleet(
+    spec: str | None, stack, trace_cache_dir: str | None = None
+) -> list[str] | None:
+    """A ``--remote-workers`` value -> agent addresses (one parser for every
+    CLI entry point).
+
+    ``auto:N`` spawns a loopback fleet whose lifetime is tied to ``stack``
+    (a :class:`contextlib.ExitStack`); anything else is a comma-separated
+    ``host:port`` list, validated up front so typos fail before the sweep.
+    """
+    if spec is None:
+        return None
+    if spec.startswith("auto:"):
+        return stack.enter_context(
+            local_worker_fleet(int(spec.split(":", 1)[1]), trace_cache_dir=trace_cache_dir)
+        )
+    addresses = [address.strip() for address in spec.split(",") if address.strip()]
+    if not addresses:
+        raise ValueError(f"no worker addresses in {spec!r}")
+    for address in addresses:
+        parse_worker(address)
+    return addresses
+
+
+@contextmanager
+def local_worker_fleet(
+    count: int,
+    trace_cache_dir: str | None = None,
+    slots: int = 1,
+    startup_timeout: float = 30.0,
+) -> Iterator[list[str]]:
+    """``count`` loopback ``svw-repro worker`` subprocesses on ephemeral ports.
+
+    Yields their ``host:port`` addresses and tears the agents down on
+    exit.  This is what ``svw-repro bench-sweep --remote-workers auto:N``
+    uses: real worker processes, real sockets, no port coordination --
+    each agent binds port 0 and reports the kernel's pick on stdout.
+    """
+    if count < 1:
+        raise ValueError("a worker fleet needs at least one agent")
+    import repro
+
+    env = dict(os.environ)
+    src_root = str(Path(repro.__file__).resolve().parents[1])
+    env["PYTHONPATH"] = (
+        src_root + os.pathsep + env["PYTHONPATH"]
+        if env.get("PYTHONPATH")
+        else src_root
+    )
+    command = [
+        sys.executable, "-m", "repro.harness.cli",
+        "worker", "--host", "127.0.0.1", "--port", "0", "--quiet",
+    ]
+    if trace_cache_dir is not None:
+        command += ["--trace-cache-dir", trace_cache_dir]
+    if slots != 1:
+        command += ["--slots", str(slots)]
+    agents: list[subprocess.Popen] = []
+    try:
+        for _ in range(count):
+            agents.append(
+                subprocess.Popen(
+                    command, stdout=subprocess.PIPE, env=env, text=True, bufsize=1
+                )
+            )
+        addresses = []
+        deadline = time.monotonic() + startup_timeout
+        for agent in agents:
+            assert agent.stdout is not None
+            # Wait for readability before readline: a worker wedged before
+            # printing its address must trip the timeout, not hang the CLI.
+            remaining = deadline - time.monotonic()
+            if remaining <= 0 or not select.select(
+                [agent.stdout], [], [], remaining
+            )[0]:
+                raise RuntimeError(
+                    f"worker agent (pid {agent.pid}) reported no address "
+                    f"within {startup_timeout:.0f}s"
+                )
+            line = agent.stdout.readline().strip()
+            if "listening on" not in line:
+                raise RuntimeError(
+                    f"worker agent failed to start (pid {agent.pid}): {line!r}"
+                )
+            addresses.append(line.rsplit(" ", 1)[-1])
+        yield addresses
+    finally:
+        for agent in agents:
+            agent.terminate()
+        for agent in agents:
+            try:
+                agent.wait(timeout=10)
+            except subprocess.TimeoutExpired:  # pragma: no cover - stuck agent
+                agent.kill()
+                agent.wait()

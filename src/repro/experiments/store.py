@@ -6,12 +6,27 @@ JSON file.  Repeated and overlapping sweeps hit the cache instead of
 re-simulating; a warm store makes a full sweep a pure read.  Writes are
 atomic (write-then-rename), so concurrent processes sharing a cache
 directory at worst redo a cell, never corrupt one.
+
+Content addressing is also what makes stores *mergeable*: a store filled
+on another host (a remote worker's ``--cache-dir``, an rsynced results
+directory) folds into the local one with :meth:`ResultStore.merge` --
+identical addresses must carry identical results, so a merge is copy for
+new addresses, verify for overlapping ones, and a hard error for
+conflicts (which can only mean schema skew or corruption, never a
+legitimate disagreement).
+
+The store directory additionally anchors the persisted scheduling
+:class:`~repro.experiments.batch.CostModel` (``cost_model.json``, see
+:attr:`ResultStore.cost_model_path`); cell files are exactly the 64-hex
+fingerprint names, so auxiliary files never alias a cell.
 """
 
 from __future__ import annotations
 
 import json
+from dataclasses import dataclass
 from pathlib import Path
+from typing import Iterator
 
 from repro.experiments.spec import RunRequest
 from repro.ioutil import atomic_write_text
@@ -19,6 +34,42 @@ from repro.pipeline.stats import SimStats
 
 #: Bump when the on-disk payload layout changes.
 SCHEMA_VERSION = 1
+
+_HEX_DIGITS = set("0123456789abcdef")
+
+
+class ResultMergeError(ValueError):
+    """Two stores disagree about the result at one content address."""
+
+
+def _architectural(stats_payload: object) -> object:
+    """A stats payload with scheduler-observability counters stripped --
+    the same view :meth:`SimStats.fingerprint` digests."""
+    if not isinstance(stats_payload, dict):
+        return stats_payload
+    return {
+        key: value
+        for key, value in stats_payload.items()
+        if key not in SimStats.OBSERVABILITY_FIELDS
+    }
+
+
+@dataclass(slots=True)
+class MergeReport:
+    """What :meth:`ResultStore.merge` did, for logs and assertions."""
+
+    #: New cells copied into this store.
+    merged: int = 0
+    #: Overlapping addresses whose payloads matched (nothing to do).
+    identical: int = 0
+    #: Source files skipped as unreadable/stale-schema (like load() misses).
+    invalid: int = 0
+
+    def describe(self) -> str:
+        return (
+            f"{self.merged} merged, {self.identical} identical, "
+            f"{self.invalid} invalid skipped"
+        )
 
 
 class ResultStore:
@@ -32,6 +83,20 @@ class ResultStore:
 
     def path_for(self, request: RunRequest) -> Path:
         return self.root / f"{request.fingerprint()}.json"
+
+    @property
+    def cost_model_path(self) -> Path:
+        """Where the persisted scheduling cost model lives (not a cell)."""
+        return self.root / "cost_model.json"
+
+    def cell_paths(self) -> Iterator[Path]:
+        """The store's cell files: ``<64-hex fingerprint>.json`` only, so
+        auxiliary files (``cost_model.json``, editor droppings) are never
+        counted, merged, or mistaken for results."""
+        for path in sorted(self.root.glob("*.json")):
+            stem = path.stem
+            if len(stem) == 64 and set(stem) <= _HEX_DIGITS:
+                yield path
 
     def load(self, request: RunRequest) -> SimStats | None:
         """The cached statistics for a cell, or None on miss."""
@@ -65,5 +130,63 @@ class ResultStore:
         # without a reader ever observing torn JSON.
         atomic_write_text(self.path_for(request), json.dumps(payload, sort_keys=True, indent=1))
 
+    def merge(self, other: "ResultStore | str | Path") -> MergeReport:
+        """Fold another store's cells into this one by content address.
+
+        New addresses are copied (atomically -- a crash mid-merge leaves
+        this store with a subset of the source's cells, every one of them
+        intact); overlapping addresses are verified instead of rewritten.
+        An overlap whose *stats* payload differs raises
+        :class:`ResultMergeError`: the address is a fingerprint of
+        everything that determines the result, so a conflict is evidence
+        of corruption or version skew and silently preferring either side
+        would launder it into figures.  Display-only provenance
+        (``experiment``, ``config_label``) may differ freely -- local wins.
+        Source files that fail to parse (or carry another schema) are
+        skipped and counted, mirroring how :meth:`load` treats them.
+        """
+        source_root = (
+            other.root if isinstance(other, ResultStore) else Path(other).expanduser()
+        )
+        if not source_root.is_dir():
+            # Constructing a ResultStore would mkdir the path; for a merge
+            # *source* that would turn a typo into "0 merged" success.
+            raise FileNotFoundError(f"merge source {source_root} is not a directory")
+        report = MergeReport()
+        if source_root.resolve() == self.root.resolve():
+            return report
+        source = other if isinstance(other, ResultStore) else ResultStore(source_root)
+        for path in source.cell_paths():
+            try:
+                payload = json.loads(path.read_text())
+                if payload["schema"] != SCHEMA_VERSION:
+                    raise ValueError(f"schema {payload['schema']}")
+                incoming = payload["stats"]
+            except (OSError, ValueError, KeyError, TypeError):
+                report.invalid += 1
+                continue
+            destination = self.root / path.name
+            try:
+                existing = json.loads(destination.read_text())["stats"]
+            except (OSError, ValueError, KeyError, TypeError):
+                existing = None  # absent (or corrupt: repair by overwrite)
+            if existing is None:
+                atomic_write_text(
+                    destination, json.dumps(payload, sort_keys=True, indent=1)
+                )
+                report.merged += 1
+            elif _architectural(existing) == _architectural(incoming):
+                # Scheduler-observability counters may differ between
+                # otherwise bit-identical runs (and are absent from
+                # pre-skip-report entries); like provenance, local wins.
+                report.identical += 1
+            else:
+                raise ResultMergeError(
+                    f"conflicting results for content address {path.stem}: "
+                    f"{source_root} disagrees with {self.root} -- refusing to "
+                    "merge (corruption or version skew)"
+                )
+        return report
+
     def __len__(self) -> int:
-        return sum(1 for _ in self.root.glob("*.json"))
+        return sum(1 for _ in self.cell_paths())

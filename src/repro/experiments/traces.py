@@ -137,6 +137,21 @@ class TraceProvider:
     def trace_for(self, request: RunRequest) -> Trace | ColumnTrace:
         return self.trace(request.workload, request.n_insts)
 
+    def has_encoded(self, workload: WorkloadSpec, n_insts: int) -> bool:
+        """Whether :meth:`encoded` would succeed *without generating* --
+        the bytes are memoized, or the on-disk cache holds an entry.  Lets
+        remote dispatch pin a trace's content digest when it is already
+        known while preserving the laziness that makes warm worker caches
+        free (a cold client never generates just to name a digest)."""
+        key = workload_key(workload, n_insts)
+        if key in self._encoded:
+            return True
+        return (
+            self.cache is not None
+            and workload.profile is not None
+            and self.cache.path_for(key).is_file()
+        )
+
     # -- internals -----------------------------------------------------------
 
     def _generate(self, workload: WorkloadSpec, n_insts: int) -> Trace | ColumnTrace:

@@ -140,6 +140,13 @@ def run_bench(
                     "wall_seconds": best,
                     "insts_per_sec": stats.committed / best if best else 0.0,
                     "stats_fingerprint": stats.fingerprint(),
+                    # Scheduler observability (excluded from the fingerprint):
+                    # how much of the run the skip-ahead scheduler covered,
+                    # and what woke it.  A bench regression with a collapsed
+                    # skip share points at the scheduler, not the core.
+                    "skip_jumps": stats.skip_jumps,
+                    "skipped_cycles": stats.skipped_cycles,
+                    "wakeup_causes": dict(stats.wakeup_causes),
                 }
             )
     aggregate: dict[str, dict] = {}
@@ -170,16 +177,38 @@ def render_bench(payload: dict) -> str:
     lines = [
         f"core benchmark: {payload['n_insts']} insts/cell, "
         f"best of {payload['repeats']}, python {payload['python']}",
-        f"{'lsu':14s} {'workload':12s} {'kinsts/s':>9s} {'cycles':>8s}",
+        f"{'lsu':14s} {'workload':12s} {'kinsts/s':>9s} {'cycles':>8s} {'skip%':>6s}",
     ]
+    has_skip = False
     for r in payload["results"]:
+        # Pre-skip-counter snapshots lack the observability keys; render
+        # their rows with a blank share instead of refusing the payload.
+        skipped = r.get("skipped_cycles")
+        if skipped is None:
+            share = "     -"
+        else:
+            has_skip = True
+            share = f"{skipped / r['cycles']:6.1%}" if r["cycles"] else f"{0:6.1%}"
         lines.append(
             f"{r['lsu']:14s} {r['workload']:12s} "
-            f"{r['insts_per_sec'] / 1000:9.1f} {r['cycles']:8d}"
+            f"{r['insts_per_sec'] / 1000:9.1f} {r['cycles']:8d} {share}"
         )
     lines.append("")
     for kind, agg in payload["aggregate"].items():
         lines.append(f"{kind:14s} aggregate    {agg['insts_per_sec'] / 1000:9.1f}")
+    if has_skip:
+        causes: dict[str, int] = {}
+        jumps = 0
+        for r in payload["results"]:
+            jumps += r.get("skip_jumps", 0)
+            for cause, count in (r.get("wakeup_causes") or {}).items():
+                causes[cause] = causes.get(cause, 0) + count
+        breakdown = ", ".join(
+            f"{cause}={count}" for cause, count in sorted(causes.items())
+        )
+        lines.append(
+            f"skip-ahead: {jumps} jumps across all cells (wake-ups: {breakdown})"
+        )
     return "\n".join(lines)
 
 

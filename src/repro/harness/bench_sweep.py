@@ -21,6 +21,11 @@ Modes (same cell set, same machine):
   memory; workers decode and memoize.
 - ``batch``         -- ``BatchRunner``: single decode per workload chunk,
   all of its configs run in one pass over one ``Trace``/``TraceMeta``.
+- ``remote``        -- ``RemoteBackend`` (only with ``remote_workers``):
+  cells shipped to worker agents over the TCP trace wire format.  The
+  ``remote-equivalence`` CI job runs this against two loopback agents,
+  which makes the fingerprint cross-check below a wire-protocol
+  equivalence gate, not just a backend one.
 
 All provider-backed modes share one on-disk
 :class:`~repro.workloads.trace_cache.TraceCache` for the duration of the
@@ -57,6 +62,7 @@ from typing import Callable
 
 from repro.experiments.backends import ProcessPoolBackend, SerialBackend
 from repro.experiments.batch import BatchRunner
+from repro.experiments.remote import RemoteBackend
 from repro.experiments.spec import ExperimentSpec, matrix_spec
 from repro.harness.bench import BENCH_WORKLOADS, QUICK_WORKLOADS
 from repro.harness.configs import fig5_configs, fig6_configs
@@ -117,13 +123,18 @@ def sweep_spec(
     )
 
 
-def _make_backends(jobs: int, cache: TraceCache) -> dict[str, object]:
-    return {
+def _make_backends(
+    jobs: int, cache: TraceCache, remote_workers: list[str] | None = None
+) -> dict[str, object]:
+    backends: dict[str, object] = {
         "serial": SerialBackend(trace_cache=cache),
         "pool_regen": ProcessPoolBackend(jobs=jobs, share_traces=False),
         "pool_shared": ProcessPoolBackend(jobs=jobs, trace_cache=cache),
         "batch": BatchRunner(jobs=jobs, trace_cache=cache),
     }
+    if remote_workers:
+        backends["remote"] = RemoteBackend(remote_workers, trace_cache=cache)
+    return backends
 
 
 def measure_generation(
@@ -180,20 +191,28 @@ def run_sweep_bench(
     quick: bool = False,
     progress: Callable[[str], None] | None = None,
     trace_cache_dir: str | None = None,
+    remote_workers: list[str] | None = None,
 ) -> dict:
-    """Run the sweep benchmark; returns the ``BENCH_sweep.json`` payload."""
+    """Run the sweep benchmark; returns the ``BENCH_sweep.json`` payload.
+
+    ``remote_workers`` (``host:port`` addresses of live ``svw-repro
+    worker`` agents) adds the ``remote`` mode: the same cells through
+    :class:`~repro.experiments.remote.RemoteBackend`, fingerprint-checked
+    against ``SerialBackend`` like every other mode.
+    """
     if quick:
         repeats = min(repeats, 1)
     spec = sweep_spec(workloads, n_insts, quick=quick)
     requests = spec.cells()
     cell_ids = [(r.workload.name, r.config_label) for r in requests]
+    modes = MODE_ORDER + (("remote",) if remote_workers else ())
 
     with tempfile.TemporaryDirectory(prefix="svw-bench-sweep-") as default_dir:
         cache = TraceCache(trace_cache_dir or default_dir)
-        backends = _make_backends(jobs, cache)
+        backends = _make_backends(jobs, cache, remote_workers)
         mode_rows: dict[str, dict] = {}
         fingerprints: dict[str, list[str]] = {}
-        for mode in MODE_ORDER:
+        for mode in modes:
             backend = backends[mode]
             best = float("inf")
             generations = 0
@@ -237,6 +256,23 @@ def run_sweep_bench(
     speedup = lambda mode: (  # noqa: E731 - local one-liner
         mode_rows[mode]["cells_per_sec"] / baseline_rate if baseline_rate else 0.0
     )
+    speedups = {
+        "batch_vs_pool_regen": speedup("batch"),
+        "pool_shared_vs_pool_regen": speedup("pool_shared"),
+        "batch_vs_serial": (
+            mode_rows["batch"]["cells_per_sec"]
+            / mode_rows["serial"]["cells_per_sec"]
+            if mode_rows["serial"]["cells_per_sec"]
+            else 0.0
+        ),
+    }
+    if "remote" in mode_rows:
+        speedups["remote_vs_serial"] = (
+            mode_rows["remote"]["cells_per_sec"]
+            / mode_rows["serial"]["cells_per_sec"]
+            if mode_rows["serial"]["cells_per_sec"]
+            else 0.0
+        )
     return {
         "schema_version": SWEEP_SCHEMA_VERSION,
         "created_unix": time.time(),
@@ -248,6 +284,7 @@ def run_sweep_bench(
         "workloads": spec.benchmark_names,
         "configs": spec.config_order,
         "n_cells": len(requests),
+        "remote_workers": list(remote_workers) if remote_workers else [],
         "cells": [
             {"workload": workload, "config": config, "stats_fingerprint": print_}
             for (workload, config), print_ in zip(cell_ids, reference)
@@ -255,16 +292,7 @@ def run_sweep_bench(
         "modes": mode_rows,
         "trace_generation": generation,
         "equivalence": {"identical": not diverged, "diverged": diverged},
-        "speedups": {
-            "batch_vs_pool_regen": speedup("batch"),
-            "pool_shared_vs_pool_regen": speedup("pool_shared"),
-            "batch_vs_serial": (
-                mode_rows["batch"]["cells_per_sec"]
-                / mode_rows["serial"]["cells_per_sec"]
-                if mode_rows["serial"]["cells_per_sec"]
-                else 0.0
-            ),
-        },
+        "speedups": speedups,
     }
 
 
@@ -278,7 +306,8 @@ def render_sweep_bench(payload: dict) -> str:
         f"{'mode':14s} {'wall s':>8s} {'cells/s':>9s} {'trace gens':>11s} {'vs pre-PR':>10s}",
     ]
     baseline = payload["modes"][BASELINE_MODE]["cells_per_sec"]
-    for mode in MODE_ORDER:
+    extra_modes = [mode for mode in payload["modes"] if mode not in MODE_ORDER]
+    for mode in list(MODE_ORDER) + sorted(extra_modes):
         row = payload["modes"].get(mode)
         if row is None:
             continue
@@ -357,6 +386,7 @@ def main(argv: list[str] | None = None) -> int:  # pragma: no cover - thin CLI
     parser.add_argument("--repeats", type=int, default=2)
     parser.add_argument("--workloads", type=str, default=None)
     parser.add_argument("--trace-cache-dir", type=str, default=None)
+    parser.add_argument("--remote-workers", type=str, default=None)
     parser.add_argument("--out", default="BENCH_sweep.json")
     parser.add_argument("--compare", nargs=2, metavar=("OLD", "NEW"))
     args = parser.parse_args(argv)
@@ -367,15 +397,24 @@ def main(argv: list[str] | None = None) -> int:  # pragma: no cover - thin CLI
             )
         )
         return 0
-    payload = run_sweep_bench(
-        workloads=args.workloads.split(",") if args.workloads else None,
-        n_insts=args.insts,
-        jobs=args.jobs,
-        repeats=args.repeats,
-        quick=args.quick,
-        progress=lambda msg: print(f"  ... {msg}", file=sys.stderr, flush=True),
-        trace_cache_dir=args.trace_cache_dir,
-    )
+    from contextlib import ExitStack
+
+    from repro.experiments.remote import resolve_worker_fleet
+
+    with ExitStack() as stack:
+        remote = resolve_worker_fleet(
+            args.remote_workers, stack, args.trace_cache_dir
+        )
+        payload = run_sweep_bench(
+            workloads=args.workloads.split(",") if args.workloads else None,
+            n_insts=args.insts,
+            jobs=args.jobs,
+            repeats=args.repeats,
+            quick=args.quick,
+            progress=lambda msg: print(f"  ... {msg}", file=sys.stderr, flush=True),
+            trace_cache_dir=args.trace_cache_dir,
+            remote_workers=remote,
+        )
     print(render_sweep_bench(payload))
     write_sweep_bench(payload, args.out)
     print(f"wrote {args.out}")

@@ -15,11 +15,15 @@ Examples::
     svw-repro bench --quick --out BENCH_core.json
     svw-repro bench --workloads gcc --lsus nlq   # one cell, for development
     svw-repro bench-sweep --jobs 4         # sweep-throughput benchmark
+    svw-repro worker --port 7501           # start a remote worker agent
+    svw-repro fig5 --remote-workers hostA:7501,hostB:7501
+    svw-repro bench-sweep --quick --remote-workers auto:2   # loopback fleet
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import os
 import sys
@@ -27,7 +31,9 @@ import time
 from typing import Callable
 
 from repro.experiments.backends import make_backend
+from repro.experiments.batch import session_cost_model
 from repro.experiments.pool import shutdown_session_pools
+from repro.experiments.remote import RemoteBackend, WorkerAgent, resolve_worker_fleet
 from repro.experiments.results import FigureResult
 from repro.experiments.spec import DEFAULT_INSTS
 from repro.experiments.store import ResultStore
@@ -49,6 +55,21 @@ _EXPERIMENTS: dict[str, Callable[..., FigureResult]] = {
 
 def _progress(message: str) -> None:
     print(f"  ... {message}", file=sys.stderr, flush=True)
+
+
+def _resolve_remote_workers(
+    value: str | None, stack: contextlib.ExitStack, trace_cache_dir: str | None
+) -> list[str] | None:
+    """``--remote-workers`` -> agent addresses (spawning ``auto:N`` fleets).
+
+    Spawned loopback agents live on ``stack`` so they are torn down when
+    the command that requested them finishes; malformed values exit with
+    the parse error instead of a traceback.
+    """
+    try:
+        return resolve_worker_fleet(value, stack, trace_cache_dir)
+    except ValueError as exc:
+        raise SystemExit(f"--remote-workers: {exc}") from exc
 
 
 def run_experiment(
@@ -85,10 +106,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(_EXPERIMENTS) + ["all", "bench", "bench-sweep"],
+        choices=sorted(_EXPERIMENTS) + ["all", "bench", "bench-sweep", "worker"],
         help="which table/figure to regenerate ('bench' runs the "
         "core-simulator throughput benchmark, 'bench-sweep' the "
-        "sweep-throughput/backend-equivalence benchmark)",
+        "sweep-throughput/backend-equivalence benchmark, 'worker' starts "
+        "a remote execution agent serving sweeps over TCP)",
     )
     parser.add_argument(
         "--insts",
@@ -140,6 +162,34 @@ def main(argv: list[str] | None = None) -> int:
         help="on-disk encoded-trace cache; sweeps (and bench-sweep) skip "
         "trace generation for workloads cached here",
     )
+    parser.add_argument(
+        "--remote-workers",
+        type=str,
+        default=None,
+        metavar="LIST",
+        help="run sweeps on remote worker agents: comma-separated host:port "
+        "list (agents started with 'svw-repro worker'), or 'auto:N' to "
+        "spawn N loopback agents for the duration of the command; with "
+        "bench-sweep this adds a fingerprint-checked 'remote' mode",
+    )
+    parser.add_argument(
+        "--host",
+        type=str,
+        default="0.0.0.0",
+        help="worker only: interface to bind (default all interfaces)",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=7501,
+        help="worker only: TCP port to listen on (0 picks a free port)",
+    )
+    parser.add_argument(
+        "--slots",
+        type=int,
+        default=1,
+        help="worker only: concurrent simulations this agent accepts",
+    )
     parser.add_argument("--quiet", action="store_true", help="suppress progress output")
     parser.add_argument(
         "--quick",
@@ -187,6 +237,29 @@ def main(argv: list[str] | None = None) -> int:
         "match the snapshot's)",
     )
     args = parser.parse_args(argv)
+
+    if args.experiment == "worker":
+        # A worker agent executes codec trace bytes and JSON configs only
+        # (nothing pickled crosses the wire); --trace-cache-dir gives the
+        # host a persistent encoded-trace cache shared by all its agents.
+        cache = TraceCache(args.trace_cache_dir) if args.trace_cache_dir else None
+        agent = WorkerAgent(
+            host=args.host,
+            port=args.port,
+            slots=args.slots,
+            trace_cache=cache,
+            progress=None if args.quiet else _progress,
+        )
+        # The parseable contract local_worker_fleet (and fleet scripts)
+        # rely on: first stdout line names the bound address.
+        print(f"svw-worker listening on {agent.address}", flush=True)
+        try:
+            agent.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            agent.close()
+        return 0
 
     benchmarks = args.benchmarks.split(",") if args.benchmarks else None
     workloads = args.workloads.split(",") if args.workloads else benchmarks
@@ -258,15 +331,19 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"{message} ({args.check})", file=sys.stderr)
         return 0
     if args.experiment == "bench-sweep":
-        payload = bench_sweep.run_sweep_bench(
-            workloads=workloads,
-            n_insts=args.insts,
-            jobs=bench_sweep.SWEEP_JOBS if args.jobs is None else args.jobs,
-            repeats=2 if args.repeats is None else args.repeats,
-            quick=args.quick,
-            progress=None if args.quiet else _progress,
-            trace_cache_dir=args.trace_cache_dir,
-        )
+        with contextlib.ExitStack() as stack:
+            payload = bench_sweep.run_sweep_bench(
+                workloads=workloads,
+                n_insts=args.insts,
+                jobs=bench_sweep.SWEEP_JOBS if args.jobs is None else args.jobs,
+                repeats=2 if args.repeats is None else args.repeats,
+                quick=args.quick,
+                progress=None if args.quiet else _progress,
+                trace_cache_dir=args.trace_cache_dir,
+                remote_workers=_resolve_remote_workers(
+                    args.remote_workers, stack, args.trace_cache_dir
+                ),
+            )
         emit_benchmark(
             payload,
             bench_sweep.render_sweep_bench,
@@ -284,22 +361,39 @@ def main(argv: list[str] | None = None) -> int:
         # keep worker-side decoded-trace memos warm across the figures.
         parallel = args.jobs is not None and args.jobs > 1
         pool_scope = "session" if args.experiment == "all" and parallel else "sweep"
-    backend = make_backend(args.jobs, trace_cache=trace_cache, pool_scope=pool_scope)
     store = ResultStore(args.cache_dir) if args.cache_dir else None
+    if store is not None:
+        # A --cache-dir also persists *scheduling knowledge*: the session
+        # cost model starts from the rates previous sessions measured, so
+        # batch chunking and remote dispatch are balanced from the first
+        # sweep, and what this session learns is saved back below.
+        session_cost_model().load_from(store.cost_model_path)
     results: dict[str, FigureResult] = {}
     try:
-        for name in names:
-            results[name] = run_experiment(
-                name,
-                benchmarks,
-                args.insts,
-                args.quiet,
-                backend=backend,
-                store=store,
-                render=args.json != "-",
+        with contextlib.ExitStack() as stack:
+            remote = _resolve_remote_workers(
+                args.remote_workers, stack, args.trace_cache_dir
             )
+            if remote is not None:
+                backend = RemoteBackend(remote, trace_cache=trace_cache)
+            else:
+                backend = make_backend(
+                    args.jobs, trace_cache=trace_cache, pool_scope=pool_scope
+                )
+            for name in names:
+                results[name] = run_experiment(
+                    name,
+                    benchmarks,
+                    args.insts,
+                    args.quiet,
+                    backend=backend,
+                    store=store,
+                    render=args.json != "-",
+                )
     finally:
         shutdown_session_pools()
+        if store is not None:
+            session_cost_model().save(store.cost_model_path)
     if args.json is not None:
         payload = json.dumps(
             {name: result.to_dict() for name, result in results.items()}, indent=1

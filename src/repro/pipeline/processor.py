@@ -146,6 +146,7 @@ class Processor:
         "_worked",
         "_stall_note",
         "_event_heap",
+        "_wake_cause",
         # flat trace columns (hot-loop flattening; see ColumnTrace.hot)
         "_m_pc",
         "_m_dst",
@@ -280,6 +281,9 @@ class Processor:
         self._skip_ahead = skip_ahead
         self._worked = False
         self._stall_note: str | None = None
+        #: Which `_next_event_cycle` candidate ended the most recent
+        #: quiescent stretch (feeds `SimStats.wakeup_causes`).
+        self._wake_cause = "watchdog"
         #: Min-heap of cycles with scheduled completion events (one entry
         #: per distinct cycle), consumed lazily by the skip-ahead scan.
         self._event_heap: list[int] = []
@@ -511,7 +515,10 @@ class Processor:
                 # account the counters and jump the clock.
                 limit = self._next_event_cycle(watchdog, inval) - 1
                 if max_cycles is not None and limit > max_cycles:
+                    # The cap, not the scanned event, is what actually ends
+                    # this jump -- attribute the wake-up accordingly.
                     limit = max_cycles
+                    self._wake_cause = "max_cycles"
                 n = limit - cycle
                 if n > 0:
                     stats = self.stats
@@ -524,6 +531,11 @@ class Processor:
                     note = self._stall_note
                     if note is not None:
                         stats.dispatch_stalls[note] += n
+                    stats.skip_jumps += 1
+                    stats.skipped_cycles += n
+                    cause = self._wake_cause
+                    causes = stats.wakeup_causes
+                    causes[cause] = causes.get(cause, 0) + 1
                     self.cycle = limit
         self.stats.cycles = self.cycle - self._warmup_cycle
         if self.svw is not None:
@@ -548,11 +560,13 @@ class Processor:
         """
         cycle = self.cycle
         nxt = self._last_commit_cycle + watchdog + 1
+        cause = "watchdog"
         heap = self._event_heap
         while heap and heap[0] <= cycle:
             heappop(heap)
         if heap and heap[0] < nxt:
             nxt = heap[0]
+            cause = "completion"
         rob = self.rob
         if rob:
             head = rob[0]
@@ -560,9 +574,11 @@ class Processor:
                 horizon = head.complete_cycle + self._commit_depth
                 if cycle < horizon < nxt:
                     nxt = horizon
+                    cause = "commit"
         busy = self._rex_port_busy_until
         if cycle < busy < nxt:
             nxt = busy
+            cause = "rex_port"
         if self.config.rex_mode is RexMode.REEXECUTE:
             # IN_FLIGHT entries only exist ahead of the first incomplete
             # entry (the re-execution pipe is in-order), so the scan is
@@ -574,13 +590,17 @@ class Processor:
                     done_cycle = entry.rex_done_cycle
                     if cycle < done_cycle < nxt:
                         nxt = done_cycle
+                        cause = "rex_inflight"
         resume = self.fetch_resume
         if cycle < resume < nxt:
             nxt = resume
+            cause = "fetch_resume"
         if inval:
             tick = cycle - cycle % inval + inval
             if tick < nxt:
                 nxt = tick
+                cause = "invalidation"
+        self._wake_cause = cause
         return nxt
 
     # ------------------------------------------------------------------ complete

@@ -66,6 +66,17 @@ class SimStats:
     serialization_stalls: int = 0
     dispatch_stalls: dict[str, int] = field(default_factory=dict)
 
+    # -- scheduler observability (excluded from the fingerprint) ----------------------
+    #: Idle-cycle jumps the skip-ahead scheduler took.
+    skip_jumps: int = 0
+    #: Total cycles those jumps covered (the simulated-but-not-stepped work).
+    skipped_cycles: int = 0
+    #: What ended each jump: wake-up cause -> jump count.  Causes are the
+    #: candidates of ``Processor._next_event_cycle`` (completion, commit,
+    #: rex_port, rex_inflight, fetch_resume, invalidation, watchdog) plus
+    #: ``max_cycles`` for jumps truncated by a ``run(max_cycles=...)`` cap.
+    wakeup_causes: dict[str, int] = field(default_factory=dict)
+
     # -- derived ------------------------------------------------------------------------------
 
     @property
@@ -92,19 +103,44 @@ class SimStats:
         return (self.eliminated_reuse + self.eliminated_bypass) / self.committed_loads
 
     def to_dict(self) -> dict[str, object]:
-        """JSON-friendly form; round-trips through :meth:`from_dict`."""
-        return asdict(self)
+        """JSON-friendly form; round-trips through :meth:`from_dict`.
+
+        Counter mappings are emitted key-sorted so the encoding is
+        canonical regardless of increment order -- a run that crossed the
+        remote wire (whose JSON frames sort keys) serializes byte-identical
+        to the in-process run.  Fingerprints never depended on the order
+        (:func:`~repro.fingerprint.stable_digest` canonicalizes again).
+        """
+        payload = asdict(self)
+        payload["dispatch_stalls"] = dict(sorted(self.dispatch_stalls.items()))
+        payload["wakeup_causes"] = dict(sorted(self.wakeup_causes.items()))
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict[str, object]) -> "SimStats":
         payload = dict(payload)
         payload["dispatch_stalls"] = dict(payload.get("dispatch_stalls") or {})
+        payload["wakeup_causes"] = dict(payload.get("wakeup_causes") or {})
         return cls(**payload)  # type: ignore[arg-type]
 
+    #: Counters that describe the *scheduler*, not the simulated machine:
+    #: they differ between ``skip_ahead`` on and off (and between skip
+    #: implementations) while the architectural outcome is identical, so
+    #: the fingerprint -- whose contract is "bit-identical machine
+    #: behaviour" across backends, PRs, and snapshots -- must not see them.
+    OBSERVABILITY_FIELDS = frozenset(
+        {"skip_jumps", "skipped_cycles", "wakeup_causes"}
+    )
+
     def fingerprint(self) -> str:
-        """Stable digest of every counter (used by equivalence tests and the
-        result cache to assert bit-identical simulation outcomes)."""
-        return stable_digest(self.to_dict())
+        """Stable digest of every architectural counter (used by equivalence
+        tests and the result cache to assert bit-identical simulation
+        outcomes).  Scheduler-observability counters are excluded -- see
+        :data:`OBSERVABILITY_FIELDS`."""
+        payload = self.to_dict()
+        for name in self.OBSERVABILITY_FIELDS:
+            payload.pop(name, None)
+        return stable_digest(payload)
 
     def note_dispatch_stall(self, reason: str) -> None:
         self.dispatch_stalls[reason] = self.dispatch_stalls.get(reason, 0) + 1
@@ -118,6 +154,15 @@ class SimStats:
             f"  flushes={self.flushes} (rex={self.rex_failures}, "
             f"ordering={self.ordering_flushes}, mispredicts={self.branch_mispredicts})",
         ]
+        if self.skip_jumps:
+            causes = ", ".join(
+                f"{cause}={count}"
+                for cause, count in sorted(self.wakeup_causes.items())
+            )
+            lines.append(
+                f"  skip-ahead: {self.skipped_cycles} cycles in "
+                f"{self.skip_jumps} jumps (wake-ups: {causes})"
+            )
         return "\n".join(lines)
 
 

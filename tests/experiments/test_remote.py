@@ -1,0 +1,307 @@
+"""The remote execution backend: wire protocol, worker agents, fault
+tolerance, and -- above all -- bit-identical equivalence to
+:class:`~repro.experiments.backends.SerialBackend`."""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+import pytest
+
+from repro.experiments import (
+    CellExecutionError,
+    CostModel,
+    RemoteBackend,
+    SerialBackend,
+    WorkerAgent,
+    matrix_spec,
+)
+from repro.experiments.remote import (
+    FRAME_JSON,
+    FRAME_TRACE,
+    PROTOCOL_VERSION,
+    RemoteProtocolError,
+    parse_worker,
+    recv_frame,
+    recv_json,
+    send_frame,
+    send_json,
+)
+from repro.harness.configs import fig5_configs
+from repro.workloads.trace_cache import TraceCache
+
+INSTS = 1500
+
+
+def small_spec(name="remote-test", workloads=("gcc", "vortex"), n_configs=3):
+    configs = dict(list(fig5_configs().items())[:n_configs])
+    return matrix_spec(name, configs, list(workloads), n_insts=INSTS)
+
+
+@pytest.fixture(scope="module")
+def requests():
+    return small_spec().cells()
+
+
+@pytest.fixture(scope="module")
+def serial_fingerprints(requests):
+    return [s.fingerprint() for s in SerialBackend().run(requests)]
+
+
+class TestFraming:
+    def test_round_trip(self):
+        left, right = socket.socketpair()
+        with left, right:
+            send_frame(left, FRAME_TRACE, b"\x00\x01payload")
+            send_json(left, {"type": "hello", "protocol": PROTOCOL_VERSION})
+            kind, payload = recv_frame(right)
+            assert (kind, payload) == (FRAME_TRACE, b"\x00\x01payload")
+            assert recv_json(right)["protocol"] == PROTOCOL_VERSION
+
+    def test_unknown_kind_rejected(self):
+        left, right = socket.socketpair()
+        with left, right:
+            left.sendall(b"X\x00\x00\x00\x01z")
+            with pytest.raises(RemoteProtocolError, match="frame kind"):
+                recv_frame(right)
+
+    def test_truncated_stream_is_connection_error(self):
+        left, right = socket.socketpair()
+        with right:
+            left.sendall(b"J\x00\x00\x00\x10partial")
+            left.close()
+            with pytest.raises(ConnectionError):
+                recv_frame(right)
+
+    def test_trace_frame_where_json_expected(self):
+        left, right = socket.socketpair()
+        with left, right:
+            send_frame(left, FRAME_TRACE, b"bytes")
+            with pytest.raises(RemoteProtocolError, match="JSON"):
+                recv_json(right)
+
+    def test_parse_worker(self):
+        assert parse_worker("10.0.0.1:7501") == ("10.0.0.1", 7501)
+        for bad in ("nohost", "host:", ":7501", "host:port"):
+            with pytest.raises(ValueError):
+                parse_worker(bad)
+
+    def test_resolve_worker_fleet_validates_up_front(self):
+        import contextlib
+
+        from repro.experiments.remote import resolve_worker_fleet
+
+        with contextlib.ExitStack() as stack:
+            assert resolve_worker_fleet(None, stack) is None
+            assert resolve_worker_fleet("a:1, b:2", stack) == ["a:1", "b:2"]
+            for bad in (",", "", "host-no-port", "a:1,malformed"):
+                with pytest.raises(ValueError):
+                    resolve_worker_fleet(bad, stack)
+
+
+class TestEquivalence:
+    def test_two_workers_bit_identical_to_serial(self, requests, serial_fingerprints):
+        with WorkerAgent() as a, WorkerAgent() as b:
+            stats = RemoteBackend([a.address, b.address]).run(requests)
+            assert [s.fingerprint() for s in stats] == serial_fingerprints
+            # Both agents actually participated and every cell ran somewhere.
+            assert a.jobs_done > 0 and b.jobs_done > 0
+            assert a.jobs_done + b.jobs_done == len(requests)
+
+    def test_single_worker(self, requests, serial_fingerprints):
+        with WorkerAgent() as agent:
+            stats = RemoteBackend([agent.address]).run(requests)
+            assert [s.fingerprint() for s in stats] == serial_fingerprints
+            assert agent.jobs_done == len(requests)
+
+    def test_results_positionally_aligned(self, requests):
+        with WorkerAgent() as agent:
+            stats = RemoteBackend([agent.address]).run(requests)
+        for request, cell_stats in zip(requests, stats):
+            assert cell_stats.workload == request.workload.name
+            assert cell_stats.config_name == request.config.name
+
+
+class TestHostTraceCache:
+    def test_trace_bytes_sent_only_on_miss(self, requests):
+        with WorkerAgent() as agent:
+            backend = RemoteBackend([agent.address])
+            backend.run(requests)
+            # Two workloads -> two wire fetches, however many cells ran.
+            assert agent.trace_misses == 2
+            backend.run(requests)
+            # Second sweep: the decoded memo answers, nothing re-sent.
+            assert agent.trace_misses == 2
+
+    def test_disk_cache_survives_memo_and_agent(self, tmp_path, requests):
+        cache_dir = tmp_path / "host-cache"
+        with WorkerAgent(trace_cache=TraceCache(cache_dir)) as agent:
+            RemoteBackend([agent.address]).run(requests)
+            assert agent.trace_misses == 2
+            assert len(TraceCache(cache_dir)) == 2
+        # A fresh agent on the same host: cold memo, warm disk -> no wire.
+        with WorkerAgent(trace_cache=TraceCache(cache_dir)) as reborn:
+            RemoteBackend([reborn.address]).run(requests)
+            assert reborn.trace_misses == 0
+
+    def test_poisoned_host_cache_is_detected_and_healed(self, tmp_path):
+        """A host cache entry whose bytes are not the trace the key names
+        (version skew, corruption, a bad peer) must be refetched -- the
+        client pins the content digest whenever it knows the bytes."""
+        from repro.experiments.traces import workload_key
+        from repro.isa.codec import encode_trace
+        from repro.workloads.spec2000 import spec_profile
+        from repro.workloads.synthetic import generate_trace
+
+        spec = small_spec(workloads=("gcc",), n_configs=2)
+        cells = spec.cells()
+        client_cache = TraceCache(tmp_path / "client")
+        # Fills the client's trace cache with the true bytes as it runs.
+        serial = [
+            s.fingerprint()
+            for s in SerialBackend(trace_cache=client_cache).run(cells)
+        ]
+        host_cache = TraceCache(tmp_path / "host")
+        wrong = encode_trace(generate_trace(spec_profile("vortex"), INSTS))
+        host_cache.save(workload_key(cells[0].workload, cells[0].n_insts), wrong)
+        with WorkerAgent(trace_cache=host_cache) as agent:
+            backend = RemoteBackend([agent.address], trace_cache=client_cache)
+            stats = backend.run(cells)
+            assert [s.fingerprint() for s in stats] == serial
+            assert agent.trace_misses == 1  # the poisoned entry was refetched
+
+    def test_client_provider_generates_each_workload_once(self, requests):
+        with WorkerAgent() as a, WorkerAgent() as b:
+            backend = RemoteBackend([a.address, b.address])
+            backend.run(requests)
+            assert backend.last_provider is not None
+            assert backend.last_provider.generations == 2
+
+
+class TestFaultTolerance:
+    def test_killed_worker_redispatches_and_completes(
+        self, requests, serial_fingerprints
+    ):
+        # The chaotic agent dies (connection severed, no goodbye) after two
+        # results; its in-flight cell must re-run elsewhere, identically.
+        with WorkerAgent(drop_after=2) as chaotic, WorkerAgent() as healthy:
+            stats = RemoteBackend([chaotic.address, healthy.address]).run(requests)
+            assert [s.fingerprint() for s in stats] == serial_fingerprints
+            assert chaotic.jobs_done == 2
+            assert healthy.jobs_done == len(requests) - 2
+
+    def test_kill_with_drained_queue_still_redispatches(self):
+        """Regression: with as many cells as workers the queue drains
+        instantly, so when one worker dies its re-queued cell appears
+        *after* every other worker saw an empty queue -- idle workers must
+        wait for in-flight peers instead of exiting, or the cell strands."""
+        spec = small_spec(workloads=("gcc",), n_configs=2)
+        cells = spec.cells()
+        serial = [s.fingerprint() for s in SerialBackend().run(cells)]
+        with WorkerAgent(drop_after=0) as doomed, WorkerAgent() as healthy:
+            stats = RemoteBackend([doomed.address, healthy.address]).run(cells)
+            assert [s.fingerprint() for s in stats] == serial
+            assert healthy.jobs_done == len(cells)
+            assert doomed.jobs_done == 0
+
+    def test_all_workers_lost_raises(self, requests):
+        with WorkerAgent(drop_after=0) as doomed:
+            with pytest.raises(CellExecutionError, match="unfinished"):
+                RemoteBackend([doomed.address]).run(requests)
+
+    def test_unreachable_worker_raises(self, requests):
+        # Port 1 is never listening; connect fails, no worker remains.
+        with pytest.raises(CellExecutionError, match="unfinished"):
+            RemoteBackend(["127.0.0.1:1"], connect_timeout=0.5).run(requests)
+
+    def test_unreachable_worker_tolerated_beside_live_one(
+        self, requests, serial_fingerprints
+    ):
+        with WorkerAgent() as agent:
+            backend = RemoteBackend([agent.address, "127.0.0.1:1"], connect_timeout=0.5)
+            stats = backend.run(requests)
+            assert [s.fingerprint() for s in stats] == serial_fingerprints
+
+    def test_deterministic_cell_failure_not_retried(self):
+        # warmup > n_insts makes SimStats impossible? No -- use a config
+        # whose watchdog trips instantly: watchdog_cycles is validated
+        # nowhere, and a 0-cycle watchdog aborts the first cycle.
+        configs = {"bad": fig5_configs()["baseline"].derive("bad", watchdog_cycles=0)}
+        spec = matrix_spec("doomed", configs, ["gcc"], n_insts=INSTS, baseline="bad")
+        with WorkerAgent() as agent:
+            with pytest.raises(CellExecutionError, match="doomed: gcc / bad"):
+                RemoteBackend([agent.address]).run(spec.cells())
+            # The agent survives a failing cell and serves the next sweep.
+            good = small_spec(workloads=("gcc",), n_configs=1).cells()
+            stats = RemoteBackend([agent.address]).run(good)[0]
+            assert stats.committed == INSTS - good[0].warmup
+
+    def test_empty_request_list(self):
+        with WorkerAgent() as agent:
+            assert RemoteBackend([agent.address]).run([]) == []
+
+
+class TestProtocolRobustness:
+    def test_garbage_client_does_not_kill_agent(self, requests):
+        with WorkerAgent() as agent:
+            host, port = parse_worker(agent.address)
+            with socket.create_connection((host, port)) as conn:
+                conn.sendall(b"not a frame at all")
+            stats = RemoteBackend([agent.address]).run(requests[:1])
+            assert stats[0].committed == INSTS - requests[0].warmup
+
+    def test_hello_mismatch_rejected(self):
+        with WorkerAgent() as agent:
+            host, port = parse_worker(agent.address)
+            with socket.create_connection((host, port)) as conn:
+                send_json(conn, {"type": "hello", "protocol": 999})
+                # Agent drops the connection without a hello back.
+                with pytest.raises((ConnectionError, RemoteProtocolError)):
+                    recv_json(conn)
+
+    def test_backend_rejects_bad_addresses_up_front(self):
+        with pytest.raises(ValueError):
+            RemoteBackend([])
+        with pytest.raises(ValueError):
+            RemoteBackend(["malformed"])
+
+
+class TestScheduling:
+    def test_cost_model_learns_from_remote_timings(self, requests):
+        model = CostModel()
+        baseline_weight = model.weight(requests[0].config)
+        with WorkerAgent() as agent:
+            RemoteBackend([agent.address], cost_model=model).run(requests)
+        # After a sweep the model has measured rates for every config, so
+        # weights are now data-driven (normalized around 1.0), not the
+        # static heuristic.
+        assert model.to_dict()["rates"]
+        assert model.weight(requests[0].config) != baseline_weight or (
+            abs(model.weight(requests[0].config) - 1.0) < 0.5
+        )
+
+    def test_agent_requires_positive_slots(self):
+        with pytest.raises(ValueError):
+            WorkerAgent(slots=0)
+
+
+class TestConcurrentClients:
+    def test_two_backends_share_one_agent(self, requests, serial_fingerprints):
+        with WorkerAgent() as agent:
+            outcome: dict[str, list] = {}
+
+            def sweep(label: str) -> None:
+                stats = RemoteBackend([agent.address]).run(requests)
+                outcome[label] = [s.fingerprint() for s in stats]
+
+            threads = [
+                threading.Thread(target=sweep, args=(label,)) for label in ("a", "b")
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert outcome["a"] == serial_fingerprints
+            assert outcome["b"] == serial_fingerprints
+            assert agent.connections_served >= 2

@@ -1,0 +1,211 @@
+"""``ResultStore.merge``: content-addressed folding of remote results,
+plus cost-model persistence next to the store."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import ioutil
+from repro.experiments import (
+    CostModel,
+    MergeReport,
+    ResultMergeError,
+    ResultStore,
+    SerialBackend,
+    matrix_spec,
+)
+from repro.harness.configs import fig5_configs
+
+INSTS = 1200
+
+
+def two_cell_spec(name="merge-test"):
+    configs = dict(list(fig5_configs().items())[:2])
+    return matrix_spec(name, configs, ["gcc"], n_insts=INSTS)
+
+
+@pytest.fixture(scope="module")
+def cells_and_stats():
+    requests = two_cell_spec().cells()
+    return requests, SerialBackend().run(requests)
+
+
+def filled_store(root, requests, stats) -> ResultStore:
+    store = ResultStore(root)
+    for request, cell_stats in zip(requests, stats):
+        store.save(request, cell_stats)
+    return store
+
+
+class TestMerge:
+    def test_disjoint_merge_copies_everything(self, tmp_path, cells_and_stats):
+        requests, stats = cells_and_stats
+        remote = filled_store(tmp_path / "remote", requests, stats)
+        local = ResultStore(tmp_path / "local")
+        report = local.merge(remote)
+        assert (report.merged, report.identical, report.invalid) == (2, 0, 0)
+        assert len(local) == 2
+        for request, cell_stats in zip(requests, stats):
+            loaded = local.load(request)
+            assert loaded is not None
+            assert loaded.fingerprint() == cell_stats.fingerprint()
+
+    def test_overlapping_identical_addresses_skipped(self, tmp_path, cells_and_stats):
+        requests, stats = cells_and_stats
+        remote = filled_store(tmp_path / "remote", requests, stats)
+        local = filled_store(tmp_path / "local", requests[:1], stats[:1])
+        report = local.merge(remote)
+        assert (report.merged, report.identical) == (1, 1)
+        assert len(local) == 2
+
+    def test_merge_accepts_a_bare_path(self, tmp_path, cells_and_stats):
+        requests, stats = cells_and_stats
+        filled_store(tmp_path / "remote", requests, stats)
+        local = ResultStore(tmp_path / "local")
+        assert local.merge(tmp_path / "remote").merged == 2
+
+    def test_conflicting_payload_raises(self, tmp_path, cells_and_stats):
+        requests, stats = cells_and_stats
+        remote = filled_store(tmp_path / "remote", requests[:1], stats[:1])
+        local = filled_store(tmp_path / "local", requests[:1], stats[:1])
+        # Corrupt the remote copy's *content* at the same address.
+        path = remote.path_for(requests[0])
+        payload = json.loads(path.read_text())
+        payload["stats"]["committed"] += 1
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ResultMergeError, match="conflicting results"):
+            local.merge(remote)
+
+    def test_observability_counters_do_not_conflict(self, tmp_path, cells_and_stats):
+        requests, stats = cells_and_stats
+        remote = filled_store(tmp_path / "remote", requests[:1], stats[:1])
+        local = filled_store(tmp_path / "local", requests[:1], stats[:1])
+        # Same architectural result, different scheduler observability
+        # (e.g. the remote host ran with skip-ahead disabled).
+        path = remote.path_for(requests[0])
+        payload = json.loads(path.read_text())
+        payload["stats"]["skipped_cycles"] = 0
+        payload["stats"]["skip_jumps"] = 0
+        payload["stats"]["wakeup_causes"] = {}
+        path.write_text(json.dumps(payload))
+        report = local.merge(remote)
+        assert report.identical == 1
+
+    def test_invalid_source_entries_skipped(self, tmp_path, cells_and_stats):
+        requests, stats = cells_and_stats
+        remote = filled_store(tmp_path / "remote", requests, stats)
+        (remote.root / ("a" * 64 + ".json")).write_text("{torn")
+        (remote.root / ("b" * 64 + ".json")).write_text(
+            json.dumps({"schema": 999, "stats": {}})
+        )
+        local = ResultStore(tmp_path / "local")
+        report = local.merge(remote)
+        assert (report.merged, report.invalid) == (2, 2)
+
+    def test_missing_source_raises_instead_of_creating_it(self, tmp_path):
+        local = ResultStore(tmp_path / "local")
+        with pytest.raises(FileNotFoundError, match="not a directory"):
+            local.merge(tmp_path / "typo")
+        assert not (tmp_path / "typo").exists()
+
+    def test_self_merge_is_a_no_op(self, tmp_path, cells_and_stats):
+        requests, stats = cells_and_stats
+        store = filled_store(tmp_path / "store", requests, stats)
+        assert store.merge(store) == MergeReport()
+        assert store.merge(tmp_path / "store") == MergeReport()
+        assert len(store) == 2
+
+    def test_merge_repairs_local_corruption(self, tmp_path, cells_and_stats):
+        requests, stats = cells_and_stats
+        remote = filled_store(tmp_path / "remote", requests[:1], stats[:1])
+        local = filled_store(tmp_path / "local", requests[:1], stats[:1])
+        local.path_for(requests[0]).write_text("{half a payl")
+        assert local.merge(remote).merged == 1
+        assert local.load(requests[0]) is not None
+
+    def test_crash_mid_merge_leaves_no_torn_cells(
+        self, tmp_path, cells_and_stats, monkeypatch
+    ):
+        """A merge interrupted mid-write leaves either the whole cell or no
+        cell -- the atomic-write contract under a simulated crash."""
+        requests, stats = cells_and_stats
+        remote = filled_store(tmp_path / "remote", requests, stats)
+        local = ResultStore(tmp_path / "local")
+
+        real_replace = ioutil.os.replace
+        calls = {"n": 0}
+
+        def crashing_replace(src, dst):
+            calls["n"] += 1
+            if calls["n"] == 2:
+                raise OSError("simulated crash at the rename")
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(ioutil.os, "replace", crashing_replace)
+        with pytest.raises(OSError, match="simulated crash"):
+            local.merge(remote)
+        monkeypatch.undo()
+        # First cell landed whole; second landed not at all (no tmp debris,
+        # no torn JSON), and re-merging finishes the job.
+        assert len(local) == 1
+        for path in local.root.iterdir():
+            json.loads(path.read_text())  # every surviving file parses
+        report = local.merge(remote)
+        assert (report.merged, report.identical) == (1, 1)
+        assert len(local) == 2
+
+
+class TestStoreHygiene:
+    def test_cost_model_file_is_not_a_cell(self, tmp_path, cells_and_stats):
+        requests, stats = cells_and_stats
+        store = filled_store(tmp_path / "store", requests, stats)
+        CostModel().save(store.cost_model_path)
+        assert len(store) == 2  # auxiliary files are not cells
+        other = ResultStore(tmp_path / "other")
+        assert other.merge(store).merged == 2
+        assert not (other.root / "cost_model.json").exists()
+
+
+class TestCostModelPersistence:
+    def test_round_trip(self, tmp_path, cells_and_stats):
+        requests, _ = cells_and_stats
+        model = CostModel()
+        model.observe(requests[0].config, 10_000, 0.5)
+        model.observe(requests[1].config, 10_000, 1.5)
+        path = tmp_path / "cost_model.json"
+        model.save(path)
+        reloaded = CostModel()
+        assert reloaded.load_from(path)
+        assert reloaded.to_dict() == model.to_dict()
+        assert reloaded.weight(requests[1].config) > reloaded.weight(
+            requests[0].config
+        )
+
+    def test_memory_beats_disk_on_overlap(self, tmp_path, cells_and_stats):
+        requests, _ = cells_and_stats
+        stale = CostModel()
+        stale.observe(requests[0].config, 10_000, 9.0)
+        stale.save(tmp_path / "m.json")
+        fresh = CostModel()
+        fresh.observe(requests[0].config, 10_000, 1.0)
+        fresh.load_from(tmp_path / "m.json")
+        assert fresh.to_dict()["rates"][requests[0].config.name] == pytest.approx(
+            1.0 / 10_000
+        )
+
+    @pytest.mark.parametrize(
+        "content",
+        ["", "{not json", json.dumps({"schema": 999, "rates": {}}),
+         json.dumps({"schema": 1, "rates": "bogus"}), json.dumps([1, 2])],
+    )
+    def test_bad_files_are_cold_starts(self, tmp_path, content):
+        path = tmp_path / "m.json"
+        path.write_text(content)
+        model = CostModel()
+        assert not model.load_from(path)
+        assert model.to_dict()["rates"] == {}
+
+    def test_missing_file_is_cold_start(self, tmp_path):
+        assert not CostModel().load_from(tmp_path / "absent.json")

@@ -83,6 +83,56 @@ def test_load_rejects_other_schemas(tmp_path):
         load_sweep_bench(str(path))
 
 
+class TestRemoteMode:
+    def test_remote_mode_is_fingerprint_checked_and_identical(self):
+        from repro.experiments import WorkerAgent
+
+        with WorkerAgent() as a, WorkerAgent() as b:
+            payload = run_sweep_bench(
+                workloads=["gcc"],
+                n_insts=1200,
+                jobs=2,
+                repeats=1,
+                remote_workers=[a.address, b.address],
+            )
+        assert set(payload["modes"]) == set(MODE_ORDER) | {"remote"}
+        assert payload["equivalence"]["identical"], payload["equivalence"]
+        assert payload["remote_workers"] == [a.address, b.address]
+        assert payload["speedups"]["remote_vs_serial"] > 0
+        rendered = render_sweep_bench(payload)
+        assert "remote" in rendered
+        assert "bit-identical" in rendered
+
+    def test_without_workers_no_remote_mode(self, tiny_payload):
+        assert "remote" not in tiny_payload["modes"]
+        assert "remote_vs_serial" not in tiny_payload["speedups"]
+        assert tiny_payload["remote_workers"] == []
+
+
+class TestSkipObservability:
+    def test_bench_rows_carry_skip_counters(self):
+        from repro.harness.bench import render_bench
+
+        payload = run_bench(workloads=["gcc"], n_insts=1000, repeats=1, lsus=["nlq"])
+        row = payload["results"][0]
+        assert row["skip_jumps"] > 0
+        assert row["skipped_cycles"] >= row["skip_jumps"]
+        assert sum(row["wakeup_causes"].values()) == row["skip_jumps"]
+        rendered = render_bench(payload)
+        assert "skip%" in rendered
+        assert "skip-ahead:" in rendered
+
+    def test_render_tolerates_pre_skip_snapshots(self):
+        from repro.harness.bench import render_bench
+
+        payload = run_bench(workloads=["gcc"], n_insts=1000, repeats=1, lsus=["nlq"])
+        for row in payload["results"]:
+            for key in ("skip_jumps", "skipped_cycles", "wakeup_causes"):
+                del row[key]
+        rendered = render_bench(payload)
+        assert "skip-ahead:" not in rendered
+
+
 class TestBenchFilters:
     def test_lsus_filter_narrows_matrix(self):
         payload = run_bench(workloads=["gcc"], n_insts=1000, repeats=1, lsus=["nlq"])

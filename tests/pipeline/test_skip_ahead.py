@@ -138,6 +138,64 @@ def test_skip_ahead_drain_into_empty_rob(small_gcc_trace):
     assert fast.fingerprint() == slow.fingerprint()
 
 
+class TestCoverageReport:
+    """The skip-ahead coverage counters: observability without identity."""
+
+    def test_counters_populate_and_stay_out_of_the_fingerprint(
+        self, small_gcc_trace
+    ):
+        config = CASES["nlq-reexecute-svw"]
+        fast = Processor(config, small_gcc_trace, validate=True).run()
+        slow = Processor(
+            config, small_gcc_trace, validate=True, skip_ahead=False
+        ).run()
+        # The scheduler visibly worked...
+        assert fast.skip_jumps > 0
+        assert fast.skipped_cycles >= fast.skip_jumps
+        assert sum(fast.wakeup_causes.values()) == fast.skip_jumps
+        assert set(fast.wakeup_causes) <= {
+            "completion", "commit", "rex_port", "rex_inflight",
+            "fetch_resume", "invalidation", "watchdog", "max_cycles",
+        }
+        # ...the unskipped run records none of it...
+        assert (slow.skip_jumps, slow.skipped_cycles, slow.wakeup_causes) == (0, 0, {})
+        # ...and the fingerprint sees neither (bit-identity is architectural).
+        assert fast.fingerprint() == slow.fingerprint()
+
+    def test_counters_round_trip_through_dict(self, small_gcc_trace):
+        from repro.pipeline.stats import SimStats
+
+        stats = Processor(CASES["conventional-none"], small_gcc_trace).run()
+        clone = SimStats.from_dict(stats.to_dict())
+        assert clone == stats
+        assert clone.wakeup_causes == stats.wakeup_causes
+        # Pre-skip-report payloads (no observability keys) still load.
+        legacy = {
+            key: value
+            for key, value in stats.to_dict().items()
+            if key not in SimStats.OBSERVABILITY_FIELDS
+        }
+        revived = SimStats.from_dict(legacy)
+        assert revived.fingerprint() == stats.fingerprint()
+        assert revived.skip_jumps == 0
+
+    def test_max_cycles_clamp_is_its_own_cause(self, small_gcc_trace):
+        """A jump truncated by the run() cap is attributed to the cap, not
+        to the (never reached) event the scan found beyond it."""
+        truncated = 0
+        for cap in (500, 800, 1000, 2000, 3000):
+            stats = Processor(CASES["conventional-none"], small_gcc_trace).run(
+                max_cycles=cap
+            )
+            truncated += stats.wakeup_causes.get("max_cycles", 0)
+        assert truncated > 0
+
+    def test_summary_mentions_skip_coverage(self, small_gcc_trace):
+        stats = Processor(CASES["conventional-none"], small_gcc_trace).run()
+        assert "skip-ahead:" in stats.summary()
+        assert "wake-ups:" in stats.summary()
+
+
 def test_watchdog_is_configurable(small_gcc_trace):
     """The deadlock watchdog threshold is a MachineConfig field now."""
     assert CASES["conventional-none"].watchdog_cycles == 100_000
