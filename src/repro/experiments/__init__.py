@@ -34,8 +34,16 @@ The pieces:
 - :class:`RemoteBackend` / :class:`WorkerAgent` -- the same sweep fanned
   out to other hosts over the trace wire format (codec bytes + config
   ``to_dict`` JSON, nothing pickled), with host-level trace caching,
+  negotiated zlib compression, worker-side result memoization,
   cost-weighted longest-job-first dispatch, and re-dispatch on worker
   loss.  Start an agent with ``svw-repro worker``.
+- :class:`CampaignDaemon` / :class:`CampaignClient` /
+  :class:`CampaignBackend` -- sweeps as a service: a long-lived daemon
+  (``svw-repro campaignd``) takes concurrent submissions from many
+  clients, schedules their union across registered workers (heartbeats,
+  graceful drain), dedups overlapping cells by content address, and
+  journals campaigns so client reconnects and daemon restarts resume
+  without recomputing finished cells.
 - :class:`TraceProvider` -- per-sweep trace materialization: generation
   runs at most once per (workload, seed, budget), optionally backed by an
   on-disk :class:`~repro.workloads.trace_cache.TraceCache`.
@@ -59,6 +67,12 @@ from repro.experiments.backends import (
     submission_order,
 )
 from repro.experiments.batch import BatchRunner, CostModel, session_cost_model
+from repro.experiments.campaign import (
+    CampaignBackend,
+    CampaignClient,
+    CampaignDaemon,
+    CampaignError,
+)
 from repro.experiments.pool import shutdown_session_pools
 from repro.experiments.remote import RemoteBackend, WorkerAgent, local_worker_fleet
 from repro.experiments.results import FigureResult
@@ -78,6 +92,10 @@ from repro.experiments.store import MergeReport, ResultMergeError, ResultStore
 __all__ = [
     "DEFAULT_INSTS",
     "BatchRunner",
+    "CampaignBackend",
+    "CampaignClient",
+    "CampaignDaemon",
+    "CampaignError",
     "CellExecutionError",
     "CostModel",
     "ExecutionBackend",

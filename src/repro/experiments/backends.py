@@ -334,6 +334,7 @@ def make_backend(
     jobs: int | None,
     trace_cache: TraceCache | None = None,
     pool_scope: str = "sweep",
+    campaign: str | None = None,
 ) -> ExecutionBackend:
     """Backend for a ``--jobs`` setting: serial for 1/None, batched above.
 
@@ -341,8 +342,15 @@ def make_backend(
     (single-pass multi-config execution over shared traces); plain
     :class:`ProcessPoolBackend` remains available for callers that want
     cell-granular scheduling.  ``pool_scope="session"`` makes the batched
-    backend reuse one long-lived worker pool across runs.
+    backend reuse one long-lived worker pool across runs.  A ``campaign``
+    daemon address trumps ``jobs``: the sweep becomes a campaign
+    submission executed by the daemon's worker fleet
+    (:class:`~repro.experiments.campaign.CampaignBackend`).
     """
+    if campaign is not None:
+        from repro.experiments.campaign import CampaignBackend
+
+        return CampaignBackend(campaign)
     from repro.experiments.batch import BatchRunner
 
     if jobs is None or jobs <= 1:

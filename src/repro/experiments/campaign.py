@@ -1,0 +1,1309 @@
+"""Campaign control plane: sweeps as a service.
+
+:class:`~repro.experiments.remote.RemoteBackend` fans *one* sweep from
+*one* client across a static worker list.  This module is the layer the
+ROADMAP calls for above it: a long-lived **campaign daemon**
+(``svw-repro campaignd``) that takes sweep submissions from many
+concurrent clients, schedules their union across a dynamic worker fleet,
+and survives restarts on either side of the wire.
+
+Architecture
+------------
+
+Everything speaks the PR-5 wire format (length-prefixed ``J`` JSON /
+``T`` raw-codec / negotiated ``Z`` zlib frames; nothing pickled ever
+crosses a socket):
+
+- **Clients** connect with a ``hello`` and issue JSON requests:
+  ``submit`` (an :class:`~repro.experiments.spec.ExperimentSpec` payload,
+  or an explicit cell list), ``status``, ``results``, ``cancel``, and
+  ``stats`` (fleet/scheduler introspection).  The sync
+  :class:`CampaignClient` wraps this, and :class:`CampaignBackend` makes
+  the daemon the fourth execution backend -- bit-identical to
+  :class:`~repro.experiments.backends.SerialBackend` because the daemon
+  runs the same codec bytes through the same worker agents and the client
+  re-verifies every stats fingerprint.
+- **Workers** are ordinary ``svw-repro worker`` agents that additionally
+  ``register``: they dial the daemon, advertise their port, slots, and
+  capabilities (compression codecs), then heartbeat; the daemon dials
+  *back* with the ordinary job protocol, one connection per slot.  A
+  missed heartbeat deregisters the worker and re-queues its in-flight
+  cells; a ``drain`` request stops new assignments and answers
+  ``drained`` once in-flight cells finish.  Workers reconnect through
+  daemon restarts on their own.
+
+Scheduling is **cell-granular across campaigns**: every submission's
+cells land in one global table keyed by the
+:meth:`~repro.experiments.spec.RunRequest.fingerprint` content address,
+so two users sweeping overlapping grids pay for the union once -- an
+overlapping cell is simulated exactly once and its result fans out to
+every waiting campaign.  Dispatch is longest-expected-job-first under
+the persisted :class:`~repro.experiments.batch.CostModel`, exactly like
+the remote backend.
+
+Durability: with ``--cache-dir`` the daemon anchors a central
+:class:`~repro.experiments.store.ResultStore` (completed cells are
+persisted there the moment they arrive, and satisfied from there at
+submit time), journals each campaign as one atomic JSON file under
+``<cache-dir>/campaigns/``, and persists the cost model.  A restarted
+daemon replays the journal: finished cells hit the store, unfinished
+ones re-enter the queue, and reconnecting clients (or idempotent
+re-submissions -- campaign ids are content addresses of the submission)
+resume without recomputing anything.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.experiments.backends import CellExecutionError, ProgressFn
+from repro.experiments.remote import (
+    _HEADER,
+    FRAME_JSON,
+    FRAME_TRACE,
+    FRAME_ZTRACE,
+    PROTOCOL_VERSION,
+    SUPPORTED_COMPRESSION,
+    RemoteProtocolError,
+    build_job_message,
+    check_frame_header,
+    negotiated_zlib,
+    parse_worker,
+    recv_json,
+    send_json,
+)
+from repro.experiments.spec import ExperimentSpec, RunRequest
+from repro.experiments.store import ResultStore
+from repro.experiments.traces import TraceProvider, request_key
+from repro.fingerprint import stable_digest
+from repro.pipeline.stats import SimStats
+from repro.workloads.trace_cache import TraceCache
+
+#: Journal payload layout version.
+JOURNAL_SCHEMA = 1
+
+#: Campaign states a client can observe.
+TERMINAL_STATES = ("done", "failed", "cancelled")
+
+
+class CampaignError(RuntimeError):
+    """A campaign request failed (unknown id, malformed submission, ...)."""
+
+
+# ------------------------------------------------------------- asyncio framing
+# The daemon speaks the exact wire format of repro.experiments.remote, but
+# over asyncio streams; validation is shared via check_frame_header and the
+# same typed-JSON rules.
+
+
+async def _recv_frame_async(reader) -> tuple[bytes, bytes]:
+    import asyncio
+
+    try:
+        kind, length = _HEADER.unpack(await reader.readexactly(_HEADER.size))
+        check_frame_header(kind, length)
+        return kind, await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ConnectionError("connection closed mid-frame") from exc
+
+
+async def _recv_json_async(reader) -> dict:
+    kind, payload = await _recv_frame_async(reader)
+    if kind != FRAME_JSON:
+        raise RemoteProtocolError(f"expected a JSON frame, got kind {kind!r}")
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise RemoteProtocolError(f"undecodable JSON frame: {exc}") from exc
+    if not isinstance(message, dict) or "type" not in message:
+        raise RemoteProtocolError("JSON frame is not a typed object")
+    return message
+
+
+async def _send_frame_async(writer, kind: bytes, payload: bytes) -> None:
+    writer.write(_HEADER.pack(kind, len(payload)) + payload)
+    await writer.drain()
+
+
+async def _send_json_async(writer, message: dict) -> None:
+    await _send_frame_async(
+        writer, FRAME_JSON, json.dumps(message, sort_keys=True).encode("utf-8")
+    )
+
+
+async def _send_trace_async(writer, data: bytes, compress: bool) -> None:
+    if compress:
+        import zlib
+
+        await _send_frame_async(writer, FRAME_ZTRACE, zlib.compress(data, level=1))
+    else:
+        await _send_frame_async(writer, FRAME_TRACE, data)
+
+
+# ------------------------------------------------------------- daemon state
+
+
+@dataclass
+class _Cell:
+    """One unique (config, workload, budget) cell across all campaigns."""
+
+    fingerprint: str
+    request: RunRequest
+    payload: dict
+    status: str = "pending"  # pending | in_flight | done | failed
+    campaigns: set[str] = field(default_factory=set)
+    attempts: int = 0
+    error: str | None = None
+    stats_payload: dict | None = None
+    stats_fingerprint: str | None = None
+
+
+@dataclass
+class _Campaign:
+    """One submission: an ordered view over shared cells."""
+
+    id: str
+    name: str
+    fingerprints: list[str]
+    cell_payloads: list[dict]
+    remaining: set[str] = field(default_factory=set)
+    status: str = "running"
+    error: str | None = None
+
+
+@dataclass
+class _Worker:
+    """One registered agent (the daemon dials back for jobs)."""
+
+    id: str
+    host: str
+    port: int
+    slots: int
+    compress: list[str]
+    last_seen: float = 0.0
+    draining: bool = False
+    dead: bool = False
+    in_flight: int = 0
+    jobs_done: int = 0
+    tasks: list = field(default_factory=list)
+    job_writers: list = field(default_factory=list)
+
+
+class _CellFailed(Exception):
+    """A worker answered with a deterministic error frame for a cell."""
+
+
+def campaign_id_for(name: str, fingerprints: Sequence[str]) -> str:
+    """Campaign ids are content addresses of the submission itself, so a
+    client that resubmits after a lost connection (or a daemon restart)
+    attaches to the same campaign instead of forking a duplicate."""
+    return stable_digest({"name": name, "cells": list(fingerprints)})
+
+
+def spec_campaign_id(spec: "ExperimentSpec") -> str:
+    """The campaign id a daemon will assign this spec's submission --
+    computable offline, so ``svw-repro status/cancel`` can address a
+    campaign by re-deriving the id from the same spec arguments."""
+    fingerprints: list[str] = []
+    seen: set[str] = set()
+    for request in spec.cells():
+        fingerprint = request.fingerprint()
+        if fingerprint not in seen:
+            seen.add(fingerprint)
+            fingerprints.append(fingerprint)
+    return campaign_id_for(spec.name, fingerprints)
+
+
+# ------------------------------------------------------------------ the daemon
+
+
+class CampaignDaemon:
+    """The long-lived sweep service (``svw-repro campaignd``).
+
+    Runs an asyncio server on a background thread (so tests and the CLI
+    share one code path); all scheduler state lives on the event loop.
+    ``cache_dir`` makes the daemon durable: results in a central
+    :class:`~repro.experiments.store.ResultStore`, campaign journals under
+    ``<cache-dir>/campaigns/``, and the scheduling cost model next to
+    them.  Without it the daemon still serves and dedups concurrent
+    campaigns, but a restart forgets in-flight submissions (clients
+    recover by idempotent resubmit).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        cache_dir: str | Path | None = None,
+        trace_cache: TraceCache | None = None,
+        cost_model=None,
+        heartbeat_timeout: float = 10.0,
+        max_attempts: int = 3,
+        connect_timeout: float = 10.0,
+        compress: bool = True,
+        progress: Callable[[str], None] | None = None,
+    ) -> None:
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self._bind_host = host
+        self._bind_port = port
+        self.host = host
+        self.port = port
+        self.store = ResultStore(cache_dir) if cache_dir is not None else None
+        self.journal_dir: Path | None = (
+            self.store.root / "campaigns" if self.store is not None else None
+        )
+        if self.journal_dir is not None:
+            self.journal_dir.mkdir(parents=True, exist_ok=True)
+        if cost_model is None:
+            from repro.experiments.batch import session_cost_model
+
+            cost_model = session_cost_model()
+        self.cost_model = cost_model
+        self.heartbeat_timeout = heartbeat_timeout
+        self.max_attempts = max_attempts
+        self.connect_timeout = connect_timeout
+        self.compress = compress
+        self.progress = progress
+        self._provider = TraceProvider(cache=trace_cache)
+        self._digests: dict[str, str] = {}
+        self._conn_writers: set = set()
+        self._cells: dict[str, _Cell] = {}
+        self._pending: set[str] = set()
+        self._campaigns: dict[str, _Campaign] = {}
+        self._workers: dict[str, _Worker] = {}
+        self._closing = False
+        self._loop = None
+        self._stop = None
+        self._work = None
+        self._trace_lock = None
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+        #: Results received from workers (each one is a dispatched cell;
+        #: zero of these after a warm restart is the resume guarantee).
+        self.cells_simulated = 0
+        #: Cells satisfied straight from the central store (including every
+        #: journal-replayed cell a restarted daemon finds already done).
+        self.cells_from_store = 0
+        #: Cells a submission shared with an already-known campaign.
+        self.cells_deduped = 0
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self, timeout: float = 30.0) -> "CampaignDaemon":
+        """Serve on a background thread; returns once the port is bound."""
+        self._thread = threading.Thread(
+            target=self._run_loop, name="svw-campaignd", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise RuntimeError("campaign daemon failed to start in time")
+        if self._startup_error is not None:
+            raise RuntimeError(
+                f"campaign daemon failed to bind {self._bind_host}:{self._bind_port}: "
+                f"{self._startup_error}"
+            )
+        return self
+
+    def close(self, timeout: float = 10.0) -> None:
+        """Stop serving (idempotent).  In-flight worker results are lost --
+        exactly the crash the journal exists for."""
+        loop, stop = self._loop, self._stop
+        if loop is not None and stop is not None:
+            try:
+                loop.call_soon_threadsafe(stop.set)
+            except RuntimeError:
+                pass  # loop already gone
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+    def __enter__(self) -> "CampaignDaemon":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _run_loop(self) -> None:
+        import asyncio
+
+        try:
+            asyncio.run(self._amain())
+        except BaseException as exc:  # pragma: no cover - defensive
+            if not self._ready.is_set():
+                self._startup_error = exc
+                self._ready.set()
+
+    async def _amain(self) -> None:
+        import asyncio
+
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        self._work = asyncio.Condition()
+        self._trace_lock = asyncio.Lock()
+        try:
+            server = await asyncio.start_server(
+                self._handle_connection, self._bind_host, self._bind_port
+            )
+        except OSError as exc:
+            self._startup_error = exc
+            self._ready.set()
+            return
+        self.host, self.port = server.sockets[0].getsockname()[:2]
+        if self.store is not None:
+            self.cost_model.load_from(self.store.cost_model_path)
+            await self._load_journals()
+        self._ready.set()
+        if self.progress is not None:
+            self.progress(f"campaignd: listening on {self.address}")
+        try:
+            async with server:
+                await self._stop.wait()
+        finally:
+            self._closing = True
+            async with self._work:
+                self._work.notify_all()
+            # Abort every open connection (jobs, registries, clients) so
+            # their handler tasks unwind through the normal ConnectionError
+            # paths before the loop tears down, instead of being cancelled
+            # mid-await by asyncio.run's cleanup.
+            for worker in list(self._workers.values()):
+                for writer in worker.job_writers:
+                    try:
+                        writer.transport.abort()
+                    except Exception:
+                        pass
+            for writer in list(self._conn_writers):
+                try:
+                    writer.transport.abort()
+                except Exception:
+                    pass
+            pending = [
+                task
+                for task in asyncio.all_tasks()
+                if task is not asyncio.current_task()
+            ]
+            if pending:
+                await asyncio.wait(pending, timeout=5.0)
+            if self.store is not None:
+                self.cost_model.save(self.store.cost_model_path)
+
+    # -- connection demux ----------------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        self._conn_writers.add(writer)
+        try:
+            first = await _recv_json_async(reader)
+            kind = first.get("type")
+            if kind == "register":
+                await self._serve_worker(first, reader, writer)
+            elif kind == "hello":
+                if first.get("protocol") != PROTOCOL_VERSION:
+                    raise RemoteProtocolError(
+                        f"client speaks protocol {first.get('protocol')!r}, "
+                        f"need {PROTOCOL_VERSION}"
+                    )
+                await _send_json_async(
+                    writer,
+                    {
+                        "type": "hello",
+                        "protocol": PROTOCOL_VERSION,
+                        "service": "campaignd",
+                    },
+                )
+                await self._serve_client(reader, writer)
+            else:
+                await _send_json_async(
+                    writer,
+                    {
+                        "type": "error",
+                        "message": f"expected hello or register, got {kind!r}",
+                    },
+                )
+        except (ConnectionError, OSError, RemoteProtocolError):
+            pass  # peer went away or spoke garbage; their connection is done
+        finally:
+            self._conn_writers.discard(writer)
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+    # -- worker registry -----------------------------------------------------
+
+    async def _serve_worker(self, register: dict, reader, writer) -> None:
+        import asyncio
+
+        if register.get("protocol") != PROTOCOL_VERSION:
+            await _send_json_async(
+                writer,
+                {"type": "error", "message": f"need protocol {PROTOCOL_VERSION}"},
+            )
+            return
+        peer = writer.get_extra_info("peername")
+        try:
+            port = int(register["port"])
+            slots = int(register.get("slots", 1))
+        except (KeyError, TypeError, ValueError):
+            await _send_json_async(
+                writer, {"type": "error", "message": "register needs a numeric port"}
+            )
+            return
+        if not 0 < port < 65536 or slots < 1:
+            await _send_json_async(
+                writer, {"type": "error", "message": "register port/slots out of range"}
+            )
+            return
+        host = str(register.get("host") or (peer[0] if peer else "127.0.0.1"))
+        advertised = register.get("compress")
+        worker = _Worker(
+            id=f"{host}:{port}",
+            host=host,
+            port=port,
+            slots=min(slots, 64),
+            compress=[str(c) for c in advertised] if isinstance(advertised, list) else [],
+            last_seen=time.monotonic(),
+        )
+        async with self._work:
+            old = self._workers.get(worker.id)
+            if old is not None:
+                # Replaced (worker restarted faster than its heartbeat
+                # lapsed): retire the stale entry, its tasks exit on the
+                # dead flag / aborted sockets.
+                old.dead = True
+                self._work.notify_all()
+            self._workers[worker.id] = worker
+        if old is not None:
+            for stale in old.job_writers:
+                try:
+                    stale.transport.abort()
+                except Exception:
+                    pass
+        worker.tasks = [
+            asyncio.create_task(self._dispatch_loop(worker))
+            for _ in range(worker.slots)
+        ]
+        await _send_json_async(
+            writer,
+            {"type": "registered", "worker": worker.id, "protocol": PROTOCOL_VERSION},
+        )
+        if self.progress is not None:
+            self.progress(
+                f"campaignd: worker {worker.id} registered ({worker.slots} slot(s))"
+            )
+        try:
+            while not worker.dead:
+                try:
+                    message = await asyncio.wait_for(
+                        _recv_json_async(reader), self.heartbeat_timeout
+                    )
+                except asyncio.TimeoutError:
+                    break  # heartbeats stopped: the worker is gone
+                worker.last_seen = time.monotonic()
+                kind = message.get("type")
+                if kind == "heartbeat":
+                    continue
+                if kind == "drain":
+                    async with self._work:
+                        worker.draining = True
+                        self._work.notify_all()
+                    await asyncio.gather(*worker.tasks, return_exceptions=True)
+                    await _send_json_async(writer, {"type": "drained"})
+                    if self.progress is not None:
+                        self.progress(f"campaignd: worker {worker.id} drained")
+                    break
+                raise RemoteProtocolError(f"unexpected registry frame {kind!r}")
+        except (ConnectionError, OSError, RemoteProtocolError):
+            pass
+        finally:
+            await self._remove_worker(worker)
+
+    async def _remove_worker(self, worker: _Worker) -> None:
+        import asyncio
+
+        async with self._work:
+            worker.dead = True
+            if self._workers.get(worker.id) is worker:
+                del self._workers[worker.id]
+            self._work.notify_all()
+        for writer in worker.job_writers:
+            try:
+                writer.transport.abort()
+            except Exception:
+                pass
+        await asyncio.gather(*worker.tasks, return_exceptions=True)
+
+    # -- dispatch ------------------------------------------------------------
+
+    async def _dispatch_loop(self, worker: _Worker) -> None:
+        """One job connection to one worker slot: the asyncio twin of a
+        :class:`~repro.experiments.remote.RemoteBackend` worker thread."""
+        import asyncio
+
+        reader = writer = None
+        cell: _Cell | None = None
+        try:
+            try:
+                reader, writer = await asyncio.wait_for(
+                    asyncio.open_connection(worker.host, worker.port),
+                    self.connect_timeout,
+                )
+                worker.job_writers.append(writer)
+                hello: dict = {"type": "hello", "protocol": PROTOCOL_VERSION}
+                if self.compress:
+                    hello["compress"] = list(SUPPORTED_COMPRESSION)
+                await _send_json_async(writer, hello)
+                peer = await asyncio.wait_for(
+                    _recv_json_async(reader), self.connect_timeout
+                )
+                if peer.get("type") != "hello" or peer.get("protocol") != PROTOCOL_VERSION:
+                    raise RemoteProtocolError("worker hello mismatch")
+            except (OSError, ConnectionError, RemoteProtocolError, asyncio.TimeoutError):
+                # Unreachable from here (NAT, died between register and
+                # dial-back): the registry handler reaps it on the next
+                # heartbeat tick.
+                async with self._work:
+                    worker.dead = True
+                    self._work.notify_all()
+                return
+            compress = self.compress and negotiated_zlib(peer)
+            while True:
+                cell = await self._next_cell(worker)
+                if cell is None:
+                    return
+                try:
+                    stats, seconds = await self._run_job(reader, writer, cell, compress)
+                except _CellFailed as exc:
+                    await self._cell_failed(worker, cell, str(exc))
+                    cell = None
+                    continue
+                except (OSError, ConnectionError, RemoteProtocolError) as exc:
+                    await self._worker_lost(worker, cell, exc)
+                    cell = None
+                    return
+                await self._cell_done(worker, cell, stats, seconds)
+                cell = None
+        except asyncio.CancelledError:
+            if cell is not None:
+                await self._worker_lost(worker, cell, ConnectionError("daemon shutdown"))
+            raise
+        finally:
+            if writer is not None:
+                try:
+                    writer.close()
+                except Exception:
+                    pass
+
+    async def _next_cell(self, worker: _Worker) -> _Cell | None:
+        cost = self.cost_model.cost
+        async with self._work:
+            while True:
+                if self._closing or worker.dead or worker.draining:
+                    return None
+                if self._pending:
+                    fingerprint = max(
+                        self._pending,
+                        key=lambda fp: (cost(self._cells[fp].request), fp),
+                    )
+                    self._pending.discard(fingerprint)
+                    cell = self._cells[fingerprint]
+                    cell.status = "in_flight"
+                    cell.attempts += 1
+                    worker.in_flight += 1
+                    return cell
+                await self._work.wait()
+
+    async def _run_job(
+        self, reader, writer, cell: _Cell, compress: bool
+    ) -> tuple[SimStats, float]:
+        key = request_key(cell.request)
+        digest = self._digests.get(key)
+        if digest is None and self._provider.has_encoded(
+            cell.request.workload, cell.request.n_insts
+        ):
+            await self._encoded(cell.request)  # memoized; fills the digest map
+            digest = self._digests.get(key)
+        await _send_json_async(
+            writer, build_job_message(cell.request, cell.fingerprint, key, digest)
+        )
+        while True:
+            message = await _recv_json_async(reader)
+            kind = message.get("type")
+            if kind == "need_trace":
+                await _send_trace_async(
+                    writer, await self._encoded(cell.request), compress
+                )
+            elif kind == "result":
+                try:
+                    stats = SimStats.from_dict(message["stats"])
+                except (KeyError, TypeError, ValueError) as exc:
+                    raise _CellFailed(f"undecodable result payload: {exc}") from exc
+                if stats.fingerprint() != message.get("fingerprint"):
+                    raise _CellFailed(
+                        "result fingerprint does not match its payload "
+                        "(wire or schema skew)"
+                    )
+                return stats, float(message.get("seconds", 0.0))
+            elif kind == "error":
+                raise _CellFailed(str(message.get("message")))
+            else:
+                raise RemoteProtocolError(f"unexpected frame type {kind!r}")
+
+    async def _encoded(self, request: RunRequest) -> bytes:
+        """Encoded trace bytes for a cell; generation runs in a worker
+        thread (never on the event loop) and at most once per key."""
+        import asyncio
+
+        key = request_key(request)
+        async with self._trace_lock:
+            data = await asyncio.get_running_loop().run_in_executor(
+                None, self._provider.encoded, request.workload, request.n_insts
+            )
+            self._digests.setdefault(key, hashlib.sha256(data).hexdigest())
+            return data
+
+    # -- cell completion -----------------------------------------------------
+
+    async def _cell_done(
+        self, worker: _Worker, cell: _Cell, stats: SimStats, seconds: float
+    ) -> None:
+        if self.store is not None:
+            provenance = {
+                k: cell.payload[k]
+                for k in ("experiment", "config_label", "n_insts", "warmup", "validate")
+                if k in cell.payload
+            }
+            provenance["workload"] = cell.request.workload.name
+            provenance["config_name"] = cell.request.config.name
+            self.store.save_stats(cell.fingerprint, stats, provenance=provenance)
+        self.cost_model.observe(cell.request.config, cell.request.n_insts, seconds)
+        finished: list[_Campaign] = []
+        async with self._work:
+            worker.in_flight -= 1
+            worker.jobs_done += 1
+            self.cells_simulated += 1
+            cell.status = "done"
+            cell.stats_payload = stats.to_dict()
+            cell.stats_fingerprint = stats.fingerprint()
+            for campaign_id in cell.campaigns:
+                campaign = self._campaigns[campaign_id]
+                campaign.remaining.discard(cell.fingerprint)
+                if not campaign.remaining and campaign.status == "running":
+                    campaign.status = "done"
+                    finished.append(campaign)
+            self._work.notify_all()
+        if self.progress is not None:
+            self.progress(
+                f"campaignd: {cell.request.describe()} [done @{worker.id}]"
+            )
+        for campaign in finished:
+            self._write_journal(campaign)
+
+    async def _cell_failed(self, worker: _Worker, cell: _Cell, message: str) -> None:
+        async with self._work:
+            worker.in_flight -= 1
+            failed = self._fail_cell_locked(cell, message)
+            self._work.notify_all()
+        for campaign in failed:
+            self._write_journal(campaign)
+
+    async def _worker_lost(self, worker: _Worker, cell: _Cell, exc: Exception) -> None:
+        failed: list[_Campaign] = []
+        async with self._work:
+            worker.in_flight -= 1
+            worker.dead = True
+            if cell.status == "in_flight":
+                if cell.attempts >= self.max_attempts:
+                    failed = self._fail_cell_locked(
+                        cell,
+                        f"worker lost {cell.attempts} times "
+                        f"(last: {worker.id}: {exc})",
+                    )
+                else:
+                    cell.status = "pending"
+                    self._pending.add(cell.fingerprint)
+            self._work.notify_all()
+        if self.progress is not None:
+            self.progress(f"campaignd: worker {worker.id} lost ({exc})")
+        for campaign in failed:
+            self._write_journal(campaign)
+
+    def _fail_cell_locked(self, cell: _Cell, message: str) -> list[_Campaign]:
+        """Mark a cell (and every campaign waiting on it) failed; release
+        the failed campaigns' claims on other cells.  Caller holds the
+        condition and writes the returned journals after releasing it."""
+        cell.status = "failed"
+        cell.error = message
+        affected: list[_Campaign] = []
+        for campaign_id in list(cell.campaigns):
+            campaign = self._campaigns[campaign_id]
+            if campaign.status != "running":
+                continue
+            campaign.status = "failed"
+            campaign.error = f"{cell.request.describe()}: {message}"
+            for fingerprint in list(campaign.remaining):
+                if fingerprint == cell.fingerprint:
+                    continue
+                other = self._cells.get(fingerprint)
+                if other is None:
+                    continue
+                other.campaigns.discard(campaign_id)
+                if not other.campaigns and other.status == "pending":
+                    self._pending.discard(fingerprint)
+                    del self._cells[fingerprint]
+            campaign.remaining.clear()
+            affected.append(campaign)
+        return affected
+
+    # -- client API ----------------------------------------------------------
+
+    async def _serve_client(self, reader, writer) -> None:
+        while True:
+            message = await _recv_json_async(reader)
+            kind = message.get("type")
+            try:
+                if kind == "submit":
+                    reply = await self._handle_submit(message)
+                elif kind == "status":
+                    reply = await self._handle_status(message)
+                elif kind == "results":
+                    reply = await self._handle_results(message)
+                elif kind == "cancel":
+                    reply = await self._handle_cancel(message)
+                elif kind == "stats":
+                    reply = await self._handle_stats()
+                else:
+                    reply = {
+                        "type": "error",
+                        "message": f"unknown request type {kind!r}",
+                    }
+            except CampaignError as exc:
+                reply = {"type": "error", "message": str(exc)}
+            except (KeyError, TypeError, ValueError) as exc:
+                reply = {
+                    "type": "error",
+                    "message": f"malformed request: {type(exc).__name__}: {exc}",
+                }
+            await _send_json_async(writer, reply)
+
+    async def _handle_submit(self, message: dict) -> dict:
+        if self._closing:
+            raise CampaignError("daemon is shutting down")
+        spec_payload = message.get("spec")
+        cells_payload = message.get("cells")
+        if spec_payload is not None:
+            try:
+                spec = ExperimentSpec.from_payload(spec_payload)
+            except (KeyError, TypeError, ValueError) as exc:
+                raise CampaignError(f"bad experiment payload: {exc}") from exc
+            requests = spec.cells()
+            name = spec.name
+        elif cells_payload is not None:
+            if not isinstance(cells_payload, list):
+                raise CampaignError("cells must be a list of run-request payloads")
+            try:
+                requests = [RunRequest.from_payload(p) for p in cells_payload]
+            except (KeyError, TypeError, ValueError) as exc:
+                raise CampaignError(f"bad cell payload: {exc}") from exc
+            name = str(message.get("name") or (requests[0].experiment if requests else ""))
+        else:
+            raise CampaignError("submit needs a spec or a cells list")
+        if not requests:
+            raise CampaignError("submission has no cells")
+        campaign, attached = await self._register_campaign(name, requests)
+        if not attached:
+            self._write_journal(campaign)
+            if self.progress is not None:
+                self.progress(
+                    f"campaignd: campaign {campaign.id[:12]} ({name}) submitted, "
+                    f"{len(campaign.fingerprints)} cell(s)"
+                )
+        total, done = self._campaign_counts(campaign)
+        return {
+            "type": "submitted",
+            "campaign": campaign.id,
+            "state": campaign.status,
+            "attached": attached,
+            "total": total,
+            "done": done,
+        }
+
+    async def _register_campaign(
+        self, name: str, requests: Sequence[RunRequest]
+    ) -> tuple[_Campaign, bool]:
+        """Get-or-create the campaign for a submission (id is content-
+        addressed, so identical submissions attach)."""
+        fingerprints: list[str] = []
+        payloads: list[dict] = []
+        by_fp: dict[str, RunRequest] = {}
+        for request in requests:
+            fingerprint = request.fingerprint()
+            if fingerprint in by_fp:
+                continue
+            by_fp[fingerprint] = request
+            fingerprints.append(fingerprint)
+            payloads.append(request.to_payload())
+        campaign_id = campaign_id_for(name, fingerprints)
+        async with self._work:
+            existing = self._campaigns.get(campaign_id)
+            if existing is not None:
+                return existing, True
+            campaign = _Campaign(
+                id=campaign_id,
+                name=name,
+                fingerprints=fingerprints,
+                cell_payloads=payloads,
+            )
+            for fingerprint, payload in zip(fingerprints, payloads):
+                cell = self._cells.get(fingerprint)
+                if cell is None:
+                    cell = _Cell(
+                        fingerprint=fingerprint,
+                        request=by_fp[fingerprint],
+                        payload=payload,
+                    )
+                    stats = (
+                        self.store.load_stats(fingerprint)
+                        if self.store is not None
+                        else None
+                    )
+                    if stats is not None:
+                        cell.status = "done"
+                        cell.stats_payload = stats.to_dict()
+                        cell.stats_fingerprint = stats.fingerprint()
+                        self.cells_from_store += 1
+                    else:
+                        self._pending.add(fingerprint)
+                    self._cells[fingerprint] = cell
+                else:
+                    self.cells_deduped += 1
+                cell.campaigns.add(campaign_id)
+                if cell.status in ("pending", "in_flight"):
+                    campaign.remaining.add(fingerprint)
+                elif cell.status == "failed":
+                    campaign.status = "failed"
+                    campaign.error = f"{cell.request.describe()}: {cell.error}"
+            if campaign.status == "running" and not campaign.remaining:
+                campaign.status = "done"
+            self._campaigns[campaign_id] = campaign
+            self._work.notify_all()
+        return campaign, False
+
+    def _campaign_counts(self, campaign: _Campaign) -> tuple[int, int]:
+        total = len(campaign.fingerprints)
+        if campaign.status == "done":
+            return total, total
+        done = 0
+        for fingerprint in campaign.fingerprints:
+            cell = self._cells.get(fingerprint)
+            if cell is not None and cell.status == "done":
+                done += 1
+        return total, done
+
+    def _campaign_for(self, message: dict) -> _Campaign:
+        campaign_id = message.get("campaign")
+        campaign = (
+            self._campaigns.get(campaign_id) if isinstance(campaign_id, str) else None
+        )
+        if campaign is None:
+            raise CampaignError(f"unknown campaign {str(campaign_id)[:16]!r}")
+        return campaign
+
+    async def _handle_status(self, message: dict) -> dict:
+        campaign = self._campaign_for(message)
+        total, done = self._campaign_counts(campaign)
+        return {
+            "type": "status",
+            "campaign": campaign.id,
+            "name": campaign.name,
+            "state": campaign.status,
+            "total": total,
+            "done": done,
+            "error": campaign.error,
+        }
+
+    async def _handle_results(self, message: dict) -> dict:
+        campaign = self._campaign_for(message)
+        results: dict[str, dict] = {}
+        for fingerprint in campaign.fingerprints:
+            cell = self._cells.get(fingerprint)
+            if cell is not None and cell.stats_payload is not None:
+                results[fingerprint] = {
+                    "stats": cell.stats_payload,
+                    "fingerprint": cell.stats_fingerprint,
+                }
+            elif self.store is not None:
+                stats = self.store.load_stats(fingerprint)
+                if stats is not None:
+                    results[fingerprint] = {
+                        "stats": stats.to_dict(),
+                        "fingerprint": stats.fingerprint(),
+                    }
+        total, done = self._campaign_counts(campaign)
+        return {
+            "type": "results",
+            "campaign": campaign.id,
+            "state": campaign.status,
+            "total": total,
+            "done": done,
+            "error": campaign.error,
+            "results": results,
+        }
+
+    async def _handle_cancel(self, message: dict) -> dict:
+        campaign = self._campaign_for(message)
+        async with self._work:
+            if campaign.status == "running":
+                campaign.status = "cancelled"
+                for fingerprint in list(campaign.remaining):
+                    cell = self._cells.get(fingerprint)
+                    if cell is None:
+                        continue
+                    cell.campaigns.discard(campaign.id)
+                    if not cell.campaigns and cell.status == "pending":
+                        # Nobody else wants it and it never started: gone.
+                        # In-flight cells finish and land in the store.
+                        self._pending.discard(fingerprint)
+                        del self._cells[fingerprint]
+                campaign.remaining.clear()
+                self._work.notify_all()
+        self._write_journal(campaign)
+        return {"type": "cancelled", "campaign": campaign.id, "state": campaign.status}
+
+    async def _handle_stats(self) -> dict:
+        async with self._work:
+            workers = [
+                {
+                    "id": worker.id,
+                    "slots": worker.slots,
+                    "compress": worker.compress,
+                    "in_flight": worker.in_flight,
+                    "jobs_done": worker.jobs_done,
+                    "draining": worker.draining,
+                }
+                for worker in self._workers.values()
+            ]
+            pending = len(self._pending)
+            in_flight = sum(
+                1 for cell in self._cells.values() if cell.status == "in_flight"
+            )
+        return {
+            "type": "stats",
+            "workers": sorted(workers, key=lambda w: w["id"]),
+            "campaigns": len(self._campaigns),
+            "cells_pending": pending,
+            "cells_in_flight": in_flight,
+            "cells_simulated": self.cells_simulated,
+            "cells_from_store": self.cells_from_store,
+            "cells_deduped": self.cells_deduped,
+        }
+
+    # -- journal -------------------------------------------------------------
+
+    def _write_journal(self, campaign: _Campaign) -> None:
+        if self.journal_dir is None:
+            return
+        from repro.ioutil import atomic_write_text
+
+        payload = {
+            "schema": JOURNAL_SCHEMA,
+            "campaign": campaign.id,
+            "name": campaign.name,
+            "status": campaign.status,
+            "error": campaign.error,
+            "cells": campaign.cell_payloads,
+        }
+        atomic_write_text(
+            self.journal_dir / f"{campaign.id}.json",
+            json.dumps(payload, sort_keys=True, indent=1),
+        )
+
+    async def _load_journals(self) -> None:
+        """Replay persisted campaigns (daemon restart): finished cells are
+        satisfied from the store, unfinished ones re-enter the queue."""
+        assert self.journal_dir is not None
+        for path in sorted(self.journal_dir.glob("*.json")):
+            try:
+                payload = json.loads(path.read_text())
+                if payload["schema"] != JOURNAL_SCHEMA:
+                    raise ValueError(f"schema {payload['schema']}")
+                name = str(payload["name"])
+                status = str(payload["status"])
+                requests = [RunRequest.from_payload(p) for p in payload["cells"]]
+            except (OSError, KeyError, TypeError, ValueError):
+                continue  # torn/stale journals are skipped, not fatal
+            if not requests:
+                continue
+            if status == "running":
+                campaign, attached = await self._register_campaign(name, requests)
+                if not attached and self.progress is not None:
+                    total, done = self._campaign_counts(campaign)
+                    self.progress(
+                        f"campaignd: resumed campaign {campaign.id[:12]} ({name}): "
+                        f"{done}/{total} cells already done"
+                    )
+            else:
+                # Terminal campaigns come back queryable but inert.
+                fingerprints = [r.fingerprint() for r in requests]
+                campaign = _Campaign(
+                    id=campaign_id_for(name, fingerprints),
+                    name=name,
+                    fingerprints=fingerprints,
+                    cell_payloads=[r.to_payload() for r in requests],
+                    status=status,
+                    error=payload.get("error"),
+                )
+                self._campaigns.setdefault(campaign.id, campaign)
+
+
+# ------------------------------------------------------------------ the client
+
+
+class CampaignClient:
+    """Synchronous client for one campaign daemon.
+
+    Maintains a single connection, transparently reconnecting (with
+    bounded retries) through daemon restarts -- which is what makes the
+    published resume story real: ``submit`` is idempotent (campaign ids
+    are content addresses), so a client that loses the daemon simply
+    reconnects, resubmits, and keeps polling.
+    """
+
+    def __init__(
+        self,
+        address: str,
+        connect_timeout: float = 10.0,
+        retry_interval: float = 0.5,
+        retry_timeout: float = 60.0,
+    ) -> None:
+        self.host, self.port = parse_worker(address)
+        self.address = f"{self.host}:{self.port}"
+        self.connect_timeout = connect_timeout
+        self.retry_interval = retry_interval
+        self.retry_timeout = retry_timeout
+        self._sock: socket.socket | None = None
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _connect(self) -> None:
+        sock = socket.create_connection(
+            (self.host, self.port), timeout=self.connect_timeout
+        )
+        try:
+            send_json(sock, {"type": "hello", "protocol": PROTOCOL_VERSION})
+            hello = recv_json(sock)
+            if hello.get("type") != "hello" or hello.get("protocol") != PROTOCOL_VERSION:
+                raise RemoteProtocolError(
+                    f"peer at {self.address} is not a campaign daemon"
+                )
+            sock.settimeout(None)
+        except BaseException:
+            sock.close()
+            raise
+        self._sock = sock
+
+    def _drop(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def _rpc(self, message: dict) -> dict:
+        """One request/reply, reconnecting through connection loss until
+        ``retry_timeout`` is exhausted."""
+        deadline = time.monotonic() + self.retry_timeout
+        last: Exception | None = None
+        while True:
+            try:
+                if self._sock is None:
+                    self._connect()
+                assert self._sock is not None
+                send_json(self._sock, message)
+                reply = recv_json(self._sock)
+            except (ConnectionError, OSError, socket.timeout) as exc:
+                self._drop()
+                last = exc
+                if time.monotonic() >= deadline:
+                    raise CampaignError(
+                        f"campaign daemon at {self.address} unreachable: {last}"
+                    ) from exc
+                time.sleep(self.retry_interval)
+                continue
+            if reply.get("type") == "error":
+                raise CampaignError(str(reply.get("message")))
+            return reply
+
+    def close(self) -> None:
+        self._drop()
+
+    def __enter__(self) -> "CampaignClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- requests ------------------------------------------------------------
+
+    def submit(
+        self,
+        spec: ExperimentSpec | None = None,
+        cells: Sequence[RunRequest] | None = None,
+        name: str | None = None,
+    ) -> dict:
+        """Submit a sweep; returns the daemon's ``submitted`` reply
+        (``campaign`` id, ``total``/``done`` counts, ``attached`` flag)."""
+        message: dict = {"type": "submit"}
+        if spec is not None:
+            message["spec"] = spec.to_payload()
+        elif cells is not None:
+            message["cells"] = [request.to_payload() for request in cells]
+        else:
+            raise ValueError("submit needs a spec or cells")
+        if name is not None:
+            message["name"] = name
+        return self._rpc(message)
+
+    def status(self, campaign_id: str) -> dict:
+        return self._rpc({"type": "status", "campaign": campaign_id})
+
+    def results(self, campaign_id: str) -> dict:
+        """The raw ``results`` reply: ``{fingerprint: {stats, fingerprint}}``
+        for every completed cell (callers verify the stats fingerprints)."""
+        return self._rpc({"type": "results", "campaign": campaign_id})
+
+    def cancel(self, campaign_id: str) -> dict:
+        return self._rpc({"type": "cancel", "campaign": campaign_id})
+
+    def stats(self) -> dict:
+        return self._rpc({"type": "stats"})
+
+    def wait(
+        self,
+        campaign_id: str,
+        poll_interval: float = 0.2,
+        timeout: float | None = None,
+        resubmit: Callable[[], dict] | None = None,
+        on_status: Callable[[dict], None] | None = None,
+    ) -> dict:
+        """Poll until the campaign reaches a terminal state.
+
+        ``resubmit`` handles the one hole reconnection cannot: a daemon
+        restarted *without* a journal (no ``--cache-dir``) forgets the
+        campaign; an idempotent resubmission re-creates it under the same
+        id and polling continues.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            try:
+                status = self.status(campaign_id)
+            except CampaignError as exc:
+                if resubmit is not None and "unknown campaign" in str(exc):
+                    resubmit()
+                    continue
+                raise
+            if on_status is not None:
+                on_status(status)
+            if status.get("state") in TERMINAL_STATES:
+                return status
+            if deadline is not None and time.monotonic() >= deadline:
+                raise CampaignError(
+                    f"campaign {campaign_id[:12]} still {status.get('state')!r} "
+                    f"after {timeout:.0f}s ({status.get('done')}/{status.get('total')})"
+                )
+            time.sleep(poll_interval)
+
+
+# ----------------------------------------------------------------- the backend
+
+
+class CampaignBackend:
+    """The campaign daemon as an execution backend (``--campaign host:port``).
+
+    Submits the cells it is handed (idempotently -- re-running the same
+    sweep attaches to the live campaign), polls to completion, then
+    fetches and re-verifies every result's stats fingerprint, exactly as
+    :class:`~repro.experiments.remote.RemoteBackend` does.  Results are
+    positionally aligned with the request list and bit-identical to
+    :class:`~repro.experiments.backends.SerialBackend`.
+    """
+
+    def __init__(
+        self,
+        address: str,
+        poll_interval: float = 0.2,
+        timeout: float | None = None,
+        retry_timeout: float = 60.0,
+    ) -> None:
+        parse_worker(address)  # fail at construction, not mid-sweep
+        self.address = address
+        self.poll_interval = poll_interval
+        self.timeout = timeout
+        self.retry_timeout = retry_timeout
+
+    def run(
+        self, requests: Sequence[RunRequest], progress: ProgressFn | None = None
+    ) -> list[SimStats]:
+        requests = list(requests)
+        if not requests:
+            return []
+        name = requests[0].experiment
+        with CampaignClient(self.address, retry_timeout=self.retry_timeout) as client:
+            submitted = client.submit(cells=requests, name=name)
+            campaign_id = submitted["campaign"]
+            if progress is not None:
+                verb = "attached to" if submitted.get("attached") else "submitted"
+                progress(
+                    f"{name}: {verb} campaign {campaign_id[:12]} "
+                    f"({submitted.get('done')}/{submitted.get('total')} cells done)"
+                )
+            last_done = [submitted.get("done", 0)]
+
+            def on_status(status: dict) -> None:
+                if progress is not None and status.get("done") != last_done[0]:
+                    last_done[0] = status.get("done")
+                    progress(
+                        f"{name}: campaign {campaign_id[:12]} "
+                        f"{status.get('done')}/{status.get('total')} cells done"
+                    )
+
+            status = client.wait(
+                campaign_id,
+                poll_interval=self.poll_interval,
+                timeout=self.timeout,
+                resubmit=lambda: client.submit(cells=requests, name=name),
+                on_status=on_status,
+            )
+            if status["state"] != "done":
+                raise CellExecutionError(
+                    f"campaign {campaign_id[:12]} {status['state']}: "
+                    f"{status.get('error') or 'no detail'}"
+                )
+            payload_map = client.results(campaign_id).get("results", {})
+        results: list[SimStats] = []
+        for request in requests:
+            entry = payload_map.get(request.fingerprint())
+            if entry is None:
+                raise CellExecutionError(
+                    f"{request.describe()}: campaign finished without its result"
+                )
+            stats = SimStats.from_dict(entry["stats"])
+            if stats.fingerprint() != entry.get("fingerprint"):
+                raise CellExecutionError(
+                    f"{request.describe()}: result fingerprint does not match "
+                    "its payload (wire or schema skew)"
+                )
+            results.append(stats)
+        return results

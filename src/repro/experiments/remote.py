@@ -83,6 +83,7 @@ import subprocess
 import sys
 import threading
 import time
+import zlib
 from collections import deque
 from contextlib import contextmanager
 from pathlib import Path
@@ -90,6 +91,7 @@ from typing import Callable, Iterator, Sequence
 
 from repro.experiments.backends import CellExecutionError, ProgressFn, paused_gc
 from repro.experiments.spec import RunRequest
+from repro.experiments.store import ResultStore
 from repro.experiments.traces import TraceProvider, request_key
 from repro.isa.codec import TraceCodecError, decode_trace
 from repro.isa.coltrace import ColumnTrace
@@ -103,6 +105,14 @@ PROTOCOL_VERSION = 1
 
 FRAME_JSON = b"J"
 FRAME_TRACE = b"T"
+#: Zlib-compressed trace frame -- sent only after BOTH sides advertised
+#: ``compress: ["zlib"]`` in the hello exchange, so protocol-v1 peers that
+#: predate compression interoperate untouched (they never negotiate it and
+#: therefore never see a ``Z`` frame).
+FRAME_ZTRACE = b"Z"
+
+#: The compression codecs this build can negotiate, best-first.
+SUPPORTED_COMPRESSION = ("zlib",)
 
 #: Upper bound on a single frame (codec traces are ~1.5 MB at figure
 #: budgets; 1 GiB rejects garbage lengths without constraining real use).
@@ -138,13 +148,18 @@ def send_frame(sock: socket.socket, kind: bytes, payload: bytes) -> None:
     sock.sendall(_HEADER.pack(kind, len(payload)) + payload)
 
 
-def recv_frame(sock: socket.socket) -> tuple[bytes, bytes]:
-    """The next ``(kind, payload)`` frame; validates kind and length."""
-    kind, length = _HEADER.unpack(_recv_exact(sock, _HEADER.size))
-    if kind not in (FRAME_JSON, FRAME_TRACE):
+def check_frame_header(kind: bytes, length: int) -> None:
+    """Shared frame-header validation (sync sockets and asyncio streams)."""
+    if kind not in (FRAME_JSON, FRAME_TRACE, FRAME_ZTRACE):
         raise RemoteProtocolError(f"unknown frame kind {kind!r}")
     if length > MAX_FRAME_BYTES:
         raise RemoteProtocolError(f"frame length {length} exceeds protocol bound")
+
+
+def recv_frame(sock: socket.socket) -> tuple[bytes, bytes]:
+    """The next ``(kind, payload)`` frame; validates kind and length."""
+    kind, length = _HEADER.unpack(_recv_exact(sock, _HEADER.size))
+    check_frame_header(kind, length)
     return kind, _recv_exact(sock, length)
 
 
@@ -179,12 +194,75 @@ def _handshake(sock: socket.socket, reply: dict | None = None) -> dict:
     return hello
 
 
+def negotiated_zlib(peer_hello: dict) -> bool:
+    """Whether the peer's hello advertised zlib trace compression.
+
+    A peer that predates negotiation simply has no ``compress`` field, so
+    the answer is False and both directions stay on raw ``T`` frames --
+    old agents keep working against new clients and vice versa.
+    """
+    advertised = peer_hello.get("compress")
+    return isinstance(advertised, list) and "zlib" in advertised
+
+
+def send_trace_frame(sock: socket.socket, data: bytes, compress: bool) -> None:
+    """Ship encoded trace bytes, zlib-compressed iff ``compress`` (which
+    callers must only set after both hellos advertised it)."""
+    if compress:
+        send_frame(sock, FRAME_ZTRACE, zlib.compress(data, level=1))
+    else:
+        send_frame(sock, FRAME_TRACE, data)
+
+
+def decode_trace_frame(kind: bytes, payload: bytes, context: str) -> bytes:
+    """The raw encoded-trace bytes of a ``T`` or ``Z`` frame."""
+    if kind == FRAME_TRACE:
+        return payload
+    if kind == FRAME_ZTRACE:
+        try:
+            return zlib.decompress(payload)
+        except zlib.error as exc:
+            raise RemoteProtocolError(f"undecompressable trace for {context}: {exc}")
+    raise RemoteProtocolError(f"expected trace bytes for {context}, got kind {kind!r}")
+
+
 def parse_worker(address: str) -> tuple[str, int]:
-    """``"host:port"`` -> ``(host, port)`` (numeric port required)."""
-    host, sep, port = address.strip().rpartition(":")
-    if not sep or not host or not port.isdigit():
-        raise ValueError(f"worker address must be host:port, got {address!r}")
-    return host, int(port)
+    """``"host:port"`` -> ``(host, port)``.
+
+    Malformed addresses raise :class:`ValueError` with a message that says
+    exactly what is wrong (these surface verbatim through the CLI, where a
+    raw traceback would bury the typo).  Surrounding whitespace is
+    tolerated -- comma-separated lists arrive with it.
+    """
+    cleaned = address.strip()
+    if not cleaned:
+        raise ValueError(
+            "worker address is empty (expected host:port, e.g. node1:7501)"
+        )
+    host, sep, port = cleaned.rpartition(":")
+    if not sep or not host.strip():
+        raise ValueError(
+            f"worker address {address.strip()!r} is missing a "
+            f"{'host' if sep else 'port'} (expected host:port, e.g. node1:7501)"
+        )
+    host, port = host.strip(), port.strip()
+    if not port:
+        raise ValueError(
+            f"worker address {address.strip()!r} is missing a port "
+            "(expected host:port, e.g. node1:7501)"
+        )
+    if not port.isdigit():
+        raise ValueError(
+            f"worker address {address.strip()!r} has a non-numeric port "
+            f"{port!r} (expected host:port, e.g. node1:7501)"
+        )
+    value = int(port)
+    if not 0 < value < 65536:
+        raise ValueError(
+            f"worker address {address.strip()!r} has an out-of-range port "
+            f"{value} (valid TCP ports are 1-65535)"
+        )
+    return host, value
 
 
 # ---------------------------------------------------------------- worker agent
@@ -205,9 +283,22 @@ class WorkerAgent:
     every agent on the host), and decoded into a bounded in-memory memo of
     column-native traces shared by all connections.
 
+    ``result_store`` turns on **worker-side result memoization**: jobs
+    already carry the cell's :meth:`~repro.experiments.spec.RunRequest.
+    fingerprint` (the content address the client's own cache uses), so a
+    repeat cell is answered with the memoized result frame instead of
+    re-simulating -- the client still re-derives and verifies the stats
+    fingerprint, exactly as for a fresh result.
+
     ``drop_after`` is a chaos knob for re-dispatch testing: after that
     many completed jobs the agent severs every connection and stops
     accepting, simulating a killed host mid-sweep.
+
+    :meth:`register_with` joins a campaign daemon's worker registry (see
+    :mod:`repro.experiments.campaign`): the agent dials the daemon,
+    advertises its port/slots/capabilities, heartbeats, and reconnects
+    through daemon restarts; :meth:`drain` asks the daemon to stop
+    assigning work and returns once in-flight cells have finished.
     """
 
     _DECODED_SLOTS = 2
@@ -220,6 +311,9 @@ class WorkerAgent:
         trace_cache: TraceCache | None = None,
         drop_after: int | None = None,
         progress: Callable[[str], None] | None = None,
+        result_store: "ResultStore | None" = None,
+        compress: bool = True,
+        advertise_host: str | None = None,
     ) -> None:
         if slots < 1:
             raise ValueError("slots must be >= 1")
@@ -227,6 +321,9 @@ class WorkerAgent:
         self.trace_cache = trace_cache
         self.drop_after = drop_after
         self.progress = progress
+        self.result_store = result_store
+        self.compress = compress
+        self.advertise_host = advertise_host
         self._server = socket.create_server((host, port))
         self.host, self.port = self._server.getsockname()[:2]
         self._lock = threading.Lock()
@@ -236,12 +333,19 @@ class WorkerAgent:
         self._decoded: dict[str, tuple[Trace | ColumnTrace, str | None]] = {}
         self._connections: set[socket.socket] = set()
         self._accept_thread: threading.Thread | None = None
+        self._registry_thread: threading.Thread | None = None
+        self._draining = threading.Event()
+        self._drained = threading.Event()
         #: Completed simulations (all connections).
         self.jobs_done = 0
         #: Traces fetched over the wire (host-cache misses).
         self.trace_misses = 0
         #: Connections accepted over the agent's lifetime.
         self.connections_served = 0
+        #: Jobs answered from the local result store without simulating.
+        self.memo_hits = 0
+        #: Traces that arrived as negotiated zlib (``Z``) frames.
+        self.compressed_traces = 0
 
     @property
     def address(self) -> str:
@@ -277,6 +381,7 @@ class WorkerAgent:
     def close(self) -> None:
         """Stop accepting, sever every live connection (idempotent)."""
         self._closed.set()
+        self._drained.set()  # unblock any drain() waiter
         try:
             self._server.close()
         except OSError:
@@ -290,6 +395,97 @@ class WorkerAgent:
                 pass
             conn.close()
 
+    # -- campaign registry ----------------------------------------------------
+
+    def register_with(
+        self,
+        daemon_address: str,
+        heartbeat_interval: float = 2.0,
+        retry_interval: float = 1.0,
+    ) -> "WorkerAgent":
+        """Join a campaign daemon's worker registry (background thread).
+
+        The agent keeps serving direct :class:`RemoteBackend` clients on
+        its own port; registration *additionally* advertises that port
+        (plus slots and capabilities) to the daemon, which dials back with
+        the ordinary job protocol.  The registry connection carries only
+        tiny JSON frames: ``register`` -> ``registered``, then a
+        ``heartbeat`` every ``heartbeat_interval`` seconds; a lost daemon
+        is retried every ``retry_interval`` seconds forever, which is what
+        lets a fleet ride out daemon restarts without operator action.
+        """
+        host, port = parse_worker(daemon_address)
+        self._registry_thread = threading.Thread(
+            target=self._registry_loop,
+            args=(host, port, heartbeat_interval, retry_interval),
+            name=f"svw-worker-registry-{self.port}",
+            daemon=True,
+        )
+        self._registry_thread.start()
+        return self
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Ask the daemon to stop assigning work; wait for the all-clear.
+
+        Returns True once the daemon confirmed every in-flight cell
+        finished (or immediately when the agent was never registered).
+        The agent keeps serving direct clients -- drain is a registry
+        state, not a shutdown.
+        """
+        if self._registry_thread is None:
+            return True
+        self._draining.set()
+        return self._drained.wait(timeout)
+
+    def _registry_loop(
+        self, host: str, port: int, heartbeat_interval: float, retry_interval: float
+    ) -> None:
+        register = {
+            "type": "register",
+            "protocol": PROTOCOL_VERSION,
+            "port": self.port,
+            "slots": self.slots,
+            "compress": list(SUPPORTED_COMPRESSION) if self.compress else [],
+        }
+        if self.advertise_host is not None:
+            register["host"] = self.advertise_host
+        while not self._closed.is_set():
+            try:
+                conn = socket.create_connection((host, port), timeout=10.0)
+            except OSError:
+                # Daemon down (or not yet up): retry quietly forever.
+                self._closed.wait(retry_interval)
+                continue
+            try:
+                send_json(conn, register)
+                conn.settimeout(10.0)
+                ack = recv_json(conn)
+                if ack.get("type") != "registered":
+                    raise RemoteProtocolError(
+                        f"daemon answered {ack.get('type')!r}, not registered"
+                    )
+                if self.progress is not None:
+                    self.progress(f"worker {self.address}: registered with {host}:{port}")
+                drain_sent = False
+                conn.settimeout(heartbeat_interval)
+                while not self._closed.is_set():
+                    if self._draining.is_set() and not drain_sent:
+                        send_json(conn, {"type": "drain"})
+                        drain_sent = True
+                    try:
+                        message = recv_json(conn)
+                    except socket.timeout:
+                        send_json(conn, {"type": "heartbeat"})
+                        continue
+                    if message.get("type") == "drained":
+                        self._drained.set()
+                        return
+            except (ConnectionError, OSError, RemoteProtocolError):
+                pass  # daemon went away; reconnect below
+            finally:
+                conn.close()
+            self._closed.wait(retry_interval)
+
     def __enter__(self) -> "WorkerAgent":
         return self.start()
 
@@ -300,10 +496,10 @@ class WorkerAgent:
 
     def _serve_connection(self, conn: socket.socket) -> None:
         try:
-            _handshake(
-                conn,
-                reply={"type": "hello", "protocol": PROTOCOL_VERSION, "slots": self.slots},
-            )
+            reply = {"type": "hello", "protocol": PROTOCOL_VERSION, "slots": self.slots}
+            if self.compress:
+                reply["compress"] = list(SUPPORTED_COMPRESSION)
+            _handshake(conn, reply=reply)
             while not self._closed.is_set():
                 message = recv_json(conn)
                 if message.get("type") != "job":
@@ -330,6 +526,22 @@ class WorkerAgent:
         describe = job.get("describe", f"job {job_id}")
         if self.progress is not None:
             self.progress(f"worker {self.address}: {describe}")
+        memoized = self._memoized_stats(job)
+        if memoized is not None:
+            with self._lock:
+                self.memo_hits += 1
+            send_json(
+                conn,
+                {
+                    "type": "result",
+                    "job_id": job_id,
+                    "fingerprint": memoized.fingerprint(),
+                    "stats": memoized.to_dict(),
+                    "seconds": 0.0,  # <= 0 keeps memo hits out of cost models
+                    "memoized": True,
+                },
+            )
+            return
         try:
             config = MachineConfig.from_dict(job["config"])
             trace = self._trace_for(
@@ -360,6 +572,7 @@ class WorkerAgent:
             return
         with self._lock:
             self.jobs_done += 1
+        self._memoize_stats(job, stats)
         send_json(
             conn,
             {
@@ -370,6 +583,40 @@ class WorkerAgent:
                 "seconds": seconds,
             },
         )
+
+    def _memoized_stats(self, job: dict) -> SimStats | None:
+        """The locally cached result for a job's cell fingerprint, if any.
+
+        The fingerprint the client sends IS the content address its own
+        result cache uses, so the worker-side store speaks the same
+        universe; a malformed fingerprint (wrong length, non-hex) is simply
+        not memoizable -- it can never name a path outside the store.
+        """
+        if self.result_store is None:
+            return None
+        fingerprint = job.get("fingerprint")
+        if not isinstance(fingerprint, str):
+            return None
+        try:
+            return self.result_store.load_stats(fingerprint)
+        except ValueError:
+            return None
+
+    def _memoize_stats(self, job: dict, stats: SimStats) -> None:
+        if self.result_store is None:
+            return
+        fingerprint = job.get("fingerprint")
+        if not isinstance(fingerprint, str):
+            return
+        provenance = {
+            key: job[key]
+            for key in ("experiment", "workload", "config_label", "n_insts", "warmup", "validate")
+            if key in job
+        }
+        try:
+            self.result_store.save_stats(fingerprint, stats, provenance=provenance)
+        except (ValueError, OSError):
+            pass  # memoization is best-effort; the result frame still ships
 
     def _trace_for(
         self, key: str, want_digest: str | None, conn: socket.socket
@@ -407,10 +654,10 @@ class WorkerAgent:
                 self.trace_misses += 1
             send_json(conn, {"type": "need_trace", "key": key})
             kind, payload = recv_frame(conn)
-            if kind != FRAME_TRACE:
-                raise RemoteProtocolError(
-                    f"expected trace bytes for {key!r}, got kind {kind!r}"
-                )
+            if kind == FRAME_ZTRACE:
+                with self._lock:
+                    self.compressed_traces += 1
+            payload = decode_trace_frame(kind, payload, key)
             digest = hashlib.sha256(payload).hexdigest()
             if want_digest is not None and digest != want_digest:
                 raise RemoteProtocolError(
@@ -426,6 +673,31 @@ class WorkerAgent:
             while len(self._decoded) > self._DECODED_SLOTS:
                 self._decoded.pop(next(iter(self._decoded)))
         return trace
+
+
+def build_job_message(
+    request: RunRequest, job_id: object, key: str, digest: str | None
+) -> dict:
+    """The wire ``job`` frame for one cell (shared by every dispatcher:
+    :class:`RemoteBackend` threads and the campaign daemon's asyncio
+    dispatch loops build byte-identical jobs)."""
+    job = {
+        "type": "job",
+        "job_id": job_id,
+        "fingerprint": request.fingerprint(),
+        "describe": request.describe(),
+        "experiment": request.experiment,
+        "workload": request.workload.name,
+        "config_label": request.config_label,
+        "config": request.config.to_dict(),
+        "n_insts": request.n_insts,
+        "warmup": request.warmup,
+        "validate": request.validate,
+        "trace_key": key,
+    }
+    if digest is not None:
+        job["trace_sha256"] = digest
+    return job
 
 
 # --------------------------------------------------------------- client backend
@@ -450,6 +722,7 @@ class RemoteBackend:
         cost_model: "CostModel | None" = None,
         max_attempts: int = 3,
         connect_timeout: float = 10.0,
+        compress: bool = True,
     ) -> None:
         self.addresses = [
             address if isinstance(address, str) else f"{address[0]}:{address[1]}"
@@ -469,19 +742,27 @@ class RemoteBackend:
         self.cost_model = cost_model
         self.max_attempts = max_attempts
         self.connect_timeout = connect_timeout
+        self.compress = compress
         self.last_provider: TraceProvider | None = None
+        #: Traces this backend shipped as negotiated zlib frames.
+        self.compressed_sends = 0
 
     # -- connection ----------------------------------------------------------
 
-    def _connect(self, address: str) -> socket.socket:
+    def _connect(self, address: str) -> tuple[socket.socket, bool]:
+        """Connect + handshake; returns the socket and whether both sides
+        negotiated zlib trace compression."""
         host, port = parse_worker(address)
         conn = socket.create_connection((host, port), timeout=self.connect_timeout)
         # Sweeps legitimately leave a connection quiet for the length of a
         # simulation; only connect/handshake get a deadline.
-        send_json(conn, {"type": "hello", "protocol": PROTOCOL_VERSION})
-        _handshake(conn)
+        hello: dict = {"type": "hello", "protocol": PROTOCOL_VERSION}
+        if self.compress:
+            hello["compress"] = list(SUPPORTED_COMPRESSION)
+        send_json(conn, hello)
+        peer = _handshake(conn)
         conn.settimeout(None)
-        return conn
+        return conn, self.compress and negotiated_zlib(peer)
 
     # -- execution -----------------------------------------------------------
 
@@ -534,7 +815,7 @@ class RemoteBackend:
         def serve(address: str) -> None:
             nonlocal in_flight, completed
             try:
-                conn = self._connect(address)
+                conn, compress = self._connect(address)
             except (OSError, RemoteProtocolError) as exc:
                 with state:
                     worker_errors[address] = f"connect failed: {exc}"
@@ -547,7 +828,7 @@ class RemoteBackend:
                     try:
                         self._run_cell(
                             conn, address, requests[index], index, results,
-                            provider, provider_lock, digests, progress,
+                            provider, provider_lock, digests, progress, compress,
                         )
                         with state:
                             in_flight -= 1
@@ -635,6 +916,7 @@ class RemoteBackend:
         provider_lock: threading.Lock,
         digests: dict[str, str],
         progress: ProgressFn | None,
+        compress: bool = False,
     ) -> None:
         key = request_key(request)
         # Pin the trace's content whenever this run already knows it
@@ -649,23 +931,7 @@ class RemoteBackend:
                     provider.encoded(request.workload, request.n_insts)
                 ).hexdigest()
                 digests[key] = digest
-        job = {
-            "type": "job",
-            "job_id": index,
-            "fingerprint": request.fingerprint(),
-            "describe": request.describe(),
-            "experiment": request.experiment,
-            "workload": request.workload.name,
-            "config_label": request.config_label,
-            "config": request.config.to_dict(),
-            "n_insts": request.n_insts,
-            "warmup": request.warmup,
-            "validate": request.validate,
-            "trace_key": key,
-        }
-        if digest is not None:
-            job["trace_sha256"] = digest
-        send_json(conn, job)
+        send_json(conn, build_job_message(request, index, key, digest))
         while True:
             message = recv_json(conn)
             kind = message.get("type")
@@ -676,7 +942,9 @@ class RemoteBackend:
                 with provider_lock:
                     data = provider.encoded(request.workload, request.n_insts)
                     digests.setdefault(key, hashlib.sha256(data).hexdigest())
-                send_frame(conn, FRAME_TRACE, data)
+                if compress:
+                    self.compressed_sends += 1
+                send_trace_frame(conn, data, compress)
             elif kind == "result":
                 stats = SimStats.from_dict(message["stats"])
                 if stats.fingerprint() != message.get("fingerprint"):
@@ -715,12 +983,21 @@ def resolve_worker_fleet(
     if spec is None:
         return None
     if spec.startswith("auto:"):
+        count = spec.split(":", 1)[1].strip()
+        if not count.isdigit() or int(count) < 1:
+            raise ValueError(
+                f"auto fleet size must be a positive integer, got {count!r} "
+                "(expected e.g. auto:2)"
+            )
         return stack.enter_context(
-            local_worker_fleet(int(spec.split(":", 1)[1]), trace_cache_dir=trace_cache_dir)
+            local_worker_fleet(int(count), trace_cache_dir=trace_cache_dir)
         )
     addresses = [address.strip() for address in spec.split(",") if address.strip()]
     if not addresses:
-        raise ValueError(f"no worker addresses in {spec!r}")
+        raise ValueError(
+            f"no worker addresses in {spec!r} (expected a comma-separated "
+            "host:port list, or auto:N for a loopback fleet)"
+        )
     for address in addresses:
         parse_worker(address)
     return addresses

@@ -14,7 +14,12 @@ zero :meth:`~repro.pipeline.processor.Processor.run` calls.
 
 from __future__ import annotations
 
-from repro.experiments.backends import ExecutionBackend, ProgressFn, SerialBackend
+from repro.experiments.backends import (
+    CellExecutionError,
+    ExecutionBackend,
+    ProgressFn,
+    SerialBackend,
+)
 from repro.experiments.results import FigureResult
 from repro.experiments.spec import ExperimentSpec, RunRequest
 from repro.experiments.store import ResultStore
@@ -43,6 +48,12 @@ def run_experiment(
                 progress(f"{request.describe()} [cached]")
     if missing:
         fresh = backend.run([request for _, request in missing], progress=progress)
+        if len(fresh) != len(missing):
+            # Results are positionally aligned; zip would silently truncate
+            # a short list from a misbehaving (e.g. networked) backend.
+            raise CellExecutionError(
+                f"backend returned {len(fresh)} results for {len(missing)} cells"
+            )
         for (index, request), stats in zip(missing, fresh):
             results[index] = stats
             if store is not None:

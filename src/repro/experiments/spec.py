@@ -114,6 +114,30 @@ class WorkloadSpec:
         assert self.trace_digest is not None
         return self.trace_digest
 
+    def to_payload(self) -> dict[str, object]:
+        """JSON-safe wire form (campaign submissions); profiles only.
+
+        Fixed-trace workloads would need their instruction stream shipped
+        alongside the JSON; until a campaign trace-upload path exists they
+        are rejected loudly rather than silently dropped.
+        """
+        if self.profile is None:
+            raise ValueError(
+                f"workload {self.name!r} is a fixed trace; campaign "
+                "submissions carry profile workloads only"
+            )
+        return {"name": self.name, "profile": self.profile.to_dict()}
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, object]) -> "WorkloadSpec":
+        profile = payload.get("profile")
+        if not isinstance(profile, dict):
+            raise ValueError("workload payload has no profile object")
+        return cls(
+            name=str(payload["name"]),
+            profile=WorkloadProfile.from_dict(profile),
+        )
+
     def materialize(self, n_insts: int) -> Trace | ColumnTrace:
         """The trace to simulate (column-native for profiles, as-is for
         fixed traces)."""
@@ -154,6 +178,36 @@ class RunRequest:
                 "warmup": self.warmup,
                 "validate": self.validate,
             }
+        )
+
+    def to_payload(self) -> dict[str, object]:
+        """JSON-safe wire form; round-trips through :meth:`from_payload`
+        with an identical :meth:`fingerprint` (the campaign protocol's
+        correctness anchor)."""
+        return {
+            "experiment": self.experiment,
+            "workload": self.workload.to_payload(),
+            "config_label": self.config_label,
+            "config": self.config.to_dict(),
+            "n_insts": self.n_insts,
+            "warmup": self.warmup,
+            "validate": self.validate,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, object]) -> "RunRequest":
+        config = payload.get("config")
+        workload = payload.get("workload")
+        if not isinstance(config, dict) or not isinstance(workload, dict):
+            raise ValueError("run-request payload needs config and workload objects")
+        return cls(
+            experiment=str(payload["experiment"]),
+            workload=WorkloadSpec.from_payload(workload),
+            config_label=str(payload["config_label"]),
+            config=MachineConfig.from_dict(config),
+            n_insts=int(payload["n_insts"]),  # type: ignore[call-overload]
+            warmup=int(payload["warmup"]),  # type: ignore[call-overload]
+            validate=bool(payload["validate"]),
         )
 
 
@@ -226,6 +280,40 @@ class ExperimentSpec:
     def fingerprint(self) -> str:
         """Stable digest of the whole sweep (the cells plus their order)."""
         return stable_digest([request.fingerprint() for request in self.cells()])
+
+    def to_payload(self) -> dict[str, object]:
+        """JSON-safe wire form of the whole sweep (``svw-repro submit``)."""
+        return {
+            "name": self.name,
+            "configs": [
+                [label, config.to_dict()] for label, config in self.configs
+            ],
+            "workloads": [workload.to_payload() for workload in self.workloads],
+            "n_insts": self.n_insts,
+            "warmup": self.warmup,
+            "baseline": self.baseline,
+            "validate": self.validate,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, object]) -> "ExperimentSpec":
+        configs = payload.get("configs")
+        workloads = payload.get("workloads")
+        if not isinstance(configs, list) or not isinstance(workloads, list):
+            raise ValueError("experiment payload needs configs and workloads lists")
+        warmup = payload.get("warmup")
+        return cls(
+            name=str(payload["name"]),
+            configs=tuple(
+                (str(label), MachineConfig.from_dict(config))
+                for label, config in configs
+            ),
+            workloads=tuple(WorkloadSpec.from_payload(w) for w in workloads),
+            n_insts=int(payload["n_insts"]),  # type: ignore[call-overload]
+            warmup=None if warmup is None else int(warmup),  # type: ignore[call-overload]
+            baseline=str(payload.get("baseline", "baseline")),
+            validate=bool(payload.get("validate", False)),
+        )
 
 
 class ExperimentBuilder:

@@ -82,7 +82,15 @@ class ResultStore:
         self.misses = 0
 
     def path_for(self, request: RunRequest) -> Path:
-        return self.root / f"{request.fingerprint()}.json"
+        return self.fingerprint_path(request.fingerprint())
+
+    def fingerprint_path(self, fingerprint: str) -> Path:
+        """Cell file for a raw content address (validated: exactly 64 hex
+        characters, so an attacker-influenced fingerprint can never escape
+        the store directory or alias an auxiliary file)."""
+        if len(fingerprint) != 64 or not set(fingerprint) <= _HEX_DIGITS:
+            raise ValueError(f"not a cell fingerprint: {fingerprint!r}")
+        return self.root / f"{fingerprint}.json"
 
     @property
     def cost_model_path(self) -> Path:
@@ -100,8 +108,18 @@ class ResultStore:
 
     def load(self, request: RunRequest) -> SimStats | None:
         """The cached statistics for a cell, or None on miss."""
+        return self.load_stats(request.fingerprint())
+
+    def load_stats(self, fingerprint: str) -> SimStats | None:
+        """The cached statistics at a raw content address, or None.
+
+        This is the fingerprint-keyed face of :meth:`load`: remote worker
+        memoization and the campaign daemon hold only the address a
+        :class:`~repro.experiments.spec.RunRequest` hashes to, never the
+        request object itself.
+        """
         try:
-            payload = json.loads(self.path_for(request).read_text())
+            payload = json.loads(self.fingerprint_path(fingerprint).read_text())
             if payload["schema"] != SCHEMA_VERSION:
                 raise ValueError(f"schema {payload['schema']}")
             stats = SimStats.from_dict(payload["stats"])
@@ -113,22 +131,42 @@ class ResultStore:
         return stats
 
     def save(self, request: RunRequest, stats: SimStats) -> None:
-        payload = {
-            "schema": SCHEMA_VERSION,
-            # Human-readable provenance; the fingerprint alone is the key.
-            "experiment": request.experiment,
-            "workload": request.workload.name,
-            "config_label": request.config_label,
-            "config_name": request.config.name,
-            "n_insts": request.n_insts,
-            "warmup": request.warmup,
-            "validate": request.validate,
-            "stats": stats.to_dict(),
-        }
+        self.save_stats(
+            request.fingerprint(),
+            stats,
+            provenance={
+                "experiment": request.experiment,
+                "workload": request.workload.name,
+                "config_label": request.config_label,
+                "config_name": request.config.name,
+                "n_insts": request.n_insts,
+                "warmup": request.warmup,
+                "validate": request.validate,
+            },
+        )
+
+    def save_stats(
+        self,
+        fingerprint: str,
+        stats: SimStats,
+        provenance: dict[str, object] | None = None,
+    ) -> None:
+        """Persist statistics at a raw content address.
+
+        ``provenance`` is human-readable context only (the fingerprint
+        alone is the key); fingerprint-keyed writers pass through whatever
+        identity fields they were handed.
+        """
+        payload: dict[str, object] = {"schema": SCHEMA_VERSION}
+        payload.update(provenance or {})
+        payload["stats"] = stats.to_dict()
         # Atomic replace via a uniquely-named tmp file: workers of a
         # parallel sweep sharing one --cache-dir can race on the same cell
         # without a reader ever observing torn JSON.
-        atomic_write_text(self.path_for(request), json.dumps(payload, sort_keys=True, indent=1))
+        atomic_write_text(
+            self.fingerprint_path(fingerprint),
+            json.dumps(payload, sort_keys=True, indent=1),
+        )
 
     def merge(self, other: "ResultStore | str | Path") -> MergeReport:
         """Fold another store's cells into this one by content address.

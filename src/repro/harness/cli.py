@@ -18,6 +18,12 @@ Examples::
     svw-repro worker --port 7501           # start a remote worker agent
     svw-repro fig5 --remote-workers hostA:7501,hostB:7501
     svw-repro bench-sweep --quick --remote-workers auto:2   # loopback fleet
+    svw-repro campaignd --port 7500 --cache-dir ~/.cache/svw   # sweep service
+    svw-repro worker --port 7501 --register hostD:7500     # join its fleet
+    svw-repro submit fig5 --campaign hostD:7500            # enqueue + return
+    svw-repro status fig5 --campaign hostD:7500
+    svw-repro fetch fig5 --campaign hostD:7500             # wait + render
+    svw-repro fig5 --campaign hostD:7500   # figure sweep as a campaign
 """
 
 from __future__ import annotations
@@ -30,8 +36,15 @@ import sys
 import time
 from typing import Callable
 
-from repro.experiments.backends import make_backend
+from repro.experiments.backends import CellExecutionError, make_backend
 from repro.experiments.batch import session_cost_model
+from repro.experiments.campaign import (
+    CampaignBackend,
+    CampaignClient,
+    CampaignDaemon,
+    CampaignError,
+    spec_campaign_id,
+)
 from repro.experiments.pool import shutdown_session_pools
 from repro.experiments.remote import RemoteBackend, WorkerAgent, resolve_worker_fleet
 from repro.experiments.results import FigureResult
@@ -51,6 +64,22 @@ _EXPERIMENTS: dict[str, Callable[..., FigureResult]] = {
     "composition": figures.composition_experiment,
     "svw-replacement": figures.svw_replacement_experiment,
 }
+
+#: Spec constructors for the campaign commands (submit ships the spec
+#: payload; status/cancel re-derive the content-addressed campaign id).
+_SPECS: dict[str, Callable] = {
+    "fig5": figures.figure5_spec,
+    "fig6": figures.figure6_spec,
+    "fig7": figures.figure7_spec,
+    "fig8": figures.figure8_spec,
+    "ssn-width": figures.ssn_width_spec,
+    "spec-updates": figures.spec_updates_spec,
+    "composition": figures.composition_spec,
+    "svw-replacement": figures.svw_replacement_spec,
+}
+
+#: Subcommands that talk to a campaign daemon about one campaign.
+_CAMPAIGN_COMMANDS = ("submit", "status", "fetch", "cancel")
 
 
 def _progress(message: str) -> None:
@@ -98,6 +127,90 @@ def run_experiment(
     return result
 
 
+def _is_campaign_id(value: str) -> bool:
+    return len(value) == 64 and all(c in "0123456789abcdef" for c in value)
+
+
+def _run_campaign_command(args, benchmarks: list[str] | None) -> int:
+    """``svw-repro submit/status/fetch/cancel`` against a campaign daemon.
+
+    ``submit`` enqueues and returns immediately; ``fetch`` waits for
+    completion and renders the figure (through the ordinary
+    :class:`~repro.experiments.campaign.CampaignBackend` path, so results
+    are fingerprint-verified); ``status``/``cancel`` accept either an
+    experiment name (the campaign id is re-derived from the spec, which
+    must be built with the same ``--insts``/``--benchmarks``) or a raw id.
+    """
+    command = args.experiment
+    if args.campaign is None:
+        raise SystemExit(f"{command}: --campaign HOST:PORT is required")
+    if args.target is None:
+        raise SystemExit(
+            f"{command}: a target is required (an experiment name"
+            + (")" if command in ("submit", "fetch") else " or a campaign id)")
+        )
+    spec = None
+    if args.target in _SPECS:
+        spec = _SPECS[args.target](benchmarks, args.insts)
+        campaign_id = spec_campaign_id(spec)
+    elif command not in ("submit", "fetch") and _is_campaign_id(args.target):
+        campaign_id = args.target
+    else:
+        choices = ", ".join(sorted(_SPECS))
+        raise SystemExit(
+            f"{command}: unknown target {args.target!r} (expected one of "
+            f"{choices}"
+            + ("" if command in ("submit", "fetch") else ", or a 64-hex campaign id")
+            + ")"
+        )
+    try:
+        if command == "fetch":
+            store = ResultStore(args.cache_dir) if args.cache_dir else None
+            result = run_experiment(
+                args.target,
+                benchmarks,
+                args.insts,
+                args.quiet,
+                backend=CampaignBackend(args.campaign),
+                store=store,
+                render=args.json != "-",
+            )
+            if args.json is not None:
+                payload = json.dumps({args.target: result.to_dict()}, indent=1)
+                if args.json == "-":
+                    print(payload)
+                else:
+                    with open(args.json, "w") as handle:
+                        handle.write(payload + "\n")
+            return 0
+        with CampaignClient(args.campaign) as client:
+            if command == "submit":
+                reply = client.submit(spec=spec)
+                attached = " (attached to existing campaign)" if reply.get("attached") else ""
+                print(f"campaign {reply['campaign']}")
+                print(
+                    f"  {args.target}: {reply.get('done')}/{reply.get('total')} "
+                    f"cells done, state {reply.get('state')}{attached}"
+                )
+                return 0
+            if command == "status":
+                reply = client.status(campaign_id)
+                line = (
+                    f"campaign {reply['campaign']}: {reply.get('state')} "
+                    f"({reply.get('done')}/{reply.get('total')} cells done)"
+                )
+                if reply.get("error"):
+                    line += f" -- {reply['error']}"
+                print(line)
+                return 1 if reply.get("state") == "failed" else 0
+            reply = client.cancel(campaign_id)
+            print(f"campaign {reply['campaign']}: {reply.get('state')}")
+            return 0
+    except (CampaignError, CellExecutionError) as exc:
+        print(f"svw-repro {command}: {exc}", file=sys.stderr)
+        return 1
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="svw-repro",
@@ -106,11 +219,22 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(_EXPERIMENTS) + ["all", "bench", "bench-sweep", "worker"],
+        choices=sorted(_EXPERIMENTS)
+        + ["all", "bench", "bench-sweep", "worker", "campaignd"]
+        + list(_CAMPAIGN_COMMANDS),
         help="which table/figure to regenerate ('bench' runs the "
         "core-simulator throughput benchmark, 'bench-sweep' the "
         "sweep-throughput/backend-equivalence benchmark, 'worker' starts "
-        "a remote execution agent serving sweeps over TCP)",
+        "a remote execution agent serving sweeps over TCP, 'campaignd' a "
+        "long-lived campaign daemon; 'submit'/'status'/'fetch'/'cancel' "
+        "talk to a campaign daemon about one campaign)",
+    )
+    parser.add_argument(
+        "target",
+        nargs="?",
+        default=None,
+        help="submit/fetch: the experiment to run as a campaign; "
+        "status/cancel: an experiment name or a raw campaign id",
     )
     parser.add_argument(
         "--insts",
@@ -176,19 +300,36 @@ def main(argv: list[str] | None = None) -> int:
         "--host",
         type=str,
         default="0.0.0.0",
-        help="worker only: interface to bind (default all interfaces)",
+        help="worker/campaignd only: interface to bind (default all interfaces)",
     )
     parser.add_argument(
         "--port",
         type=int,
         default=7501,
-        help="worker only: TCP port to listen on (0 picks a free port)",
+        help="worker/campaignd only: TCP port to listen on (0 picks a free port)",
     )
     parser.add_argument(
         "--slots",
         type=int,
         default=1,
         help="worker only: concurrent simulations this agent accepts",
+    )
+    parser.add_argument(
+        "--campaign",
+        type=str,
+        default=None,
+        metavar="HOST:PORT",
+        help="campaign daemon address: figure sweeps become campaign "
+        "submissions executed by the daemon's registered worker fleet; "
+        "required by submit/status/fetch/cancel",
+    )
+    parser.add_argument(
+        "--register",
+        type=str,
+        default=None,
+        metavar="HOST:PORT",
+        help="worker only: register with a campaign daemon (heartbeats + "
+        "dial-back job dispatch) in addition to serving direct clients",
     )
     parser.add_argument("--quiet", action="store_true", help="suppress progress output")
     parser.add_argument(
@@ -238,18 +379,30 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    if args.target is not None and args.experiment not in _CAMPAIGN_COMMANDS:
+        parser.error(f"unexpected argument {args.target!r} after {args.experiment!r}")
+
     if args.experiment == "worker":
         # A worker agent executes codec trace bytes and JSON configs only
         # (nothing pickled crosses the wire); --trace-cache-dir gives the
-        # host a persistent encoded-trace cache shared by all its agents.
+        # host a persistent encoded-trace cache shared by all its agents,
+        # --cache-dir a local result store memoizing repeat cells by
+        # fingerprint (mergeable into a central store by content address).
         cache = TraceCache(args.trace_cache_dir) if args.trace_cache_dir else None
         agent = WorkerAgent(
             host=args.host,
             port=args.port,
             slots=args.slots,
             trace_cache=cache,
+            result_store=ResultStore(args.cache_dir) if args.cache_dir else None,
             progress=None if args.quiet else _progress,
         )
+        if args.register is not None:
+            try:
+                agent.register_with(args.register)
+            except ValueError as exc:
+                agent.close()
+                raise SystemExit(f"--register: {exc}") from exc
         # The parseable contract local_worker_fleet (and fleet scripts)
         # rely on: first stdout line names the bound address.
         print(f"svw-worker listening on {agent.address}", flush=True)
@@ -261,8 +414,36 @@ def main(argv: list[str] | None = None) -> int:
             agent.close()
         return 0
 
+    if args.experiment == "campaignd":
+        cache = TraceCache(args.trace_cache_dir) if args.trace_cache_dir else None
+        daemon = CampaignDaemon(
+            host=args.host,
+            port=args.port,
+            cache_dir=args.cache_dir,
+            trace_cache=cache,
+            progress=None if args.quiet else _progress,
+        )
+        try:
+            daemon.start()
+        except RuntimeError as exc:
+            raise SystemExit(f"campaignd: {exc}") from exc
+        # Same parseable contract as the worker: first stdout line names
+        # the bound address (scripts and CI scrape the port from it).
+        print(f"svw-campaignd listening on {daemon.address}", flush=True)
+        try:
+            while daemon._thread is not None and daemon._thread.is_alive():
+                daemon._thread.join(1.0)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            daemon.close()
+        return 0
+
     benchmarks = args.benchmarks.split(",") if args.benchmarks else None
     workloads = args.workloads.split(",") if args.workloads else benchmarks
+
+    if args.experiment in _CAMPAIGN_COMMANDS:
+        return _run_campaign_command(args, benchmarks)
 
     def emit_benchmark(
         payload: dict, render, write, default_out: str, protect: str | None = None
@@ -371,10 +552,17 @@ def main(argv: list[str] | None = None) -> int:
     results: dict[str, FigureResult] = {}
     try:
         with contextlib.ExitStack() as stack:
+            if args.campaign is not None and args.remote_workers is not None:
+                raise SystemExit(
+                    "--campaign and --remote-workers are mutually exclusive "
+                    "(the campaign daemon owns its own worker fleet)"
+                )
             remote = _resolve_remote_workers(
                 args.remote_workers, stack, args.trace_cache_dir
             )
-            if remote is not None:
+            if args.campaign is not None:
+                backend = CampaignBackend(args.campaign)
+            elif remote is not None:
                 backend = RemoteBackend(remote, trace_cache=trace_cache)
             else:
                 backend = make_backend(

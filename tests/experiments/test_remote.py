@@ -305,3 +305,121 @@ class TestConcurrentClients:
             assert outcome["a"] == serial_fingerprints
             assert outcome["b"] == serial_fingerprints
             assert agent.connections_served >= 2
+
+
+class TestCompression:
+    """Negotiated zlib trace frames: used only when both hellos advertise
+    it, invisible to peers that predate the negotiation."""
+
+    def test_negotiated_zlib_requires_advertisement(self):
+        from repro.experiments.remote import negotiated_zlib
+
+        assert negotiated_zlib({"compress": ["zlib"]})
+        assert not negotiated_zlib({})
+        assert not negotiated_zlib({"compress": []})
+        assert not negotiated_zlib({"compress": "zlib"})  # not a list
+        assert not negotiated_zlib({"compress": ["lz4"]})
+
+    def test_decode_trace_frame(self):
+        import zlib
+
+        from repro.experiments.remote import FRAME_ZTRACE, decode_trace_frame
+
+        assert decode_trace_frame(FRAME_TRACE, b"raw", "ctx") == b"raw"
+        packed = zlib.compress(b"raw")
+        assert decode_trace_frame(FRAME_ZTRACE, packed, "ctx") == b"raw"
+        with pytest.raises(RemoteProtocolError, match="undecompressable"):
+            decode_trace_frame(FRAME_ZTRACE, b"not zlib", "ctx")
+        with pytest.raises(RemoteProtocolError, match="expected trace"):
+            decode_trace_frame(FRAME_JSON, b"{}", "ctx")
+
+    def test_both_new_sides_compress(self, requests, serial_fingerprints):
+        with WorkerAgent() as agent:
+            backend = RemoteBackend([agent.address])
+            stats = backend.run(requests)
+            assert [s.fingerprint() for s in stats] == serial_fingerprints
+            assert backend.compressed_sends > 0
+            assert agent.compressed_traces == backend.compressed_sends
+
+    def test_old_agent_keeps_working(self, requests, serial_fingerprints):
+        # An agent that does not advertise zlib gets raw T frames.
+        with WorkerAgent(compress=False) as agent:
+            backend = RemoteBackend([agent.address])
+            stats = backend.run(requests)
+            assert [s.fingerprint() for s in stats] == serial_fingerprints
+            assert backend.compressed_sends == 0
+            assert agent.compressed_traces == 0
+
+    def test_old_client_keeps_working(self, requests, serial_fingerprints):
+        # A client that does not advertise zlib never receives Z frames.
+        with WorkerAgent() as agent:
+            backend = RemoteBackend([agent.address], compress=False)
+            stats = backend.run(requests)
+            assert [s.fingerprint() for s in stats] == serial_fingerprints
+            assert backend.compressed_sends == 0
+            assert agent.compressed_traces == 0
+
+
+class TestWorkerMemoization:
+    def test_repeat_cells_answered_from_memo(
+        self, tmp_path, requests, serial_fingerprints
+    ):
+        from repro.experiments import ResultStore
+
+        store = ResultStore(tmp_path / "worker-memo")
+        with WorkerAgent(result_store=store) as agent:
+            first = RemoteBackend([agent.address]).run(requests)
+            assert [s.fingerprint() for s in first] == serial_fingerprints
+            assert agent.memo_hits == 0
+            # The same sweep again: every cell comes from the worker-local
+            # store, nothing is re-simulated, results stay bit-identical.
+            second = RemoteBackend([agent.address]).run(requests)
+            assert [s.fingerprint() for s in second] == serial_fingerprints
+            assert agent.memo_hits == len(requests)
+            assert len(store) == len(requests)
+
+    def test_memo_store_is_mergeable(self, tmp_path, requests):
+        # The worker-local store is an ordinary ResultStore: it folds into
+        # a central one by content address with no conflicts.
+        from repro.experiments import ResultStore
+
+        worker_store = ResultStore(tmp_path / "worker-memo")
+        with WorkerAgent(result_store=worker_store) as agent:
+            RemoteBackend([agent.address]).run(requests)
+        central = ResultStore(tmp_path / "central")
+        report = central.merge(worker_store)
+        assert report.merged == len(requests)
+        assert len(central) == len(requests)
+
+
+class TestAddressHardening:
+    def test_parse_worker_message_quality(self):
+        with pytest.raises(ValueError, match="is empty"):
+            parse_worker("   ")
+        with pytest.raises(ValueError, match="missing a port"):
+            parse_worker("nohost")
+        with pytest.raises(ValueError, match="missing a port"):
+            parse_worker("host:")
+        with pytest.raises(ValueError, match="missing a host"):
+            parse_worker(":7501")
+        with pytest.raises(ValueError, match="non-numeric port"):
+            parse_worker("host:port")
+        with pytest.raises(ValueError, match="out-of-range"):
+            parse_worker("host:99999")
+        # Whitespace around list entries is tolerated, not fatal.
+        assert parse_worker("  node1:7501 ") == ("node1", 7501)
+
+    def test_resolve_worker_fleet_message_quality(self):
+        import contextlib
+
+        from repro.experiments.remote import resolve_worker_fleet
+
+        with contextlib.ExitStack() as stack:
+            with pytest.raises(ValueError, match="positive integer"):
+                resolve_worker_fleet("auto:0", stack)
+            with pytest.raises(ValueError, match="positive integer"):
+                resolve_worker_fleet("auto:two", stack)
+            with pytest.raises(ValueError, match="no worker addresses"):
+                resolve_worker_fleet(",,,", stack)
+            with pytest.raises(ValueError, match="non-numeric port"):
+                resolve_worker_fleet("a:1,malformed:x", stack)
