@@ -44,6 +44,11 @@ The pieces:
   graceful drain), dedups overlapping cells by content address, and
   journals campaigns so client reconnects and daemon restarts resume
   without recomputing finished cells.
+- :class:`FaultPlan` -- deterministic fault injection for the remote and
+  campaign tiers (``--fault-plan`` on workers and the daemon): a seeded,
+  bounded schedule of drops, crashes, delays, corrupted/truncated trace
+  frames, and torn journal appends, used by the chaos-equivalence
+  harness to prove results stay bit-identical under failure.
 - :class:`TraceProvider` -- per-sweep trace materialization: generation
   runs at most once per (workload, seed, budget), optionally backed by an
   on-disk :class:`~repro.workloads.trace_cache.TraceCache`.
@@ -72,9 +77,18 @@ from repro.experiments.campaign import (
     CampaignClient,
     CampaignDaemon,
     CampaignError,
+    CampaignUnreachableError,
+    JournalScrubReport,
+    scrub_journals,
 )
+from repro.experiments.faults import FaultEvent, FaultPlan
 from repro.experiments.pool import shutdown_session_pools
-from repro.experiments.remote import RemoteBackend, WorkerAgent, local_worker_fleet
+from repro.experiments.remote import (
+    CorruptTraceError,
+    RemoteBackend,
+    WorkerAgent,
+    local_worker_fleet,
+)
 from repro.experiments.results import FigureResult
 from repro.experiments.traces import TraceProvider, workload_key
 from repro.experiments.run import run_experiment
@@ -87,7 +101,12 @@ from repro.experiments.spec import (
     matrix_spec,
     resolve_benchmarks,
 )
-from repro.experiments.store import MergeReport, ResultMergeError, ResultStore
+from repro.experiments.store import (
+    FsckReport,
+    MergeReport,
+    ResultMergeError,
+    ResultStore,
+)
 
 __all__ = [
     "DEFAULT_INSTS",
@@ -96,12 +115,18 @@ __all__ = [
     "CampaignClient",
     "CampaignDaemon",
     "CampaignError",
+    "CampaignUnreachableError",
     "CellExecutionError",
+    "CorruptTraceError",
     "CostModel",
     "ExecutionBackend",
     "ExperimentBuilder",
     "ExperimentSpec",
+    "FaultEvent",
+    "FaultPlan",
     "FigureResult",
+    "FsckReport",
+    "JournalScrubReport",
     "MergeReport",
     "ProcessPoolBackend",
     "RemoteBackend",
@@ -118,6 +143,7 @@ __all__ = [
     "matrix_spec",
     "resolve_benchmarks",
     "run_experiment",
+    "scrub_journals",
     "session_cost_model",
     "shutdown_session_pools",
     "submission_order",

@@ -111,6 +111,21 @@ class CostModel:
         """Expected cost of one cell (weighted instruction budget)."""
         return request.n_insts * self.weight(request.config)
 
+    def expected_seconds(self, config: MachineConfig, n_insts: int) -> float | None:
+        """Predicted wall seconds for ``n_insts`` on ``config``, or None
+        when the config was never measured.
+
+        Unlike :meth:`weight` this is an *absolute* estimate, so there is
+        no heuristic fallback -- callers deriving job deadlines must treat
+        an unmeasured config as "no deadline", never guess one (a wrong
+        relative weight costs balance; a wrong absolute deadline would
+        strike healthy workers).
+        """
+        rate = self._rates.get(config.name)
+        if rate is None or rate <= 0.0 or n_insts <= 0:
+            return None
+        return rate * n_insts
+
     # -- persistence ---------------------------------------------------------
 
     def to_dict(self) -> dict[str, object]:

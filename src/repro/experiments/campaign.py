@@ -44,12 +44,23 @@ the remote backend.
 Durability: with ``--cache-dir`` the daemon anchors a central
 :class:`~repro.experiments.store.ResultStore` (completed cells are
 persisted there the moment they arrive, and satisfied from there at
-submit time), journals each campaign as one atomic JSON file under
-``<cache-dir>/campaigns/``, and persists the cost model.  A restarted
-daemon replays the journal: finished cells hit the store, unfinished
-ones re-enter the queue, and reconnecting clients (or idempotent
-re-submissions -- campaign ids are content addresses of the submission)
-resume without recomputing anything.
+submit time), journals each campaign under ``<cache-dir>/campaigns/``,
+and persists the cost model.  Journals are JSONL (schema 2): one
+atomically-written header record naming the submission, then one
+appended record per state transition and completed cell.  Replay is
+tolerant by construction -- a record torn by kill -9 mid-append is
+skipped with a warning and the store recheck recovers the cell -- and
+schema-1 journals (one atomic JSON object) still replay and are migrated
+on the spot.  A restarted daemon replays the journal: finished cells hit
+the store, unfinished ones re-enter the queue, and reconnecting clients
+(or idempotent re-submissions -- campaign ids are content addresses of
+the submission) resume without recomputing anything.
+
+Resilience (PR 7): per-job execution deadlines derived from the cost
+model strike stragglers and re-dispatch their cells; repeated strikes
+quarantine a worker with exponential-backoff readmission; a seeded
+:class:`~repro.experiments.faults.FaultPlan` can be injected to prove
+all of it deterministically (the ``chaos-equivalence`` CI gate).
 """
 
 from __future__ import annotations
@@ -63,7 +74,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Sequence
 
-from repro.experiments.backends import CellExecutionError, ProgressFn
+from repro.experiments.backends import CellExecutionError, ProgressFn, SerialBackend
+from repro.experiments.faults import FaultPlan
 from repro.experiments.remote import (
     _HEADER,
     FRAME_JSON,
@@ -74,6 +86,7 @@ from repro.experiments.remote import (
     RemoteProtocolError,
     build_job_message,
     check_frame_header,
+    derive_deadline,
     negotiated_zlib,
     parse_worker,
     recv_json,
@@ -86,8 +99,10 @@ from repro.fingerprint import stable_digest
 from repro.pipeline.stats import SimStats
 from repro.workloads.trace_cache import TraceCache
 
-#: Journal payload layout version.
-JOURNAL_SCHEMA = 1
+#: Journal payload layout version.  Schema 2 is JSONL: an atomic header
+#: record plus appended transition records; schema 1 (one whole-file JSON
+#: object) still replays and is migrated at load.
+JOURNAL_SCHEMA = 2
 
 #: Campaign states a client can observe.
 TERMINAL_STATES = ("done", "failed", "cancelled")
@@ -95,6 +110,12 @@ TERMINAL_STATES = ("done", "failed", "cancelled")
 
 class CampaignError(RuntimeError):
     """A campaign request failed (unknown id, malformed submission, ...)."""
+
+
+class CampaignUnreachableError(CampaignError):
+    """No daemon answered within ``retry_timeout`` -- a connection-level
+    outage, not a request error, so callers may degrade gracefully
+    (``CampaignBackend(fallback="local")`` runs the cells serially)."""
 
 
 # ------------------------------------------------------------- asyncio framing
@@ -196,6 +217,20 @@ class _Worker:
     job_writers: list = field(default_factory=list)
 
 
+@dataclass
+class _WorkerHealth:
+    """Strike/quarantine record for one worker id.
+
+    Outlives the :class:`_Worker` registration (keyed by ``host:port``
+    in the daemon's ``_health`` map), so a worker that fails, drops off
+    the registry, and re-registers carries its history with it.
+    """
+
+    strikes: int = 0
+    quarantines: int = 0
+    quarantined_until: float = 0.0  # time.monotonic() deadline, 0 = clear
+
+
 class _CellFailed(Exception):
     """A worker answered with a deterministic error frame for a cell."""
 
@@ -219,6 +254,129 @@ def spec_campaign_id(spec: "ExperimentSpec") -> str:
             seen.add(fingerprint)
             fingerprints.append(fingerprint)
     return campaign_id_for(spec.name, fingerprints)
+
+
+# ------------------------------------------------------------- journal reading
+
+
+def _read_journal(path: Path) -> tuple[dict | None, int]:
+    """Parse one journal file tolerantly.
+
+    Returns ``(payload, torn_records)`` where ``payload`` has the header
+    fields (``name``/``status``/``error``/``cells``) with the status
+    updated by the last intact ``status`` record, or ``None`` when the
+    file is unreadable or its header is damaged.  ``torn_records`` counts
+    skipped unparseable lines -- the scar tissue of interrupted appends.
+
+    Reads both layouts: schema-2 JSONL (``*.jsonl``) and the legacy
+    schema-1 whole-file JSON object (``*.json``).
+    """
+    try:
+        text = path.read_text()
+    except OSError:
+        return None, 0
+    if path.suffix == ".json":
+        try:
+            payload = json.loads(text)
+            if not isinstance(payload, dict) or payload.get("schema") != 1:
+                return None, 0
+            return payload, 0
+        except ValueError:
+            return None, 1  # torn whole-file journal (pre-JSONL era)
+    header: dict | None = None
+    torn = 0
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+            if not isinstance(record, dict):
+                raise ValueError("journal record is not an object")
+        except ValueError:
+            torn += 1
+            continue
+        if header is None:
+            if (
+                record.get("record") != "campaign"
+                or record.get("schema") != JOURNAL_SCHEMA
+            ):
+                torn += 1
+                continue
+            header = record
+        elif record.get("record") == "status":
+            header["status"] = str(record.get("status", header.get("status")))
+            header["error"] = record.get("error")
+        # "cell" records are breadcrumbs only; the store recheck is
+        # authoritative for per-cell completion.
+    return header, torn
+
+
+@dataclass
+class JournalScrubReport:
+    """What ``svw-repro fsck`` found (and fixed) in the journal dir."""
+
+    scanned: int = 0
+    campaigns: int = 0
+    torn_records: int = 0
+    unreadable: list[str] = field(default_factory=list)
+    repaired: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.torn_records and not self.unreadable
+
+    def describe(self) -> str:
+        parts = [f"{self.scanned} journal(s), {self.campaigns} readable campaign(s)"]
+        if self.torn_records:
+            parts.append(f"{self.torn_records} torn record(s)")
+        if self.unreadable:
+            parts.append(f"{len(self.unreadable)} unreadable file(s)")
+        if self.repaired:
+            parts.append(f"{self.repaired} repaired")
+        return ", ".join(parts)
+
+
+def scrub_journals(journal_dir: str | Path, fix: bool = False) -> JournalScrubReport:
+    """Scan (and with ``fix``, compact) every campaign journal.
+
+    A torn record never blocks replay -- the daemon skips it -- so this
+    is hygiene, not rescue: ``fix`` rewrites each damaged JSONL journal
+    atomically with only its intact records, and removes files whose
+    header is beyond recovery (a journal that cannot name its campaign
+    resumes nothing anyway).
+    """
+    journal_dir = Path(journal_dir)
+    report = JournalScrubReport()
+    if not journal_dir.is_dir():
+        return report
+    from repro.ioutil import atomic_write_text
+
+    for path in sorted(journal_dir.glob("*.json*")):
+        report.scanned += 1
+        payload, torn = _read_journal(path)
+        report.torn_records += torn
+        if payload is None:
+            report.unreadable.append(path.name)
+            if fix:
+                path.unlink(missing_ok=True)
+                report.repaired += 1
+            continue
+        report.campaigns += 1
+        if torn and fix and path.suffix == ".jsonl":
+            lines = []
+            for line in path.read_text().splitlines():
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    if isinstance(json.loads(line), dict):
+                        lines.append(line)
+                except ValueError:
+                    continue
+            atomic_write_text(path, "\n".join(lines) + "\n")
+            report.repaired += 1
+    return report
 
 
 # ------------------------------------------------------------------ the daemon
@@ -249,9 +407,20 @@ class CampaignDaemon:
         connect_timeout: float = 10.0,
         compress: bool = True,
         progress: Callable[[str], None] | None = None,
+        job_deadline: float | str | None = "auto",
+        quarantine_after: int = 3,
+        quarantine_base: float = 5.0,
+        quarantine_cap: float = 300.0,
+        faults: FaultPlan | None = None,
     ) -> None:
         if max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
+        if quarantine_after < 1:
+            raise ValueError("quarantine_after must be >= 1")
+        if job_deadline is not None and job_deadline != "auto":
+            job_deadline = float(job_deadline)
+            if job_deadline <= 0:
+                raise ValueError("job_deadline must be positive (or None/'auto')")
         self._bind_host = host
         self._bind_port = port
         self.host = host
@@ -272,6 +441,14 @@ class CampaignDaemon:
         self.connect_timeout = connect_timeout
         self.compress = compress
         self.progress = progress
+        self.job_deadline = job_deadline
+        self.quarantine_after = quarantine_after
+        self.quarantine_base = quarantine_base
+        self.quarantine_cap = quarantine_cap
+        self.faults = faults
+        #: worker id -> strike/quarantine history (persists across
+        #: registrations for the daemon's lifetime).
+        self._health: dict[str, _WorkerHealth] = {}
         self._provider = TraceProvider(cache=trace_cache)
         self._digests: dict[str, str] = {}
         self._conn_writers: set = set()
@@ -295,6 +472,10 @@ class CampaignDaemon:
         self.cells_from_store = 0
         #: Cells a submission shared with an already-known campaign.
         self.cells_deduped = 0
+        #: Jobs struck by the per-job deadline (cell re-dispatched).
+        self.stragglers = 0
+        #: Journal records skipped as torn during replay.
+        self.journal_torn_records = 0
 
     @property
     def address(self) -> str:
@@ -466,6 +647,24 @@ class CampaignDaemon:
             )
             return
         host = str(register.get("host") or (peer[0] if peer else "127.0.0.1"))
+        health = self._health.get(f"{host}:{port}")
+        if health is not None:
+            remaining = health.quarantined_until - time.monotonic()
+            if remaining > 0:
+                # Refuse, don't drop: the worker's registry loop hears the
+                # reason, backs off exponentially, and retries -- which IS
+                # the readmission path once the quarantine lapses.
+                await _send_json_async(
+                    writer,
+                    {
+                        "type": "error",
+                        "message": (
+                            f"worker {host}:{port} quarantined for another "
+                            f"{remaining:.1f}s after repeated failures"
+                        ),
+                    },
+                )
+                return
         advertised = register.get("compress")
         worker = _Worker(
             id=f"{host}:{port}",
@@ -529,6 +728,26 @@ class CampaignDaemon:
         finally:
             await self._remove_worker(worker)
 
+    def _strike_locked(self, worker_id: str, reason: str) -> float | None:
+        """Score one failure against a worker (caller holds ``_work``).
+
+        Returns the quarantine pause in seconds when this strike tripped
+        the threshold (``quarantine_after`` consecutive failures without a
+        completed job), else None.  Each successive quarantine doubles the
+        pause up to ``quarantine_cap``; a completed cell clears the strike
+        count (see :meth:`_cell_done`), so only *repeated* failures
+        escalate.
+        """
+        health = self._health.setdefault(worker_id, _WorkerHealth())
+        health.strikes += 1
+        if health.strikes < self.quarantine_after:
+            return None
+        pause = min(self.quarantine_base * (2 ** health.quarantines), self.quarantine_cap)
+        health.quarantined_until = time.monotonic() + pause
+        health.quarantines += 1
+        health.strikes = 0
+        return pause
+
     async def _remove_worker(self, worker: _Worker) -> None:
         import asyncio
 
@@ -575,7 +794,13 @@ class CampaignDaemon:
                 # heartbeat tick.
                 async with self._work:
                     worker.dead = True
+                    pause = self._strike_locked(worker.id, "dial-back failed")
                     self._work.notify_all()
+                if pause is not None and self.progress is not None:
+                    self.progress(
+                        f"campaignd: worker {worker.id} quarantined for "
+                        f"{pause:.1f}s (repeated failures, last: dial-back failed)"
+                    )
                 return
             compress = self.compress and negotiated_zlib(peer)
             while True:
@@ -627,6 +852,8 @@ class CampaignDaemon:
     async def _run_job(
         self, reader, writer, cell: _Cell, compress: bool
     ) -> tuple[SimStats, float]:
+        import asyncio
+
         key = request_key(cell.request)
         digest = self._digests.get(key)
         if digest is None and self._provider.has_encoded(
@@ -634,16 +861,40 @@ class CampaignDaemon:
         ):
             await self._encoded(cell.request)  # memoized; fills the digest map
             digest = self._digests.get(key)
+        # The execution deadline covers the whole exchange (trace transfer
+        # included): a worker quiet past it is a straggler, and the
+        # TimeoutError -- an OSError -- rides the worker-lost path, which
+        # re-queues the cell at another worker (hedged retry) and strikes
+        # this one's health score.
+        deadline = derive_deadline(self.cost_model, cell.request, self.job_deadline)
+        loop = asyncio.get_running_loop()
+        budget = None if deadline is None else loop.time() + deadline
+
+        async def recv_within_deadline() -> dict:
+            if budget is None:
+                return await _recv_json_async(reader)
+            remaining = budget - loop.time()
+            if remaining <= 0:
+                raise TimeoutError(f"job deadline {deadline:.1f}s exceeded")
+            try:
+                return await asyncio.wait_for(_recv_json_async(reader), remaining)
+            except asyncio.TimeoutError:
+                self.stragglers += 1
+                raise TimeoutError(f"job deadline {deadline:.1f}s exceeded") from None
+
         await _send_json_async(
             writer, build_job_message(cell.request, cell.fingerprint, key, digest)
         )
         while True:
-            message = await _recv_json_async(reader)
+            message = await recv_within_deadline()
             kind = message.get("type")
             if kind == "need_trace":
-                await _send_trace_async(
-                    writer, await self._encoded(cell.request), compress
-                )
+                data = await self._encoded(cell.request)
+                if self.faults is not None:
+                    mutated = self.faults.mutate_trace("daemon.trace", data)
+                    if mutated is not None:
+                        data = mutated
+                await _send_trace_async(writer, data, compress)
             elif kind == "result":
                 try:
                     stats = SimStats.from_dict(message["stats"])
@@ -689,16 +940,21 @@ class CampaignDaemon:
             self.store.save_stats(cell.fingerprint, stats, provenance=provenance)
         self.cost_model.observe(cell.request.config, cell.request.n_insts, seconds)
         finished: list[_Campaign] = []
+        affected: list[_Campaign] = []
         async with self._work:
             worker.in_flight -= 1
             worker.jobs_done += 1
             self.cells_simulated += 1
+            health = self._health.get(worker.id)
+            if health is not None:
+                health.strikes = 0  # a completed cell proves health
             cell.status = "done"
             cell.stats_payload = stats.to_dict()
             cell.stats_fingerprint = stats.fingerprint()
             for campaign_id in cell.campaigns:
                 campaign = self._campaigns[campaign_id]
                 campaign.remaining.discard(cell.fingerprint)
+                affected.append(campaign)
                 if not campaign.remaining and campaign.status == "running":
                     campaign.status = "done"
                     finished.append(campaign)
@@ -707,8 +963,12 @@ class CampaignDaemon:
             self.progress(
                 f"campaignd: {cell.request.describe()} [done @{worker.id}]"
             )
+        for campaign in affected:
+            self._journal_event(
+                campaign, {"record": "cell", "fingerprint": cell.fingerprint}
+            )
         for campaign in finished:
-            self._write_journal(campaign)
+            self._journal_status(campaign)
 
     async def _cell_failed(self, worker: _Worker, cell: _Cell, message: str) -> None:
         async with self._work:
@@ -716,13 +976,14 @@ class CampaignDaemon:
             failed = self._fail_cell_locked(cell, message)
             self._work.notify_all()
         for campaign in failed:
-            self._write_journal(campaign)
+            self._journal_status(campaign)
 
     async def _worker_lost(self, worker: _Worker, cell: _Cell, exc: Exception) -> None:
         failed: list[_Campaign] = []
         async with self._work:
             worker.in_flight -= 1
             worker.dead = True
+            pause = self._strike_locked(worker.id, str(exc))
             if cell.status == "in_flight":
                 if cell.attempts >= self.max_attempts:
                     failed = self._fail_cell_locked(
@@ -736,8 +997,13 @@ class CampaignDaemon:
             self._work.notify_all()
         if self.progress is not None:
             self.progress(f"campaignd: worker {worker.id} lost ({exc})")
+            if pause is not None:
+                self.progress(
+                    f"campaignd: worker {worker.id} quarantined for {pause:.1f}s "
+                    f"(repeated failures, last: {exc})"
+                )
         for campaign in failed:
-            self._write_journal(campaign)
+            self._journal_status(campaign)
 
     def _fail_cell_locked(self, cell: _Cell, message: str) -> list[_Campaign]:
         """Mark a cell (and every campaign waiting on it) failed; release
@@ -978,10 +1244,11 @@ class CampaignDaemon:
                         del self._cells[fingerprint]
                 campaign.remaining.clear()
                 self._work.notify_all()
-        self._write_journal(campaign)
+        self._journal_status(campaign)
         return {"type": "cancelled", "campaign": campaign.id, "state": campaign.status}
 
     async def _handle_stats(self) -> dict:
+        now = time.monotonic()
         async with self._work:
             workers = [
                 {
@@ -991,8 +1258,22 @@ class CampaignDaemon:
                     "in_flight": worker.in_flight,
                     "jobs_done": worker.jobs_done,
                     "draining": worker.draining,
+                    "strikes": (
+                        self._health[worker.id].strikes
+                        if worker.id in self._health
+                        else 0
+                    ),
                 }
                 for worker in self._workers.values()
+            ]
+            quarantined = [
+                {
+                    "id": worker_id,
+                    "seconds_left": round(health.quarantined_until - now, 1),
+                    "quarantines": health.quarantines,
+                }
+                for worker_id, health in sorted(self._health.items())
+                if health.quarantined_until > now
             ]
             pending = len(self._pending)
             in_flight = sum(
@@ -1001,22 +1282,42 @@ class CampaignDaemon:
         return {
             "type": "stats",
             "workers": sorted(workers, key=lambda w: w["id"]),
+            "quarantined": quarantined,
             "campaigns": len(self._campaigns),
             "cells_pending": pending,
             "cells_in_flight": in_flight,
             "cells_simulated": self.cells_simulated,
             "cells_from_store": self.cells_from_store,
             "cells_deduped": self.cells_deduped,
+            "stragglers": self.stragglers,
         }
 
     # -- journal -------------------------------------------------------------
+    #
+    # Schema 2 is JSONL.  The header record (written atomically, whole
+    # file) names the submission; every later state change is an O(1)
+    # *append*: a ``status`` record on done/failed/cancelled, a ``cell``
+    # breadcrumb per completed cell.  Appends are the one non-atomic write
+    # in the tree -- a kill -9 mid-append leaves a torn final line -- so
+    # replay skips any unparseable line with a warning and lets the store
+    # recheck recover what the breadcrumb would have said.  The ``cell``
+    # records are exactly that: breadcrumbs for humans and fsck, never
+    # load-bearing (the store is the single source of truth for
+    # completion).
+
+    def _journal_path(self, campaign: _Campaign) -> Path:
+        assert self.journal_dir is not None
+        return self.journal_dir / f"{campaign.id}.jsonl"
 
     def _write_journal(self, campaign: _Campaign) -> None:
+        """Write a campaign's full journal snapshot (header + current
+        status), atomically -- submission time and v1 migration."""
         if self.journal_dir is None:
             return
         from repro.ioutil import atomic_write_text
 
-        payload = {
+        header = {
+            "record": "campaign",
             "schema": JOURNAL_SCHEMA,
             "campaign": campaign.id,
             "name": campaign.name,
@@ -1025,24 +1326,70 @@ class CampaignDaemon:
             "cells": campaign.cell_payloads,
         }
         atomic_write_text(
-            self.journal_dir / f"{campaign.id}.json",
-            json.dumps(payload, sort_keys=True, indent=1),
+            self._journal_path(campaign), json.dumps(header, sort_keys=True) + "\n"
+        )
+
+    def _journal_event(self, campaign: _Campaign, record: dict) -> None:
+        """Append one record to a campaign's journal (best-effort; the
+        configured fault plan may tear the write, as kill -9 would)."""
+        if self.journal_dir is None:
+            return
+        from repro.ioutil import append_bytes
+
+        path = self._journal_path(campaign)
+        if not path.exists():
+            return  # never journaled (no header): nothing to append to
+        data = (json.dumps(record, sort_keys=True) + "\n").encode("utf-8")
+        if self.faults is not None:
+            keep = self.faults.torn_append("daemon.journal", len(data))
+            if keep is not None:
+                data = data[:keep]
+        try:
+            append_bytes(path, data)
+        except OSError:
+            pass  # journal loss degrades resume, never correctness
+
+    def _journal_status(self, campaign: _Campaign) -> None:
+        self._journal_event(
+            campaign,
+            {"record": "status", "status": campaign.status, "error": campaign.error},
         )
 
     async def _load_journals(self) -> None:
         """Replay persisted campaigns (daemon restart): finished cells are
-        satisfied from the store, unfinished ones re-enter the queue."""
+        satisfied from the store, unfinished ones re-enter the queue.
+
+        Reads both schema-2 JSONL journals and legacy schema-1 whole-file
+        JSON ones (migrated to JSONL on the spot).  Torn records -- the
+        final line a kill -9 interrupted, or the line that merged with the
+        append after it -- are skipped with a warning; the store recheck
+        in :meth:`_register_campaign` recovers anything a lost breadcrumb
+        would have recorded.
+        """
         assert self.journal_dir is not None
-        for path in sorted(self.journal_dir.glob("*.json")):
+        for path in sorted(self.journal_dir.glob("*.json*")):
+            if path.suffix == ".json" and path.with_suffix(".jsonl").exists():
+                # Crash between v1->v2 migration steps: the JSONL twin is
+                # newer and complete; retire the legacy file.
+                path.unlink(missing_ok=True)
+                continue
+            payload, torn = _read_journal(path)
+            if torn:
+                self.journal_torn_records += torn
+                if self.progress is not None:
+                    self.progress(
+                        f"campaignd: journal {path.name}: skipped {torn} torn "
+                        f"record(s) (interrupted append?); the store recheck "
+                        f"recovers any lost completions"
+                    )
+            if payload is None:
+                continue  # unreadable/stale journals are skipped, not fatal
             try:
-                payload = json.loads(path.read_text())
-                if payload["schema"] != JOURNAL_SCHEMA:
-                    raise ValueError(f"schema {payload['schema']}")
                 name = str(payload["name"])
                 status = str(payload["status"])
                 requests = [RunRequest.from_payload(p) for p in payload["cells"]]
-            except (OSError, KeyError, TypeError, ValueError):
-                continue  # torn/stale journals are skipped, not fatal
+            except (KeyError, TypeError, ValueError):
+                continue
             if not requests:
                 continue
             if status == "running":
@@ -1065,6 +1412,12 @@ class CampaignDaemon:
                     error=payload.get("error"),
                 )
                 self._campaigns.setdefault(campaign.id, campaign)
+                campaign = self._campaigns[campaign.id]
+            if path.suffix == ".json":
+                # Migrate the legacy journal to JSONL (atomic write, then
+                # retire the old file; a crash in between is handled above).
+                self._write_journal(campaign)
+                path.unlink(missing_ok=True)
 
 
 # ------------------------------------------------------------------ the client
@@ -1137,8 +1490,9 @@ class CampaignClient:
                 self._drop()
                 last = exc
                 if time.monotonic() >= deadline:
-                    raise CampaignError(
-                        f"campaign daemon at {self.address} unreachable: {last}"
+                    raise CampaignUnreachableError(
+                        f"campaign daemon at {self.address} unreachable "
+                        f"for {self.retry_timeout:.0f}s: {last}"
                     ) from exc
                 time.sleep(self.retry_interval)
                 continue
@@ -1238,6 +1592,15 @@ class CampaignBackend:
     :class:`~repro.experiments.remote.RemoteBackend` does.  Results are
     positionally aligned with the request list and bit-identical to
     :class:`~repro.experiments.backends.SerialBackend`.
+
+    ``fallback="local"`` opts into graceful degradation: when the daemon
+    stays unreachable past ``retry_timeout`` (at submit or anywhere in
+    the poll loop), the cells run locally through
+    :class:`~repro.experiments.backends.SerialBackend` instead of
+    failing the sweep.  Local execution produces the same bit-identical
+    results by construction -- the daemon is a throughput optimization,
+    never a correctness dependency -- so the only cost is speed.  The
+    default (``None``) keeps today's fail-loud behavior.
     """
 
     def __init__(
@@ -1246,12 +1609,18 @@ class CampaignBackend:
         poll_interval: float = 0.2,
         timeout: float | None = None,
         retry_timeout: float = 60.0,
+        fallback: str | None = None,
     ) -> None:
         parse_worker(address)  # fail at construction, not mid-sweep
+        if fallback not in (None, "local"):
+            raise ValueError(
+                f"unknown fallback {fallback!r} (supported: 'local', None)"
+            )
         self.address = address
         self.poll_interval = poll_interval
         self.timeout = timeout
         self.retry_timeout = retry_timeout
+        self.fallback = fallback
 
     def run(
         self, requests: Sequence[RunRequest], progress: ProgressFn | None = None
@@ -1259,6 +1628,21 @@ class CampaignBackend:
         requests = list(requests)
         if not requests:
             return []
+        try:
+            return self._run_campaign(requests, progress)
+        except CampaignUnreachableError as exc:
+            if self.fallback != "local":
+                raise
+            if progress is not None:
+                progress(
+                    f"campaign daemon at {self.address} unreachable ({exc}); "
+                    f"falling back to local serial execution"
+                )
+            return SerialBackend().run(requests, progress)
+
+    def _run_campaign(
+        self, requests: list[RunRequest], progress: ProgressFn | None
+    ) -> list[SimStats]:
         name = requests[0].experiment
         with CampaignClient(self.address, retry_timeout=self.retry_timeout) as client:
             submitted = client.submit(cells=requests, name=name)

@@ -76,6 +76,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import random
 import select
 import socket
 import struct
@@ -90,6 +91,7 @@ from pathlib import Path
 from typing import Callable, Iterator, Sequence
 
 from repro.experiments.backends import CellExecutionError, ProgressFn, paused_gc
+from repro.experiments.faults import CRASH_EXIT_CODE, FaultPlan
 from repro.experiments.spec import RunRequest
 from repro.experiments.store import ResultStore
 from repro.experiments.traces import TraceProvider, request_key
@@ -120,9 +122,54 @@ MAX_FRAME_BYTES = 1 << 30
 
 _HEADER = struct.Struct(">cI")
 
+#: How many times a worker re-requests a trace whose bytes arrive damaged
+#: (CRC/digest/zlib failure) before giving up on the connection.
+TRACE_FETCH_ATTEMPTS = 3
+
+#: Job-deadline derivation for ``job_deadline="auto"``: never strike a
+#: worker before the floor, and allow a generous multiple of the cost
+#: model's prediction (EMAs wobble; a straggler is *way* past expected).
+DEADLINE_FLOOR = 60.0
+DEADLINE_FACTOR = 8.0
+
 
 class RemoteProtocolError(RuntimeError):
     """The peer spoke, but not protocol v1 -- fatal, never retried."""
+
+
+class CorruptTraceError(RemoteProtocolError):
+    """Trace bytes arrived damaged (zlib, CRC, or digest mismatch).
+
+    Unlike its parent this is *retryable in place*: the frame sequence is
+    intact -- only the payload is bad -- so the receiver may re-request
+    the trace on the same connection instead of tearing it down.
+    """
+
+
+def derive_deadline(
+    cost_model: "CostModel | None",
+    request: RunRequest,
+    setting: float | str | None,
+) -> float | None:
+    """The per-job execution deadline for one cell, in seconds.
+
+    ``setting`` is the dispatcher's ``job_deadline`` knob: a number is a
+    fixed deadline, ``None`` disables deadlines, and ``"auto"`` derives
+    one from the session cost model -- ``max(DEADLINE_FLOOR, factor *
+    expected)`` when the config has measured timings, and **no deadline**
+    when it does not (guessing an absolute bound for an unmeasured config
+    would strike healthy workers on cold caches).
+    """
+    if setting is None:
+        return None
+    if setting != "auto":
+        return float(setting)
+    if cost_model is None:
+        return None
+    expected = cost_model.expected_seconds(request.config, request.n_insts)
+    if expected is None:
+        return None
+    return max(DEADLINE_FLOOR, DEADLINE_FACTOR * expected)
 
 
 # --------------------------------------------------------------------- framing
@@ -222,7 +269,8 @@ def decode_trace_frame(kind: bytes, payload: bytes, context: str) -> bytes:
         try:
             return zlib.decompress(payload)
         except zlib.error as exc:
-            raise RemoteProtocolError(f"undecompressable trace for {context}: {exc}")
+            # Damaged payload, intact framing: retryable (CorruptTraceError).
+            raise CorruptTraceError(f"undecompressable trace for {context}: {exc}")
     raise RemoteProtocolError(f"expected trace bytes for {context}, got kind {kind!r}")
 
 
@@ -290,9 +338,14 @@ class WorkerAgent:
     re-simulating -- the client still re-derives and verifies the stats
     fingerprint, exactly as for a fresh result.
 
-    ``drop_after`` is a chaos knob for re-dispatch testing: after that
-    many completed jobs the agent severs every connection and stops
-    accepting, simulating a killed host mid-sweep.
+    ``faults`` injects a deterministic :class:`~repro.experiments.faults.
+    FaultPlan` for chaos testing: the agent consults it at the top of
+    every served job (site ``worker.job``) and enacts what it decides --
+    ``drop`` severs every connection like a killed host, ``crash`` exits
+    the process without cleanup (subprocess fleets only), ``delay``
+    stalls the job to manufacture a straggler.  The retired ``drop_after``
+    knob remains as a compat shim that builds the equivalent one-fault
+    plan.
 
     :meth:`register_with` joins a campaign daemon's worker registry (see
     :mod:`repro.experiments.campaign`): the agent dials the daemon,
@@ -314,12 +367,23 @@ class WorkerAgent:
         result_store: "ResultStore | None" = None,
         compress: bool = True,
         advertise_host: str | None = None,
+        faults: FaultPlan | None = None,
     ) -> None:
         if slots < 1:
             raise ValueError("slots must be >= 1")
+        if drop_after is not None:
+            # Compat shim for the retired chaos knob: an agent that drops
+            # every connection after N completed jobs is just a one-fault
+            # plan now.
+            if faults is not None:
+                raise ValueError(
+                    "pass drop_after through the FaultPlan (FaultPlan(drop_after=N)), "
+                    "not alongside one"
+                )
+            faults = FaultPlan(drop_after=drop_after)
+        self.faults = faults
         self.slots = slots
         self.trace_cache = trace_cache
-        self.drop_after = drop_after
         self.progress = progress
         self.result_store = result_store
         self.compress = compress
@@ -346,6 +410,9 @@ class WorkerAgent:
         self.memo_hits = 0
         #: Traces that arrived as negotiated zlib (``Z``) frames.
         self.compressed_traces = 0
+        #: Wire trace transfers rejected as damaged (CRC/digest/zlib) and
+        #: re-requested.
+        self.trace_rejections = 0
 
     @property
     def address(self) -> str:
@@ -402,6 +469,7 @@ class WorkerAgent:
         daemon_address: str,
         heartbeat_interval: float = 2.0,
         retry_interval: float = 1.0,
+        retry_max: float = 30.0,
     ) -> "WorkerAgent":
         """Join a campaign daemon's worker registry (background thread).
 
@@ -410,14 +478,21 @@ class WorkerAgent:
         (plus slots and capabilities) to the daemon, which dials back with
         the ordinary job protocol.  The registry connection carries only
         tiny JSON frames: ``register`` -> ``registered``, then a
-        ``heartbeat`` every ``heartbeat_interval`` seconds; a lost daemon
-        is retried every ``retry_interval`` seconds forever, which is what
-        lets a fleet ride out daemon restarts without operator action.
+        ``heartbeat`` every ``heartbeat_interval`` seconds.
+
+        A lost or refusing daemon is retried forever with **jittered
+        exponential backoff**: the first retry waits ``retry_interval``
+        seconds, doubling up to ``retry_max``, each wait jittered to half
+        its nominal value so a restarted daemon is not stampeded by its
+        whole fleet at once.  Successful registration resets the backoff.
+        State transitions (down, refused, registered) are reported through
+        ``progress`` -- a fleet riding out a daemon restart is visible in
+        the logs, not silent.
         """
         host, port = parse_worker(daemon_address)
         self._registry_thread = threading.Thread(
             target=self._registry_loop,
-            args=(host, port, heartbeat_interval, retry_interval),
+            args=(host, port, heartbeat_interval, retry_interval, retry_max),
             name=f"svw-worker-registry-{self.port}",
             daemon=True,
         )
@@ -438,7 +513,12 @@ class WorkerAgent:
         return self._drained.wait(timeout)
 
     def _registry_loop(
-        self, host: str, port: int, heartbeat_interval: float, retry_interval: float
+        self,
+        host: str,
+        port: int,
+        heartbeat_interval: float,
+        retry_interval: float,
+        retry_max: float,
     ) -> None:
         register = {
             "type": "register",
@@ -449,23 +529,55 @@ class WorkerAgent:
         }
         if self.advertise_host is not None:
             register["host"] = self.advertise_host
+        backoff = retry_interval
+        jitter = random.Random()  # de-syncs the fleet; needs no determinism
+        down_announced = False
+
+        def back_off() -> None:
+            nonlocal backoff
+            self._closed.wait(jitter.uniform(backoff / 2, backoff))
+            backoff = min(backoff * 2, retry_max)
+
+        def announce(message: str) -> None:
+            if self.progress is not None:
+                self.progress(f"worker {self.address}: {message}")
+
         while not self._closed.is_set():
             try:
                 conn = socket.create_connection((host, port), timeout=10.0)
-            except OSError:
-                # Daemon down (or not yet up): retry quietly forever.
-                self._closed.wait(retry_interval)
+            except OSError as exc:
+                # Daemon down (or not yet up): announce the transition once,
+                # then retry with jittered exponential backoff forever.
+                if not down_announced:
+                    announce(
+                        f"daemon {host}:{port} unreachable ({exc}); "
+                        f"retrying with backoff up to {retry_max:.0f}s"
+                    )
+                    down_announced = True
+                back_off()
                 continue
             try:
                 send_json(conn, register)
                 conn.settimeout(10.0)
                 ack = recv_json(conn)
+                if ack.get("type") == "error":
+                    # An explicit refusal (e.g. quarantine) is retryable:
+                    # keep backing off until the daemon readmits us.
+                    announce(
+                        f"registration refused by {host}:{port}: "
+                        f"{ack.get('message', 'no reason given')}"
+                    )
+                    down_announced = True
+                    conn.close()
+                    back_off()
+                    continue
                 if ack.get("type") != "registered":
                     raise RemoteProtocolError(
                         f"daemon answered {ack.get('type')!r}, not registered"
                     )
-                if self.progress is not None:
-                    self.progress(f"worker {self.address}: registered with {host}:{port}")
+                backoff = retry_interval  # healthy again: reset the backoff
+                down_announced = False
+                announce(f"registered with {host}:{port}")
                 drain_sent = False
                 conn.settimeout(heartbeat_interval)
                 while not self._closed.is_set():
@@ -480,11 +592,13 @@ class WorkerAgent:
                     if message.get("type") == "drained":
                         self._drained.set()
                         return
-            except (ConnectionError, OSError, RemoteProtocolError):
-                pass  # daemon went away; reconnect below
+            except (ConnectionError, OSError, RemoteProtocolError) as exc:
+                if not self._closed.is_set():
+                    announce(f"lost daemon {host}:{port} ({exc}); reconnecting")
+                    down_announced = True
             finally:
                 conn.close()
-            self._closed.wait(retry_interval)
+            back_off()
 
     def __enter__(self) -> "WorkerAgent":
         return self.start()
@@ -515,13 +629,24 @@ class WorkerAgent:
             conn.close()
 
     def _serve_job(self, conn: socket.socket, job: dict) -> None:
-        if self.drop_after is not None:
+        if self.faults is not None:
             with self._lock:
-                drop = self.jobs_done >= self.drop_after
-            if drop:
-                # Chaos mode: die like a killed host -- no goodbye frame.
-                self.close()
-                raise ConnectionError("chaos drop")
+                jobs_done = self.jobs_done
+            event = self.faults.job_fault("worker.job", jobs_done)
+            if event is not None:
+                if event.kind == "crash":
+                    # Die like kill -9: no goodbye frame, no cleanup.  Only
+                    # meaningful for subprocess fleets -- an in-process test
+                    # agent would take its test down with it.
+                    os._exit(CRASH_EXIT_CODE)
+                if event.kind == "drop":
+                    # Chaos mode: die like a killed host -- no goodbye frame.
+                    self.close()
+                    raise ConnectionError("chaos drop")
+                if event.kind == "delay":
+                    # Straggle: stall the whole job past any deadline the
+                    # dispatcher set.  close() interrupts the nap.
+                    self._closed.wait(event.value)
         job_id = job.get("job_id")
         describe = job.get("describe", f"job {job_id}")
         if self.progress is not None:
@@ -626,8 +751,12 @@ class WorkerAgent:
         ``want_digest`` is the client's SHA-256 of the encoded bytes, when
         it knows them (see ``TraceProvider.has_encoded``): a memo or disk
         entry with a different digest is stale or poisoned and is refetched
-        instead of trusted, and wire bytes that contradict their own
-        claimed digest are a protocol error.  A job without a digest (cold
+        instead of trusted.  Wire bytes that arrive damaged -- contradicting
+        their claimed digest, undecompressable, or failing the codec CRC --
+        are **re-requested** on the same connection (the framing survived;
+        only the payload is bad) up to :data:`TRACE_FETCH_ATTEMPTS` times
+        before the connection is declared lost, so transient corruption
+        costs a transfer, never the session.  A job without a digest (cold
         client, warm host) trusts the host cache -- the documented
         perimeter trust model.
         """
@@ -652,20 +781,44 @@ class WorkerAgent:
         if trace is None:
             with self._lock:
                 self.trace_misses += 1
-            send_json(conn, {"type": "need_trace", "key": key})
-            kind, payload = recv_frame(conn)
-            if kind == FRAME_ZTRACE:
-                with self._lock:
-                    self.compressed_traces += 1
-            payload = decode_trace_frame(kind, payload, key)
-            digest = hashlib.sha256(payload).hexdigest()
-            if want_digest is not None and digest != want_digest:
+            last_error: Exception | None = None
+            for _ in range(TRACE_FETCH_ATTEMPTS):
+                send_json(conn, {"type": "need_trace", "key": key})
+                kind, payload = recv_frame(conn)
+                if kind == FRAME_ZTRACE:
+                    with self._lock:
+                        self.compressed_traces += 1
+                try:
+                    payload = decode_trace_frame(kind, payload, key)
+                    digest = hashlib.sha256(payload).hexdigest()
+                    if want_digest is not None and digest != want_digest:
+                        raise CorruptTraceError(
+                            f"trace bytes for {key!r} do not match their "
+                            "claimed digest"
+                        )
+                    # Decode before persisting: a client shipping undecodable
+                    # bytes must fail its own cell, not poison the host cache.
+                    trace = paused_gc(lambda: decode_trace(payload))
+                except (CorruptTraceError, TraceCodecError) as exc:
+                    # Damaged in transit: reject and re-request in place.
+                    with self._lock:
+                        self.trace_rejections += 1
+                    last_error = exc
+                    if self.progress is not None:
+                        self.progress(
+                            f"worker {self.address}: rejected trace for "
+                            f"{key!r} ({exc}); re-requesting"
+                        )
+                    continue
+                break
+            else:
+                # Persistent corruption is indistinguishable from a broken
+                # peer: declare the connection lost (the dispatcher
+                # re-dispatches under its own attempt bound).
                 raise RemoteProtocolError(
-                    f"trace bytes for {key!r} do not match their claimed digest"
+                    f"trace for {key!r} damaged in {TRACE_FETCH_ATTEMPTS} "
+                    f"consecutive transfers (last: {last_error})"
                 )
-            # Decode before persisting: a client shipping undecodable bytes
-            # must fail its own cell, not poison the host cache.
-            trace = paused_gc(lambda: decode_trace(payload))
             if self.trace_cache is not None:
                 self.trace_cache.save(key, payload)
         with self._lock:
@@ -713,6 +866,19 @@ class RemoteBackend:
     and a worker lost mid-cell has its cell re-dispatched to a surviving
     worker (``max_attempts`` bounds how often one cell may be struck by
     worker loss before the sweep fails).
+
+    ``job_deadline`` bounds how long one job may stay quiet before the
+    worker is declared a straggler and the cell re-dispatched (hedged
+    retry): a number is a fixed per-job deadline in seconds, ``None``
+    disables deadlines, and the default ``"auto"`` derives one from the
+    cost model via :func:`derive_deadline` -- generous multiples of
+    measured timings, and no deadline at all for never-measured configs.
+
+    ``faults`` injects a :class:`~repro.experiments.faults.FaultPlan` on
+    the *sending* side (site ``client.trace``): outgoing trace bytes may
+    be corrupted or truncated before framing, which is how the chaos
+    suite proves a damaged transfer costs a re-request, never a wrong
+    figure.
     """
 
     def __init__(
@@ -723,6 +889,8 @@ class RemoteBackend:
         max_attempts: int = 3,
         connect_timeout: float = 10.0,
         compress: bool = True,
+        job_deadline: float | str | None = "auto",
+        faults: FaultPlan | None = None,
     ) -> None:
         self.addresses = [
             address if isinstance(address, str) else f"{address[0]}:{address[1]}"
@@ -743,9 +911,17 @@ class RemoteBackend:
         self.max_attempts = max_attempts
         self.connect_timeout = connect_timeout
         self.compress = compress
+        if job_deadline is not None and job_deadline != "auto":
+            job_deadline = float(job_deadline)
+            if job_deadline <= 0:
+                raise ValueError("job_deadline must be positive (or None/'auto')")
+        self.job_deadline = job_deadline
+        self.faults = faults
         self.last_provider: TraceProvider | None = None
         #: Traces this backend shipped as negotiated zlib frames.
         self.compressed_sends = 0
+        #: Jobs struck by the deadline and re-dispatched (hedged retries).
+        self.stragglers = 0
 
     # -- connection ----------------------------------------------------------
 
@@ -931,9 +1107,23 @@ class RemoteBackend:
                     provider.encoded(request.workload, request.n_insts)
                 ).hexdigest()
                 digests[key] = digest
+        # The per-job execution deadline rides on the socket: any recv in
+        # this exchange left waiting past it raises socket.timeout, an
+        # OSError, which the scheduler's worker-loss path converts into a
+        # front-of-queue re-dispatch -- exactly the hedged-retry semantics
+        # a straggler needs.
+        deadline = derive_deadline(self.cost_model, request, self.job_deadline)
+        conn.settimeout(deadline)
         send_json(conn, build_job_message(request, index, key, digest))
         while True:
-            message = recv_json(conn)
+            try:
+                message = recv_json(conn)
+            except socket.timeout:
+                self.stragglers += 1
+                raise TimeoutError(
+                    f"job deadline {deadline:.1f}s exceeded by {address} "
+                    f"({request.describe()}); re-dispatching"
+                ) from None
             kind = message.get("type")
             if kind == "need_trace":
                 # Generation/encode is memoized per sweep; the lock keeps
@@ -942,6 +1132,10 @@ class RemoteBackend:
                 with provider_lock:
                     data = provider.encoded(request.workload, request.n_insts)
                     digests.setdefault(key, hashlib.sha256(data).hexdigest())
+                if self.faults is not None:
+                    mutated = self.faults.mutate_trace("client.trace", data)
+                    if mutated is not None:
+                        data = mutated
                 if compress:
                     self.compressed_sends += 1
                 send_trace_frame(conn, data, compress)

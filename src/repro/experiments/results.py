@@ -67,16 +67,31 @@ class FigureResult:
 
     @classmethod
     def from_dict(cls, payload: dict[str, object]) -> "FigureResult":
-        return cls(
-            name=payload["name"],  # type: ignore[arg-type]
-            baseline=payload["baseline"],  # type: ignore[arg-type]
-            config_order=list(payload["config_order"]),  # type: ignore[arg-type]
-            benchmarks=list(payload["benchmarks"]),  # type: ignore[arg-type]
-            stats={
-                benchmark: {
-                    config: SimStats.from_dict(stats)
-                    for config, stats in per_config.items()
-                }
-                for benchmark, per_config in payload["stats"].items()  # type: ignore[union-attr]
-            },
-        )
+        """Inverse of :meth:`to_dict`.
+
+        Malformed payloads (missing keys, wrong shapes, non-dict input --
+        anything a truncated or hand-edited snapshot file could contain)
+        raise a single clean :class:`ValueError` naming the problem,
+        instead of leaking shape-dependent ``KeyError``/``AttributeError``
+        internals to the caller.
+        """
+        try:
+            return cls(
+                name=payload["name"],  # type: ignore[arg-type]
+                baseline=payload["baseline"],  # type: ignore[arg-type]
+                config_order=list(payload["config_order"]),  # type: ignore[arg-type]
+                benchmarks=list(payload["benchmarks"]),  # type: ignore[arg-type]
+                stats={
+                    benchmark: {
+                        config: SimStats.from_dict(stats)
+                        for config, stats in per_config.items()
+                    }
+                    for benchmark, per_config in payload["stats"].items()  # type: ignore[union-attr]
+                },
+            )
+        except ValueError:
+            raise
+        except (KeyError, TypeError, AttributeError) as exc:
+            raise ValueError(
+                f"malformed FigureResult payload: {type(exc).__name__}: {exc}"
+            ) from exc

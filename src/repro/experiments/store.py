@@ -24,7 +24,7 @@ fingerprint names, so auxiliary files never alias a cell.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterator
 
@@ -52,6 +52,55 @@ def _architectural(stats_payload: object) -> object:
         for key, value in stats_payload.items()
         if key not in SimStats.OBSERVABILITY_FIELDS
     }
+
+
+@dataclass(slots=True)
+class FsckReport:
+    """What :meth:`ResultStore.fsck` found (and, with ``fix``, removed).
+
+    A store is content-addressed, so every problem fsck can find is
+    *safe to delete*: removing a corrupt cell turns a wrong-answer risk
+    into one cache miss, and the next sweep recomputes it.  Nothing in a
+    store is authoritative state that deletion could lose.
+    """
+
+    #: Cell files scanned (64-hex names only).
+    scanned: int = 0
+    #: Cells that parsed and verified clean.
+    clean: int = 0
+    #: Cells that failed to parse/verify (unreadable JSON, wrong schema,
+    #: stats that do not round-trip).  Removed when ``fix`` is set.
+    corrupt: list[str] = field(default_factory=list)
+    #: Stale ``.*.tmp`` droppings from writers killed mid-atomic-write.
+    #: Harmless (never read) but removed when ``fix`` is set.
+    stale_tmp: list[str] = field(default_factory=list)
+    #: Files that are neither cells, tmp files, nor known auxiliaries.
+    #: Reported only -- fsck never deletes what it cannot identify.
+    foreign: list[str] = field(default_factory=list)
+    #: True when ``cost_model.json`` exists but is unreadable.
+    cost_model_corrupt: bool = False
+    #: Problem files actually deleted (``fix=True`` runs only).
+    repaired: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing needed (or still needs) repair.  Foreign
+        files do not fail a check -- they are not the store's to judge."""
+        return not self.corrupt and not self.stale_tmp and not self.cost_model_corrupt
+
+    def describe(self) -> str:
+        parts = [f"{self.scanned} cells scanned, {self.clean} clean"]
+        if self.corrupt:
+            parts.append(f"{len(self.corrupt)} corrupt")
+        if self.stale_tmp:
+            parts.append(f"{len(self.stale_tmp)} stale tmp")
+        if self.foreign:
+            parts.append(f"{len(self.foreign)} foreign (left alone)")
+        if self.cost_model_corrupt:
+            parts.append("cost model corrupt")
+        if self.repaired:
+            parts.append(f"{self.repaired} repaired")
+        return ", ".join(parts)
 
 
 @dataclass(slots=True)
@@ -167,6 +216,54 @@ class ResultStore:
             self.fingerprint_path(fingerprint),
             json.dumps(payload, sort_keys=True, indent=1),
         )
+
+    def fsck(self, fix: bool = False) -> FsckReport:
+        """Scrub the store for damage a crash or bit-rot could leave.
+
+        Checks every cell file the way :meth:`load_stats` would (parse,
+        schema, stats round-trip), finds stale atomic-write tmp files and
+        an unreadable cost model, and inventories foreign files without
+        touching them.  With ``fix=True``, corrupt cells, stale tmps, and
+        a corrupt cost model are deleted -- always safe, because every
+        store entry is a recomputable cache, never source data.
+        """
+        report = FsckReport()
+        for path in sorted(self.root.iterdir()):
+            name = path.name
+            if not path.is_file():
+                continue
+            stem = path.stem
+            if path.suffix == ".json" and len(stem) == 64 and set(stem) <= _HEX_DIGITS:
+                report.scanned += 1
+                try:
+                    payload = json.loads(path.read_text())
+                    if payload["schema"] != SCHEMA_VERSION:
+                        raise ValueError(f"schema {payload['schema']}")
+                    SimStats.from_dict(payload["stats"])
+                except (OSError, ValueError, KeyError, TypeError):
+                    report.corrupt.append(name)
+                else:
+                    report.clean += 1
+            elif name.startswith(".") and name.endswith(".tmp"):
+                report.stale_tmp.append(name)
+            elif name == self.cost_model_path.name:
+                try:
+                    json.loads(path.read_text())
+                except (OSError, ValueError):
+                    report.cost_model_corrupt = True
+            else:
+                report.foreign.append(name)
+        if fix:
+            doomed = list(report.corrupt) + list(report.stale_tmp)
+            if report.cost_model_corrupt:
+                doomed.append(self.cost_model_path.name)
+            for name in doomed:
+                try:
+                    (self.root / name).unlink()
+                    report.repaired += 1
+                except OSError:
+                    pass
+        return report
 
     def merge(self, other: "ResultStore | str | Path") -> MergeReport:
         """Fold another store's cells into this one by content address.

@@ -24,6 +24,9 @@ Examples::
     svw-repro status fig5 --campaign hostD:7500
     svw-repro fetch fig5 --campaign hostD:7500             # wait + render
     svw-repro fig5 --campaign hostD:7500   # figure sweep as a campaign
+    svw-repro fig5 --campaign hostD:7500 --fallback local  # degrade, don't die
+    svw-repro fsck --cache-dir ~/.cache/svw --fix          # scrub caches
+    svw-repro worker --port 7501 --fault-plan seed=7,crash_after=3  # chaos
 """
 
 from __future__ import annotations
@@ -43,8 +46,10 @@ from repro.experiments.campaign import (
     CampaignClient,
     CampaignDaemon,
     CampaignError,
+    scrub_journals,
     spec_campaign_id,
 )
+from repro.experiments.faults import FaultPlan
 from repro.experiments.pool import shutdown_session_pools
 from repro.experiments.remote import RemoteBackend, WorkerAgent, resolve_worker_fleet
 from repro.experiments.results import FigureResult
@@ -99,6 +104,83 @@ def _resolve_remote_workers(
         return resolve_worker_fleet(value, stack, trace_cache_dir)
     except ValueError as exc:
         raise SystemExit(f"--remote-workers: {exc}") from exc
+
+
+def _parse_fault_plan(value: str | None) -> FaultPlan | None:
+    """``--fault-plan`` -> a seeded plan whose fired events log to stderr
+    as ``svw-fault:`` lines (the chaos harness greps these for coverage)."""
+    if value is None:
+        return None
+
+    def log(event) -> None:
+        print(f"svw-fault: {event.describe()}", file=sys.stderr, flush=True)
+
+    try:
+        return FaultPlan.from_spec(value, log=log)
+    except ValueError as exc:
+        raise SystemExit(f"--fault-plan: {exc}") from exc
+
+
+def _parse_job_deadline(value: str) -> float | str | None:
+    """``--job-deadline`` -> 'auto' | None | positive seconds."""
+    if value == "auto":
+        return "auto"
+    if value in ("none", "off"):
+        return None
+    try:
+        seconds = float(value)
+        if seconds <= 0:
+            raise ValueError
+    except ValueError:
+        raise SystemExit(
+            f"--job-deadline: expected 'auto', 'none', or positive seconds, "
+            f"got {value!r}"
+        ) from None
+    return seconds
+
+
+def _run_fsck(args) -> int:
+    """``svw-repro fsck``: scrub the result store, its campaign journals,
+    and the trace cache for crash/bit-rot damage.
+
+    Everything these caches hold is recomputable, so ``--fix`` deletes or
+    compacts damaged entries outright; a repair costs regeneration time,
+    never data.  Exits non-zero while problems remain (after a ``--fix``
+    run, each scrubbed area is re-scanned to confirm the repairs took).
+    """
+    if args.cache_dir is None and args.trace_cache_dir is None:
+        raise SystemExit("fsck: --cache-dir and/or --trace-cache-dir is required")
+    failures: list[str] = []
+
+    def check(label: str, scrub, healthy) -> None:
+        report = scrub(args.fix)
+        print(f"{label}: {report.describe()}")
+        # After a --fix pass, trust a fresh scan over repair bookkeeping.
+        ok = healthy(scrub(False)) if args.fix else healthy(report)
+        if not ok:
+            failures.append(label)
+
+    if args.cache_dir is not None:
+        store = ResultStore(args.cache_dir)
+        check(f"result store {store.root}", store.fsck, lambda r: r.ok)
+        journal_dir = store.root / "campaigns"
+        if journal_dir.is_dir():
+            check(
+                f"campaign journals {journal_dir}",
+                lambda fix: scrub_journals(journal_dir, fix),
+                lambda r: r.clean,
+            )
+    if args.trace_cache_dir is not None:
+        cache = TraceCache(args.trace_cache_dir)
+        check(f"trace cache {cache.root}", cache.scrub, lambda r: r.ok)
+    if failures:
+        hint = "" if args.fix else " (re-run with --fix to repair)"
+        print(
+            "fsck: problems remain in " + "; ".join(failures) + hint,
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 def run_experiment(
@@ -171,7 +253,7 @@ def _run_campaign_command(args, benchmarks: list[str] | None) -> int:
                 benchmarks,
                 args.insts,
                 args.quiet,
-                backend=CampaignBackend(args.campaign),
+                backend=CampaignBackend(args.campaign, fallback=args.fallback),
                 store=store,
                 render=args.json != "-",
             )
@@ -220,14 +302,15 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "experiment",
         choices=sorted(_EXPERIMENTS)
-        + ["all", "bench", "bench-sweep", "worker", "campaignd"]
+        + ["all", "bench", "bench-sweep", "worker", "campaignd", "fsck"]
         + list(_CAMPAIGN_COMMANDS),
         help="which table/figure to regenerate ('bench' runs the "
         "core-simulator throughput benchmark, 'bench-sweep' the "
         "sweep-throughput/backend-equivalence benchmark, 'worker' starts "
         "a remote execution agent serving sweeps over TCP, 'campaignd' a "
         "long-lived campaign daemon; 'submit'/'status'/'fetch'/'cancel' "
-        "talk to a campaign daemon about one campaign)",
+        "talk to a campaign daemon about one campaign; 'fsck' scrubs the "
+        "on-disk caches for crash/bit-rot damage)",
     )
     parser.add_argument(
         "target",
@@ -331,6 +414,48 @@ def main(argv: list[str] | None = None) -> int:
         help="worker only: register with a campaign daemon (heartbeats + "
         "dial-back job dispatch) in addition to serving direct clients",
     )
+    parser.add_argument(
+        "--fault-plan",
+        type=str,
+        default=None,
+        metavar="SPEC",
+        help="worker/campaignd only: deterministic fault-injection plan for "
+        "chaos testing, e.g. 'seed=7,crash_after=3' or "
+        "'seed=11,corrupt_rate=0.5,max_faults=5'; fired faults log to "
+        "stderr as 'svw-fault:' lines",
+    )
+    parser.add_argument(
+        "--job-deadline",
+        type=str,
+        default="auto",
+        metavar="SECONDS",
+        help="campaignd only: per-job execution deadline -- 'auto' derives "
+        "one from the measured cost model (default; configs without a "
+        "measured rate get none), 'none' disables, a number is fixed "
+        "seconds; a job past its deadline is re-dispatched elsewhere and "
+        "the straggling worker struck",
+    )
+    parser.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        help="campaignd only: dispatch attempts per cell before its "
+        "campaigns fail (default 3)",
+    )
+    parser.add_argument(
+        "--fallback",
+        choices=["local"],
+        default=None,
+        help="with --campaign: if the daemon stays unreachable past the "
+        "retry window, run the cells locally (bit-identical, just slower) "
+        "instead of failing the sweep",
+    )
+    parser.add_argument(
+        "--fix",
+        action="store_true",
+        help="fsck only: delete/compact the damaged entries found (caches "
+        "are recomputable, so a repair costs regeneration, never data)",
+    )
     parser.add_argument("--quiet", action="store_true", help="suppress progress output")
     parser.add_argument(
         "--quick",
@@ -382,6 +507,12 @@ def main(argv: list[str] | None = None) -> int:
     if args.target is not None and args.experiment not in _CAMPAIGN_COMMANDS:
         parser.error(f"unexpected argument {args.target!r} after {args.experiment!r}")
 
+    if args.experiment == "fsck":
+        return _run_fsck(args)
+
+    if args.fallback is not None and args.campaign is None:
+        parser.error("--fallback requires --campaign")
+
     if args.experiment == "worker":
         # A worker agent executes codec trace bytes and JSON configs only
         # (nothing pickled crosses the wire); --trace-cache-dir gives the
@@ -396,6 +527,7 @@ def main(argv: list[str] | None = None) -> int:
             trace_cache=cache,
             result_store=ResultStore(args.cache_dir) if args.cache_dir else None,
             progress=None if args.quiet else _progress,
+            faults=_parse_fault_plan(args.fault_plan),
         )
         if args.register is not None:
             try:
@@ -422,6 +554,9 @@ def main(argv: list[str] | None = None) -> int:
             cache_dir=args.cache_dir,
             trace_cache=cache,
             progress=None if args.quiet else _progress,
+            job_deadline=_parse_job_deadline(args.job_deadline),
+            max_attempts=args.max_attempts,
+            faults=_parse_fault_plan(args.fault_plan),
         )
         try:
             daemon.start()
@@ -561,7 +696,7 @@ def main(argv: list[str] | None = None) -> int:
                 args.remote_workers, stack, args.trace_cache_dir
             )
             if args.campaign is not None:
-                backend = CampaignBackend(args.campaign)
+                backend = CampaignBackend(args.campaign, fallback=args.fallback)
             elif remote is not None:
                 backend = RemoteBackend(remote, trace_cache=trace_cache)
             else:

@@ -21,10 +21,11 @@ never a wrong result.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.ioutil import atomic_write_bytes
-from repro.isa.codec import CODEC_VERSION
+from repro.isa.codec import CODEC_VERSION, TraceCodecError, verify_encoded
 from repro.workloads.profile import WorkloadProfile
 
 
@@ -72,5 +73,68 @@ class TraceCache:
     def save(self, key: str, data: bytes) -> None:
         atomic_write_bytes(self.path_for(key), data)
 
+    def scrub(self, fix: bool = False) -> "TraceScrubReport":
+        """Checksum every cached trace without materializing any of them.
+
+        Runs :func:`~repro.isa.codec.verify_encoded` over each entry of
+        the *current* codec version; older-version files are counted as
+        orphans (decoders never open them, so they are dead weight, not a
+        risk).  With ``fix=True``, corrupt entries and orphans are
+        deleted -- like the result store, the cache is recomputable, so
+        deletion costs one regeneration, never data.
+        """
+        report = TraceScrubReport()
+        current = f".v{CODEC_VERSION}.svwt"
+        for path in sorted(self.root.glob("*.svwt")):
+            if not path.name.endswith(current):
+                report.orphaned.append(path.name)
+                continue
+            report.scanned += 1
+            try:
+                verify_encoded(path.read_bytes())
+            except (OSError, TraceCodecError):
+                report.corrupt.append(path.name)
+            else:
+                report.clean += 1
+        if fix:
+            for name in report.corrupt + report.orphaned:
+                try:
+                    (self.root / name).unlink()
+                    report.repaired += 1
+                except OSError:
+                    pass
+        return report
+
     def __len__(self) -> int:
         return sum(1 for _ in self.root.glob("*.svwt"))
+
+
+@dataclass(slots=True)
+class TraceScrubReport:
+    """What :meth:`TraceCache.scrub` found (and with ``fix``, removed)."""
+
+    #: Current-version entries checksummed.
+    scanned: int = 0
+    #: Entries whose payload verified clean.
+    clean: int = 0
+    #: Entries failing header/CRC verification.  Removed when ``fix``.
+    corrupt: list[str] = field(default_factory=list)
+    #: Entries from older codec versions (never read).  Removed when ``fix``.
+    orphaned: list[str] = field(default_factory=list)
+    #: Files actually deleted (``fix=True`` runs only).
+    repaired: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when no entry is corrupt (orphans are clutter, not damage)."""
+        return not self.corrupt
+
+    def describe(self) -> str:
+        parts = [f"{self.scanned} traces scanned, {self.clean} clean"]
+        if self.corrupt:
+            parts.append(f"{len(self.corrupt)} corrupt")
+        if self.orphaned:
+            parts.append(f"{len(self.orphaned)} orphaned")
+        if self.repaired:
+            parts.append(f"{self.repaired} repaired")
+        return ", ".join(parts)
