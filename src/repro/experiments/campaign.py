@@ -412,6 +412,7 @@ class CampaignDaemon:
         quarantine_base: float = 5.0,
         quarantine_cap: float = 300.0,
         faults: FaultPlan | None = None,
+        prefetch: bool = True,
     ) -> None:
         if max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
@@ -446,11 +447,16 @@ class CampaignDaemon:
         self.quarantine_base = quarantine_base
         self.quarantine_cap = quarantine_cap
         self.faults = faults
+        self.prefetch = prefetch
         #: worker id -> strike/quarantine history (persists across
         #: registrations for the daemon's lifetime).
         self._health: dict[str, _WorkerHealth] = {}
         self._provider = TraceProvider(cache=trace_cache)
         self._digests: dict[str, str] = {}
+        #: Trace keys whose encoded bytes a prefetch produced / claimed
+        #: (event-loop-confined, like the scheduler state around them).
+        self._prefetched: set[str] = set()
+        self._prefetch_claimed: set[str] = set()
         self._conn_writers: set = set()
         self._cells: dict[str, _Cell] = {}
         self._pending: set[str] = set()
@@ -474,6 +480,8 @@ class CampaignDaemon:
         self.cells_deduped = 0
         #: Jobs struck by the per-job deadline (cell re-dispatched).
         self.stragglers = 0
+        #: ``need_trace`` requests answered from a prefetched frame.
+        self.prefetch_hits = 0
         #: Journal records skipped as torn during replay.
         self.journal_torn_records = 0
 
@@ -803,12 +811,31 @@ class CampaignDaemon:
                     )
                 return
             compress = self.compress and negotiated_zlib(peer)
+            prefetch_task: asyncio.Task | None = None
+
+            def start_prefetch(current_key: str) -> None:
+                """Trace-push pipelining: this slot just shipped a frame, so
+                encode the next pending workload's frame behind the
+                simulation now starting.  One outstanding prefetch per
+                worker slot."""
+                nonlocal prefetch_task
+                if not self.prefetch:
+                    return
+                if prefetch_task is not None and not prefetch_task.done():
+                    return
+                request = self._prefetch_candidate(current_key)
+                if request is None:
+                    return
+                prefetch_task = asyncio.create_task(self._run_prefetch(request))
+
             while True:
                 cell = await self._next_cell(worker)
                 if cell is None:
                     return
                 try:
-                    stats, seconds = await self._run_job(reader, writer, cell, compress)
+                    stats, seconds = await self._run_job(
+                        reader, writer, cell, compress, start_prefetch
+                    )
                 except _CellFailed as exc:
                     await self._cell_failed(worker, cell, str(exc))
                     cell = None
@@ -850,7 +877,12 @@ class CampaignDaemon:
                 await self._work.wait()
 
     async def _run_job(
-        self, reader, writer, cell: _Cell, compress: bool
+        self,
+        reader,
+        writer,
+        cell: _Cell,
+        compress: bool,
+        on_trace_shipped: Callable[[str], None] | None = None,
     ) -> tuple[SimStats, float]:
         import asyncio
 
@@ -890,11 +922,15 @@ class CampaignDaemon:
             kind = message.get("type")
             if kind == "need_trace":
                 data = await self._encoded(cell.request)
+                if key in self._prefetched:
+                    self.prefetch_hits += 1
                 if self.faults is not None:
                     mutated = self.faults.mutate_trace("daemon.trace", data)
                     if mutated is not None:
                         data = mutated
                 await _send_trace_async(writer, data, compress)
+                if on_trace_shipped is not None:
+                    on_trace_shipped(key)
             elif kind == "result":
                 try:
                     stats = SimStats.from_dict(message["stats"])
@@ -923,6 +959,41 @@ class CampaignDaemon:
             )
             self._digests.setdefault(key, hashlib.sha256(data).hexdigest())
             return data
+
+    def _prefetch_candidate(self, current_key: str) -> RunRequest | None:
+        """The pending cell whose trace frame a prefetch should build next:
+        the most expensive one (dispatch order) for a *different*, not yet
+        encoded, not already claimed workload.  Event-loop-confined, no
+        awaits -- atomic with respect to the scheduler."""
+        cost = self.cost_model.cost
+        best: _Cell | None = None
+        for fingerprint in self._pending:
+            cell = self._cells[fingerprint]
+            key = request_key(cell.request)
+            if key == current_key or key in self._prefetch_claimed:
+                continue
+            if self._provider.has_encoded(cell.request.workload, cell.request.n_insts):
+                continue
+            if best is None or (cost(cell.request), fingerprint) > (
+                cost(best.request), best.fingerprint,
+            ):
+                best = cell
+        if best is None:
+            return None
+        self._prefetch_claimed.add(request_key(best.request))
+        return best.request
+
+    async def _run_prefetch(self, request: RunRequest) -> None:
+        """Build one trace frame ahead of demand (trace-push pipelining).
+        Failures are swallowed: generation errors surface deterministically
+        when the cell itself dispatches, never from a prefetch."""
+        key = request_key(request)
+        try:
+            await self._encoded(request)
+        except Exception:
+            self._prefetch_claimed.discard(key)
+            return
+        self._prefetched.add(key)
 
     # -- cell completion -----------------------------------------------------
 
@@ -1290,6 +1361,7 @@ class CampaignDaemon:
             "cells_from_store": self.cells_from_store,
             "cells_deduped": self.cells_deduped,
             "stragglers": self.stragglers,
+            "prefetch_hits": self.prefetch_hits,
         }
 
     # -- journal -------------------------------------------------------------

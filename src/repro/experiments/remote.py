@@ -879,6 +879,17 @@ class RemoteBackend:
     be corrupted or truncated before framing, which is how the chaos
     suite proves a damaged transfer costs a re-request, never a wrong
     figure.
+
+    ``prefetch`` enables **trace-push pipelining**: dispatch is otherwise
+    stop-and-wait, so the first cell of each workload stalls its worker
+    for a full generate+encode while the connection sits idle.  With
+    prefetch on, the moment a slot ships a trace (proof the fleet is cold
+    for this client's traces) it starts encoding the next *different*
+    workload's frame in a background thread -- one outstanding prefetch
+    per worker slot -- so the frame is ready behind the current cell's
+    simulation.  ``prefetch_hits`` counts ``need_trace`` requests answered
+    from a prefetched frame; results are bit-identical either way (the
+    prefetch fills the same memoized provider the demand path reads).
     """
 
     def __init__(
@@ -891,6 +902,7 @@ class RemoteBackend:
         compress: bool = True,
         job_deadline: float | str | None = "auto",
         faults: FaultPlan | None = None,
+        prefetch: bool = True,
     ) -> None:
         self.addresses = [
             address if isinstance(address, str) else f"{address[0]}:{address[1]}"
@@ -917,11 +929,14 @@ class RemoteBackend:
                 raise ValueError("job_deadline must be positive (or None/'auto')")
         self.job_deadline = job_deadline
         self.faults = faults
+        self.prefetch = prefetch
         self.last_provider: TraceProvider | None = None
         #: Traces this backend shipped as negotiated zlib frames.
         self.compressed_sends = 0
         #: Jobs struck by the deadline and re-dispatched (hedged retries).
         self.stragglers = 0
+        #: ``need_trace`` requests answered from a prefetched frame.
+        self.prefetch_hits = 0
 
     # -- connection ----------------------------------------------------------
 
@@ -966,6 +981,10 @@ class RemoteBackend:
         #: key -> SHA-256 of the encoded trace, once this run knows it
         #: (guarded by provider_lock, like the provider that feeds it).
         digests: dict[str, str] = {}
+        #: Keys whose encoded bytes a prefetch produced, and keys some
+        #: slot's prefetch already claimed (both guarded by provider_lock).
+        prefetched: set[str] = set()
+        prefetch_claimed: set[str] = set()
         queue: deque[int] = deque(order)
         attempts = [0] * len(requests)
         in_flight = 0
@@ -988,6 +1007,38 @@ class RemoteBackend:
                         return None
                     state.wait()
 
+        def prefetch_candidate(current_key: str) -> RunRequest | None:
+            """The queued request whose trace frame a prefetch should build
+            next: the frontmost one for a *different*, not-yet-encoded, not
+            already claimed workload (the current key is excluded -- its
+            frame is being shipped right now)."""
+            with state:
+                pending = list(queue)
+            with provider_lock:
+                for i in pending:
+                    request = requests[i]
+                    key = request_key(request)
+                    if key == current_key or key in prefetch_claimed:
+                        continue
+                    if provider.has_encoded(request.workload, request.n_insts):
+                        continue
+                    prefetch_claimed.add(key)
+                    return request
+            return None
+
+        def run_prefetch(request: RunRequest) -> None:
+            key = request_key(request)
+            try:
+                with provider_lock:
+                    data = provider.encoded(request.workload, request.n_insts)
+                    digests.setdefault(key, hashlib.sha256(data).hexdigest())
+                    prefetched.add(key)
+            except Exception:
+                # Generation failures surface (deterministically) when the
+                # cell itself dispatches; a prefetch never fails a sweep.
+                with provider_lock:
+                    prefetch_claimed.discard(key)
+
         def serve(address: str) -> None:
             nonlocal in_flight, completed
             try:
@@ -996,6 +1047,26 @@ class RemoteBackend:
                 with state:
                     worker_errors[address] = f"connect failed: {exc}"
                 return
+            prefetch_thread: threading.Thread | None = None
+
+            def on_trace_shipped(current_key: str) -> None:
+                """Trace-push pipelining: this slot just shipped a frame (the
+                fleet is cold for this client's traces), so build the next
+                workload's frame behind the simulation now starting.  One
+                outstanding prefetch per worker slot."""
+                nonlocal prefetch_thread
+                if not self.prefetch:
+                    return
+                if prefetch_thread is not None and prefetch_thread.is_alive():
+                    return
+                candidate = prefetch_candidate(current_key)
+                if candidate is None:
+                    return
+                prefetch_thread = threading.Thread(
+                    target=run_prefetch, args=(candidate,), daemon=True
+                )
+                prefetch_thread.start()
+
             try:
                 while True:
                     index = next_index()
@@ -1005,6 +1076,7 @@ class RemoteBackend:
                         self._run_cell(
                             conn, address, requests[index], index, results,
                             provider, provider_lock, digests, progress, compress,
+                            prefetched, on_trace_shipped,
                         )
                         with state:
                             in_flight -= 1
@@ -1093,6 +1165,8 @@ class RemoteBackend:
         digests: dict[str, str],
         progress: ProgressFn | None,
         compress: bool = False,
+        prefetched: set[str] | None = None,
+        on_trace_shipped: Callable[[str], None] | None = None,
     ) -> None:
         key = request_key(request)
         # Pin the trace's content whenever this run already knows it
@@ -1132,6 +1206,8 @@ class RemoteBackend:
                 with provider_lock:
                     data = provider.encoded(request.workload, request.n_insts)
                     digests.setdefault(key, hashlib.sha256(data).hexdigest())
+                    if prefetched is not None and key in prefetched:
+                        self.prefetch_hits += 1
                 if self.faults is not None:
                     mutated = self.faults.mutate_trace("client.trace", data)
                     if mutated is not None:
@@ -1139,6 +1215,8 @@ class RemoteBackend:
                 if compress:
                     self.compressed_sends += 1
                 send_trace_frame(conn, data, compress)
+                if on_trace_shipped is not None:
+                    on_trace_shipped(key)
             elif kind == "result":
                 stats = SimStats.from_dict(message["stats"])
                 if stats.fingerprint() != message.get("fingerprint"):

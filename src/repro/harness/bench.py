@@ -26,6 +26,7 @@ Methodology:
       "schema_version": 1,
       "created_unix": <float, seconds since epoch>,
       "python": "3.11.7", "platform": "Linux-...",
+      "numpy": "2.4.6", "vectorization": "numpy", "trace_epoch": 2,
       "n_insts": 30000, "repeats": 3,
       "workloads": ["bzip2", ...],
       "results": [
@@ -51,9 +52,9 @@ from typing import Callable
 from repro.harness.configs import fig5_configs, fig6_configs
 from repro.ioutil import atomic_write_text
 from repro.pipeline.config import MachineConfig
-from repro.pipeline.processor import Processor
+from repro.pipeline.processor import Processor, vectorization_mode
 from repro.workloads.spec2000 import spec_profile
-from repro.workloads.synthetic import generate_trace
+from repro.workloads.synthetic import TRACE_EPOCH, generate_trace
 
 BENCH_SCHEMA_VERSION = 1
 
@@ -68,6 +69,28 @@ BENCH_WORKLOADS = ["bzip2", "vortex", "twolf", "gcc", "mcf"]
 #: ``--quick`` slice for CI smoke runs.
 QUICK_WORKLOADS = ["gcc", "vortex"]
 QUICK_INSTS = 8_000
+
+
+def runtime_provenance() -> dict:
+    """Execution-environment keys recorded in every BENCH payload.
+
+    Additive to schema 1 (readers use ``.get`` and tolerate absence in
+    older snapshots): the numpy version and vectorization mode explain a
+    throughput delta between two snapshots, and ``trace_epoch`` names
+    the workload-generator fingerprint epoch the run simulated under --
+    fingerprints from different epochs are expected to differ.
+    """
+    try:
+        import numpy
+
+        numpy_version = numpy.__version__
+    except ImportError:  # pragma: no cover - numpy ships with the toolchain
+        numpy_version = None
+    return {
+        "numpy": numpy_version,
+        "vectorization": vectorization_mode(),
+        "trace_epoch": TRACE_EPOCH,
+    }
 
 
 def bench_configs() -> dict[str, tuple[str, MachineConfig]]:
@@ -164,6 +187,7 @@ def run_bench(
         "created_unix": time.time(),
         "python": platform.python_version(),
         "platform": platform.platform(),
+        **runtime_provenance(),
         "n_insts": n_insts,
         "repeats": repeats,
         "workloads": list(workloads),
@@ -234,6 +258,18 @@ def check_fingerprints(baseline: dict, payload: dict) -> list[str]:
     comparable (different instruction budgets, or no overlapping cells) --
     a gate that compares nothing must fail loudly, not pass silently.
     """
+    baseline_epoch = baseline.get("trace_epoch", 1)
+    payload_epoch = payload.get("trace_epoch", TRACE_EPOCH)
+    if baseline_epoch != payload_epoch:
+        # Snapshots predating a deliberate trace-identity bump cannot be
+        # compared cell by cell; name the break instead of reporting every
+        # cell as diverged.
+        raise ValueError(
+            f"fingerprint epoch mismatch (v{baseline_epoch} snapshot vs "
+            f"v{payload_epoch} core): the trace identity was re-versioned "
+            f"deliberately; regenerate the snapshot with `svw-repro bench` "
+            f"instead of chasing per-cell divergence"
+        )
     if baseline.get("n_insts") != payload.get("n_insts"):
         raise ValueError(
             f"fingerprint check needs matching budgets: baseline ran "
@@ -258,10 +294,16 @@ def check_fingerprints(baseline: dict, payload: dict) -> list[str]:
 def render_gate(baseline: dict, payload: dict) -> tuple[bool, str]:
     """Shared ``--check`` verdict for both bench entry points.
 
-    Returns ``(passed, message)``; comparability errors propagate as
-    ``ValueError`` from :func:`check_fingerprints`.
+    Returns ``(passed, message)``.  Comparability errors from
+    :func:`check_fingerprints` (epoch or budget mismatch, no overlapping
+    cells) fail the gate with the error's own message rather than
+    escaping as a traceback -- ``svw-repro bench --check`` across a
+    deliberate fingerprint break must say "epoch mismatch", not crash.
     """
-    diverged = check_fingerprints(baseline, payload)
+    try:
+        diverged = check_fingerprints(baseline, payload)
+    except ValueError as exc:
+        return False, str(exc)
     if diverged:
         return False, f"FINGERPRINT DIVERGENCE: {diverged}"
     return True, "fingerprints identical to the baseline snapshot"

@@ -38,6 +38,7 @@ construction (that is the behaviour being measured).
 
     {
       "schema_version": 1, "created_unix": ..., "python": ..., "platform": ...,
+      "numpy": ..., "vectorization": ..., "trace_epoch": 2,
       "jobs": 2, "n_insts": 30000, "repeats": 2,
       "workloads": [...], "configs": [...], "n_cells": 50,
       "cells": [{"workload": ..., "config": ..., "stats_fingerprint": ...}],
@@ -64,7 +65,7 @@ from repro.experiments.backends import ProcessPoolBackend, SerialBackend
 from repro.experiments.batch import BatchRunner
 from repro.experiments.remote import RemoteBackend
 from repro.experiments.spec import ExperimentSpec, matrix_spec
-from repro.harness.bench import BENCH_WORKLOADS, QUICK_WORKLOADS
+from repro.harness.bench import BENCH_WORKLOADS, QUICK_WORKLOADS, runtime_provenance
 from repro.harness.configs import fig5_configs, fig6_configs
 from repro.ioutil import atomic_write_text
 from repro.isa.codec import encode_trace
@@ -278,6 +279,7 @@ def run_sweep_bench(
         "created_unix": time.time(),
         "python": platform.python_version(),
         "platform": platform.platform(),
+        **runtime_provenance(),
         "jobs": jobs,
         "n_insts": spec.n_insts,
         "repeats": max(1, repeats),

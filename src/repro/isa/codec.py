@@ -37,28 +37,34 @@ import struct
 import zlib
 from array import array
 
-from repro.isa.coltrace import INST_COLUMNS, KIND_BY_OP, ColumnTrace, narrowest_array
+from repro.isa.coltrace import (
+    INST_COLUMNS,
+    ISSUE_TABLE,
+    KIND_TABLE,
+    LATENCY_TABLE,
+    ColumnTrace,
+    narrowest_array,
+)
 from repro.isa.inst import Trace, memory_signature
-from repro.isa.ops import ISSUE_CLASS_BY_OP, LATENCY_BY_OP
 
 MAGIC = b"SVWT"
 
-#: Bump on any change to the wire layout; decoders reject other versions,
-#: which turns stale on-disk trace-cache entries into plain regenerations.
-CODEC_VERSION = 1
+#: Bump on any change to the wire layout **or** to trace identity; cache
+#: filenames embed this number, so bumping it turns stale on-disk entries
+#: into plain regenerations.  Version 2 is the epoch-v2 fingerprint break:
+#: the byte layout is unchanged from version 1, but v1-era cache entries
+#: hold traces the numpy generator no longer reproduces, and their keys
+#: (profile fingerprint + budget) would collide across the break.
+CODEC_VERSION = 2
+
+#: Versions :func:`decode_trace` accepts.  v1 and v2 share one layout, so
+#: archived v1-era traces stay decodable (oracle suites, tooling) even
+#: though the cache no longer serves them.
+SUPPORTED_VERSIONS = frozenset({1, 2})
 
 _HEADER_FMT = "<4sII"
 _HEADER_SIZE = struct.calcsize(_HEADER_FMT)
 
-#: Byte-translation tables mapping the (one-byte) op column to the derived
-#: meta columns in a single C-level pass.
-_KIND_TABLE = bytes(KIND_BY_OP[i] if i < len(KIND_BY_OP) else 0 for i in range(256))
-_LATENCY_TABLE = bytes(
-    LATENCY_BY_OP[i] if i < len(LATENCY_BY_OP) else 0 for i in range(256)
-)
-_ISSUE_TABLE = bytes(
-    ISSUE_CLASS_BY_OP[i] if i < len(ISSUE_CLASS_BY_OP) else 0 for i in range(256)
-)
 
 
 class TraceCodecError(ValueError):
@@ -83,9 +89,9 @@ def encode_trace(trace: Trace | ColumnTrace) -> bytes:
     # Derived per-instruction metadata, translated from the op bytes in one
     # C-level pass each (identical values to TraceMeta's tables).
     op_bytes = ct.op.tobytes()
-    columns["meta_kind"] = array("B", op_bytes.translate(_KIND_TABLE))
-    columns["meta_latency"] = array("B", op_bytes.translate(_LATENCY_TABLE))
-    columns["meta_issue_class"] = array("B", op_bytes.translate(_ISSUE_TABLE))
+    columns["meta_kind"] = array("B", op_bytes.translate(KIND_TABLE))
+    columns["meta_latency"] = array("B", op_bytes.translate(LATENCY_TABLE))
+    columns["meta_issue_class"] = array("B", op_bytes.translate(ISSUE_TABLE))
 
     # Initial memory image and wrong-path address sets.  Iteration order of
     # both dicts is preserved bit-for-bit: nothing downstream should depend
@@ -128,7 +134,7 @@ def _read_header(buf) -> tuple[dict, memoryview]:
     magic, version, header_len = struct.unpack_from(_HEADER_FMT, view)
     if magic != MAGIC:
         raise TraceCodecError(f"bad magic {magic!r}")
-    if version != CODEC_VERSION:
+    if version not in SUPPORTED_VERSIONS:
         raise TraceCodecError(f"unsupported trace codec version {version}")
     if len(view) < _HEADER_SIZE + header_len:
         raise TraceCodecError("buffer truncated inside header")

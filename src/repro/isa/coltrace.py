@@ -73,6 +73,17 @@ KIND_BY_OP: tuple[int, ...] = tuple(
 
 _MEM_KINDS = (KIND_LOAD, KIND_STORE)
 
+#: Byte-translation tables mapping the (one-byte) op column to the derived
+#: meta columns in a single C-level pass.  Shared by :meth:`ColumnTrace.meta`
+#: and the trace codec's wire-compatibility columns.
+KIND_TABLE = bytes(KIND_BY_OP[i] if i < len(KIND_BY_OP) else 0 for i in range(256))
+LATENCY_TABLE = bytes(
+    LATENCY_BY_OP[i] if i < len(LATENCY_BY_OP) else 0 for i in range(256)
+)
+ISSUE_TABLE = bytes(
+    ISSUE_CLASS_BY_OP[i] if i < len(ISSUE_CLASS_BY_OP) else 0 for i in range(256)
+)
+
 
 def narrowest_array(values, narrow: str, wide: str) -> array:
     """An :mod:`array` of ``values`` in ``narrow`` form, widened on overflow."""
@@ -228,26 +239,18 @@ class ColumnTrace:
         columns -- no ``DynInst`` is materialized.
         """
         if self._meta is None:
-            op = self.op
-            kind = [KIND_BY_OP[code] for code in op]
-            latency = [LATENCY_BY_OP[code] for code in op]
-            issue_class = [ISSUE_CLASS_BY_OP[code] for code in op]
-            addr = self.addr
-            size = self.size
-            base = self.base_seq
-            offset = self.offset
+            op_bytes = self.op.tobytes()
+            kind = list(op_bytes.translate(KIND_TABLE))
+            latency = list(op_bytes.translate(LATENCY_TABLE))
+            issue_class = list(op_bytes.translate(ISSUE_TABLE))
             mem = _MEM_KINDS
             words: list[tuple[int, ...]] = [
-                ((addr[i],) if size[i] <= 4 else (addr[i], addr[i] + 4))
-                if kind[i] in mem
-                else ()
-                for i in range(len(op))
+                ((a,) if s <= 4 else (a, a + 4)) if k in mem else ()
+                for k, a, s in zip(kind, self.addr, self.size)
             ]
             signature = [
-                (base[i], offset[i], size[i])
-                if kind[i] in mem and base[i] != NO_PRODUCER
-                else None
-                for i in range(len(op))
+                (b, o, s) if k in mem and b != NO_PRODUCER else None
+                for k, b, o, s in zip(kind, self.base_seq, self.offset, self.size)
             ]
             self._meta = TraceMeta.from_columns(
                 kind=kind,

@@ -53,8 +53,14 @@ golden-equivalence suite enforce this):
 
 from __future__ import annotations
 
+import gc
 from collections import deque
 from heapq import heappop, heappush
+
+try:  # column-kernel precompute (see Performance notes above)
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy ships with the package
+    _np = None
 
 from repro.core.ssn import SSNState
 from repro.core.svw import SVWEngine
@@ -89,6 +95,21 @@ _SVW_FLUSH = RexState.SVW_FLUSH
 
 #: Terminal states that let an entry retire from the re-execution queue.
 _REX_RETIRED = (_DONE_OK, _FILTERED, _FAILED, _SVW_FLUSH)
+
+#: Default for :class:`Processor`'s ``vectorize`` flag: precompute per-seq
+#: probe/bank columns over the flat trace columns (numpy-accelerated when
+#: available) and index them from the per-cycle loops.  The scalar path
+#: stays selectable so the column-vs-kernel oracle suite can assert both
+#: produce bit-identical fingerprints.
+VECTORIZE_DEFAULT = True
+
+
+def vectorization_mode(vectorize: bool | None = None) -> str:
+    """The vectorization tag recorded in BENCH payloads."""
+    enabled = VECTORIZE_DEFAULT if vectorize is None else vectorize
+    if not enabled:
+        return "scalar"
+    return "numpy" if _np is not None else "column"
 
 
 class SimulationError(RuntimeError):
@@ -148,6 +169,11 @@ class Processor:
         "_event_heap",
         "_wake_cause",
         # flat trace columns (hot-loop flattening; see ColumnTrace.hot)
+        "vectorized",
+        "_ssbf_i1",
+        "_ssbf_i2",
+        "_bank_bits",
+        "_m_kind",
         "_m_pc",
         "_m_dst",
         "_m_addr",
@@ -201,6 +227,7 @@ class Processor:
         validate: bool = False,
         warmup: int = 0,
         skip_ahead: bool = True,
+        vectorize: bool | None = None,
     ) -> None:
         """Args:
         config: The machine to model.
@@ -217,6 +244,12 @@ class Processor:
             are bit-identical either way (the golden-equivalence tests
             assert this); disabling it exists for those tests and for
             debugging cycle-by-cycle traces.
+        vectorize: Precompute per-seq probe/bank columns and index them
+            from the per-cycle loops instead of redoing the address
+            arithmetic per access.  ``None`` takes the module default
+            (:data:`VECTORIZE_DEFAULT`).  Results are bit-identical
+            either way (the column-vs-kernel oracle suite asserts this);
+            the scalar path exists for those tests.
         """
         trace = trace.columns()
         self.config = config
@@ -291,6 +324,7 @@ class Processor:
         # Flat trace columns for the dispatch loop (plain lists, built
         # once per trace and shared by every configuration replaying it).
         hot = trace.hot()
+        self._m_kind = self.meta.kind
         self._m_pc = hot.pc
         self._m_dst = hot.dst_reg
         self._m_addr = hot.addr
@@ -356,6 +390,29 @@ class Processor:
             0,
         ]
         self._total_issue = sum(self._slot_template)
+        # Column kernels: per-seq precomputes over the flat trace columns.
+        # Addresses are trace-static, so the SSBF probe indices and the
+        # L1D bank bits are pure functions of seq -- computed once here
+        # (vectorized) and indexed from the re-execution and issue loops.
+        self.vectorized = VECTORIZE_DEFAULT if vectorize is None else vectorize
+        self._ssbf_i1: list[int] | None = None
+        self._ssbf_i2: list[int] | None = None
+        self._bank_bits: list[int] | None = None
+        if self.vectorized:
+            if self.svw is not None:
+                probes = self.svw.probe_columns(hot.addr, hot.size)
+                if probes is not None:
+                    self._ssbf_i1, self._ssbf_i2 = probes
+            line_bytes = self._l1d_line_bytes
+            bank_mask = self._l1d_bank_mask
+            if _np is not None:
+                addr = _np.asarray(hot.addr, dtype=_np.int64)
+                bits = _np.left_shift(1, (addr // line_bytes) & bank_mask)
+                self._bank_bits = bits.tolist()
+            else:
+                self._bank_bits = [
+                    1 << ((a // line_bytes) & bank_mask) for a in hot.addr
+                ]
         #: Exact count of squashed-but-still-heaped ready entries.  While
         #: it is zero and the cycle's issue bandwidth is spent, the select
         #: loop can stop popping: every further pop in the naive loop
@@ -458,7 +515,24 @@ class Processor:
     # ------------------------------------------------------------------ main loop
 
     def run(self, max_cycles: int | None = None) -> SimStats:
-        """Simulate until the whole trace commits; returns statistics."""
+        """Simulate until the whole trace commits; returns statistics.
+
+        The cyclic-garbage collector is suspended for the duration: the
+        loop allocates heavily (one :class:`InFlight` plus several tuples
+        per dispatched instruction) but creates no reference cycles --
+        every container is emptied explicitly as entries retire -- so the
+        periodic generation-0 scans are pure overhead.
+        """
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            return self._run(max_cycles)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+
+    def _run(self, max_cycles: int | None) -> SimStats:
         total = self._trace_len
         watchdog = self.config.watchdog_cycles
         inval = self.config.invalidation_interval
@@ -466,13 +540,19 @@ class Processor:
         rex_mode = self.config.rex_mode
         rex_active = rex_mode is RexMode.REEXECUTE or rex_mode is RexMode.SVW_ONLY
         # Containers are bound once in __init__ and never rebound, so the
-        # per-cycle stage gates below can hold direct references.
+        # per-cycle stage gates below can hold direct references.  Stage
+        # methods are bound once too: the gates run every simulated cycle.
         completes = self._completes
         ready = self._ready
         rex_queue = self.rex_queue
         rob = self.rob
         commit_depth = self._commit_depth
         store_retire_ports = self._store_retire_ports
+        do_complete = self._do_complete
+        do_commit = self._do_commit
+        do_rex = self._do_rex
+        do_issue = self._do_issue
+        do_dispatch = self._do_dispatch
         rex0 = ser0 = 0
         while self._committed_total < total:
             if max_cycles is not None and self.cycle >= max_cycles:
@@ -488,17 +568,17 @@ class Processor:
             # Stage gates: each stage's own early-out precondition is
             # evaluated here so no-op stages cost a test, not a call.
             if cycle in completes:
-                self._do_complete()
+                do_complete()
             port_budget = store_retire_ports
             if rob:
                 head = rob[0]
                 if head.done and cycle >= head.complete_cycle + commit_depth:
-                    port_budget = self._do_commit()
+                    port_budget = do_commit()
             if rex_active and rex_queue and rex_queue[0].done:
-                self._do_rex(port_budget)
+                do_rex(port_budget)
             if ready:
-                self._do_issue()
-            self._do_dispatch()
+                do_issue()
+            do_dispatch()
             if inval and cycle % inval == 0:
                 self._inject_invalidation()
                 self._worked = True
@@ -610,11 +690,10 @@ class Processor:
         if not events:
             return
         self._worked = True
-        m_kind = self.meta.kind
         for entry in events:
             if entry.squashed:
                 continue
-            kind = m_kind[entry.seq]
+            kind = entry.kind
             if kind == KIND_STORE:
                 # Address generation finished (STA); data may still be
                 # outstanding (STD) -- the store is done when both are.
@@ -652,16 +731,21 @@ class Processor:
         width = self._width
         uses_rex = self._uses_rex
         rex_mode = self.config.rex_mode
-        m_kind = self.meta.kind
         inflight_by_seq = self.inflight_by_seq
         warmup = self.warmup
         stats = self.stats
         commits = 0
+        branches = 0
+        # ``committed``/``committed_branches`` are batched into locals and
+        # flushed once per call (and once more at the warm-up swap, so each
+        # increment lands in the stats object that was current when its
+        # instruction retired).
+        flushed = flushed_branches = 0
         while rob and commits < width:
             head = rob[0]
             if not head.done or cycle < head.complete_cycle + commit_depth:
                 break
-            kind = m_kind[head.seq]
+            kind = head.kind
             flush_after = False
             if kind == KIND_LOAD:
                 if uses_rex:
@@ -697,28 +781,32 @@ class Processor:
                 port_budget -= 1
                 self._commit_store(head)
             elif kind == KIND_BRANCH:
-                stats.committed_branches += 1
+                branches += 1
             # Retire the head (inline: this runs once per committed
             # instruction).
             rob.popleft()
             del inflight_by_seq[head.seq]
             committed_total = self._committed_total + 1
             self._committed_total = committed_total
-            stats.committed += 1
             if head.dst_reg >= 0:
                 self.reg_occ -= 1
+            commits += 1
             if committed_total == warmup:
-                # Measurement begins: stats was just swapped for a fresh
-                # object -- drop the stale local.
+                # Measurement begins: credit the batched counts to the
+                # warm-up stats object before it is swapped for a fresh one.
+                stats.committed += commits - flushed
+                stats.committed_branches += branches - flushed_branches
+                flushed, flushed_branches = commits, branches
                 self._begin_measurement()
                 stats = self.stats
-            commits += 1
             if flush_after:
                 # Re-execution mismatch: the load committed corrected;
                 # flush everything younger.
                 self._rex_failure_flush(head)
                 break
         if commits:
+            stats.committed += commits - flushed
+            stats.committed_branches += branches - flushed_branches
             self._last_commit_cycle = cycle
             self._worked = True
         return port_budget
@@ -816,9 +904,15 @@ class Processor:
             return
         cycle = self.cycle
         svw = self.svw
-        m_kind = self.meta.kind
         atomic = svw is not None and not svw.config.speculative_updates
         budget = self._width
+        i1 = self._ssbf_i1
+        if i1 is not None:
+            i2 = self._ssbf_i2
+            # Re-fetched every call: a wrap-around drain rebinds the table.
+            table = svw.ssbf._table
+        else:
+            i2 = table = None
         qlen = len(queue)
         index = 0
         processed = 0
@@ -826,7 +920,7 @@ class Processor:
             entry = queue[index]
             if not entry.done:
                 break
-            if m_kind[entry.seq] == KIND_STORE:
+            if entry.kind == KIND_STORE:
                 if entry.rex_state is _NOT_NEEDED:
                     if (
                         atomic
@@ -838,7 +932,18 @@ class Processor:
                         # has retired -- the elongated serialization the
                         # paper warns about.
                         break
-                    if svw is not None:
+                    if table is not None:
+                        # record_store inlined over the precomputed probe
+                        # columns (SimpleSSBF with the filter enabled).
+                        seq = entry.seq
+                        ssn = entry.ssn
+                        first = i1[seq]
+                        if ssn > table[first]:
+                            table[first] = ssn
+                        second = i2[seq]
+                        if second >= 0 and ssn > table[second]:
+                            table[second] = ssn
+                    elif svw is not None:
                         svw.record_store(entry.addr, entry.size, entry.ssn)
                     entry.rex_state = _DONE_OK
                     self._worked = True
@@ -851,31 +956,43 @@ class Processor:
                 if not entry.marked:
                     entry.rex_state = _DONE_OK
                     self._worked = True
-                elif rex_mode is RexMode.SVW_ONLY:
-                    # Config validation guarantees svw is present here.
-                    if svw.must_reexecute(entry.addr, entry.size, entry.svw):
-                        entry.rex_state = _SVW_FLUSH
-                    else:
-                        entry.rex_state = _FILTERED
-                    self._worked = True
-                elif svw is not None and not svw.must_reexecute(
-                    entry.addr, entry.size, entry.svw
-                ):
-                    entry.rex_state = _FILTERED
-                    self._worked = True
                 else:
-                    # Needs the shared data-cache port for the full access.
-                    if port_budget <= 0 or cycle < self._rex_port_busy_until:
-                        self.stats.rex_port_stalls += 1
-                        break  # in-order start
-                    entry.rex_state = _IN_FLIGHT
-                    access = self.hierarchy.rex_access(entry.addr)
-                    # RLE's elongated pipe (register-file address/value
-                    # reads) adds latency but does not hold the D$ port.
-                    extra = 2 if entry.eliminated else 0
-                    entry.rex_done_cycle = cycle + access + extra
-                    self._rex_port_busy_until = cycle + access
-                    self._worked = True
+                    if table is not None:
+                        # must_reexecute inlined over the precomputed probe
+                        # columns (filter counters maintained).
+                        svw.filter_tests += 1
+                        seq = entry.seq
+                        value = table[i1[seq]]
+                        second = i2[seq]
+                        if second >= 0 and table[second] > value:
+                            value = table[second]
+                        must = value > entry.svw
+                        if must:
+                            svw.filter_hits += 1
+                    elif svw is not None:
+                        must = svw.must_reexecute(entry.addr, entry.size, entry.svw)
+                    else:
+                        must = True
+                    if rex_mode is RexMode.SVW_ONLY:
+                        # Config validation guarantees svw is present here.
+                        entry.rex_state = _SVW_FLUSH if must else _FILTERED
+                        self._worked = True
+                    elif not must:
+                        entry.rex_state = _FILTERED
+                        self._worked = True
+                    else:
+                        # Needs the shared data-cache port for the full access.
+                        if port_budget <= 0 or cycle < self._rex_port_busy_until:
+                            self.stats.rex_port_stalls += 1
+                            break  # in-order start
+                        entry.rex_state = _IN_FLIGHT
+                        access = self.hierarchy.rex_access(entry.addr)
+                        # RLE's elongated pipe (register-file address/value
+                        # reads) adds latency but does not hold the D$ port.
+                        extra = 2 if entry.eliminated else 0
+                        entry.rex_done_cycle = cycle + access + extra
+                        self._rex_port_busy_until = cycle + access
+                        self._worked = True
             if entry.rex_state is _IN_FLIGHT:
                 if cycle >= entry.rex_done_cycle:
                     entry.rex_value = self._program_order_value(entry)
@@ -903,11 +1020,12 @@ class Processor:
             return
         cycle = self.cycle
         meta = self.meta
-        m_kind = meta.kind
+        m_kind = self._m_kind
         m_iclass = meta.issue_class
         m_latency = meta.latency
         line_bytes = self._l1d_line_bytes
         bank_mask = self._l1d_bank_mask
+        bank_bits = self._bank_bits
         load_must_wait = self._load_must_wait
         execute_load = self._execute_load
         load_access = self._load_access
@@ -953,7 +1071,10 @@ class Processor:
                     # SQ CAM hit on a store without data: replay next cycle.
                     deferred.append(item)
                     continue
-                bank_bit = 1 << ((entry.addr // line_bytes) & bank_mask)
+                if bank_bits is not None:
+                    bank_bit = bank_bits[seq]
+                else:
+                    bank_bit = 1 << ((entry.addr // line_bytes) & bank_mask)
                 if banks_used & bank_bit:
                     deferred.append(item)
                     continue
@@ -1016,10 +1137,8 @@ class Processor:
         trace_len = self._trace_len
         if fetch_seq >= trace_len:
             return
-        m_kind = self.meta.kind
-        m_pc = self._m_pc
+        m_kind = self._m_kind
         m_dst = self._m_dst
-        m_taken = self._m_taken
         # Cheap first-instruction occupancy check: the majority of calls
         # stall right here, so decide before paying the loop's local binds
         # (the loop re-evaluates the same chain for dispatched entries).
@@ -1040,6 +1159,8 @@ class Processor:
         if m_dst[fetch_seq] >= 0 and self.reg_occ >= self._num_regs:
             self._note_stall("regs")
             return
+        m_pc = self._m_pc
+        m_taken = self._m_taken
         m_addr = self._m_addr
         m_size = self._m_size
         m_sval = self._m_sval
@@ -1286,7 +1407,6 @@ class Processor:
         self._worked = True
         self.stats.flushes += 1
         rob = self.rob
-        m_kind = self.meta.kind
         m_words = self.meta.words
         store_words = self.store_words
         on_squash = self._on_squash
@@ -1294,7 +1414,7 @@ class Processor:
             entry = rob.pop()
             entry.squashed = True
             del self.inflight_by_seq[entry.seq]
-            kind = m_kind[entry.seq]
+            kind = entry.kind
             if not entry.issued and not entry.eliminated:
                 self.iq_occ -= 1
                 if entry.pending_srcs == 0:
@@ -1357,10 +1477,9 @@ class Processor:
         single-thread functional correctness is preserved while the
         re-execution cost is measured faithfully.
         """
-        m_kind = self.meta.kind
         line_addr = None
         for entry in reversed(self.rob):
-            if m_kind[entry.seq] == KIND_LOAD and entry.issued:
+            if entry.kind == KIND_LOAD and entry.issued:
                 line_addr = entry.addr & ~63
                 break
         if line_addr is None:
@@ -1369,7 +1488,7 @@ class Processor:
         if self.svw is not None:
             self.svw.record_invalidation(line_addr)
         for entry in self.rob:
-            if m_kind[entry.seq] == KIND_LOAD and entry.rex_state is _PENDING:
+            if entry.kind == KIND_LOAD and entry.rex_state is _PENDING:
                 entry.marked = True
 
     def _inject_wrong_path_updates(self, flush_seq: int) -> None:

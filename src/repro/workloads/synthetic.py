@@ -1,55 +1,71 @@
-"""Synthetic trace generation from workload profiles (column-native).
+"""Epoch-v2 numpy block generator: whole-block column-native sampling.
 
-The generator emits a deterministic dynamic instruction stream whose
-*structure* -- dataflow, address regions, forwarding pairs, ambiguous
-stores, redundant loads, silent stores, branch biases -- follows a
-:class:`~repro.workloads.profile.WorkloadProfile`.  See DESIGN.md for why
-this substitutes for SPEC2000 binaries.
+This is the live synthetic-trace generator.  It samples instructions in
+fixed blocks of :data:`BLOCK_SLOTS` slots with batched numpy RNG draws --
+kind selection, static-PC skew, address/alias/size selection, dependence
+distances and branch outcomes are all vectorized over the block -- and
+scatters the results straight into the codec's flat columns.  Only the
+few inherently sequential decisions (exact silent-store values against
+the functional memory image, collision claiming, wrong-path payloads)
+run as small per-block Python loops over a handful of rows.
 
-Since the column-native refactor the generator emits the codec's flat
-columns directly -- one row tuple per instruction, transposed once at the
-end -- and returns a :class:`~repro.isa.coltrace.ColumnTrace`; no
-``DynInst`` is allocated anywhere on this path.  The hot emitters inline
-their RNG draws (raw ``getrandbits`` rejection loops and the exact
-``expovariate`` arithmetic, reproducing the :mod:`random` library's draw
-consumption bit for bit).  The emitted stream is **bit-identical**
-to the frozen object-path reference generator
-(:func:`repro.workloads.reference.generate_trace_objects`): the RNG draw
-sequence and every decision point are preserved exactly, and the golden
-equivalence suite proves ``encode(column) == encode(objects)`` per shipped
-profile and seed.
+This module deliberately draws a **different RNG stream** than the frozen
+epoch-v1 pair (:mod:`repro.workloads.synthetic_v1` /
+:mod:`repro.workloads.reference`): moving from per-instruction
+``random.Random`` draws to per-block ``numpy`` PCG64 streams is the
+one-time fingerprint break recorded in ROADMAP.md.  v2 traces are pinned
+by their own golden fingerprints (``tests/workloads/test_v2_goldens.py``)
+and the v1 pair remains importable as the draw-exact oracle.
 
-Layout of the synthetic address space (all regions disjoint):
+Determinism and the prefix property are preserved by construction:
+
+- every block ``b`` seeds an independent ``PCG64`` stream from
+  ``SeedSequence(entropy=f(seed, name), spawn_key=(b,))``, so block
+  content never depends on the requested instruction budget;
+- all cross-block state (producer table, forwarding/non-redundant load
+  records, stream cursor, functional memory, pending collisions) evolves
+  only forward, so a shorter trace is an exact prefix of a longer one
+  with the same seed;
+- the budget is met by truncating whole generated blocks.
+
+The synthetic address space and static-PC partitioning are unchanged from
+v1 (the *statistical* contract of :class:`WorkloadProfile` is the same;
+only the draw mechanics changed):
 
 ==============  ==========================================================
-``0x1000_0000``  stack: spill/fill slots addressed off a long-lived frame
-                 pointer producer; rewritten frames create forwarding pairs
+``0x1000_0000``  stack: spill/fill slots addressed off a per-block frame
+                 pointer producer (stores in the low half, loads high)
 ``0x2000_0000``  globals: a small set of hot words (high locality, silent
                  stores, redundancy)
 ``0x3000_0000``  heap: a configurable working set reached through pointer
-                 producers (cache misses, pointer chasing)
+                 producers (cache misses, ambiguous stores)
 ``0x4000_0000``  stream: sequential cursor (compression-style workloads)
+``0x5000_0000``  forward: dedicated slots for the designated forwarding
+                 (spill/fill-style) store/load pairs
 ==============  ==========================================================
-
-Static PCs are likewise partitioned by role so that PC-indexed predictors
-(store-sets, FSQ steering bits, SPCT training) see the stable static
-behaviour the paper relies on ("forwarding patterns are stable and the
-static set of forwarding stores and loads is small").
 """
 
 from __future__ import annotations
 
-import random
 import zlib
-from collections import deque
-from dataclasses import dataclass
-from math import log as _log
+from array import array
+
+import numpy as np
 
 from repro.isa.coltrace import ColumnTrace
 from repro.isa.inst import NO_PRODUCER
 from repro.isa.ops import OpClass
 from repro.memsys.memimg import MemoryImage
 from repro.workloads.profile import WorkloadProfile
+
+#: Trace-identity epoch.  Bumped exactly once per deliberate fingerprint
+#: break; recorded in codec headers and benchmark payloads so readers can
+#: refuse cross-epoch comparisons with a clear error.
+TRACE_EPOCH = 2
+
+#: Instruction slots sampled per block (each slot expands to one or two
+#: rows; a short pointer preamble precedes every block).
+BLOCK_SLOTS = 4096
 
 STACK_BASE = 0x1000_0000
 GLOBAL_BASE = 0x2000_0000
@@ -74,706 +90,733 @@ _PC_GLOBAL_LOAD = 0xA0_0000
 _PC_GLOBAL_STORE = 0xB0_0000
 _PC_FALSE_ELIM_STORE = 0xC0_0000
 
-_WORD64 = 0xFFFF_FFFF_FFFF_FFFF
 #: Offset-namespace bias for forwarding-region accesses (must clear the
 #: largest plain stack offset so signatures stay one-to-one with addresses).
 _FWD_OFFSET_BIAS = 1 << 24
 
-# Op codes as plain ints (the column values).
 _OP_IALU = int(OpClass.IALU)
+_OP_IMUL = int(OpClass.IMUL)
+_OP_FALU = int(OpClass.FALU)
 _OP_LOAD = int(OpClass.LOAD)
 _OP_STORE = int(OpClass.STORE)
 _OP_BRANCH = int(OpClass.BRANCH)
 
+_I64 = np.int64
 
-@dataclass(slots=True)
-class _StoreRecord:
-    seq: int
-    addr: int
-    size: int
-    base_seq: int
-    offset: int
-    site: int
-    pc: int = 0
-
-
-@dataclass(slots=True)
-class _LoadRecord:
-    seq: int
-    addr: int
-    size: int
-    base_seq: int
-    offset: int
+#: Typecode -> numpy dtype for the final array.array conversion.
+_TC_DTYPE = {
+    "B": np.uint8,
+    "I": np.uint32,
+    "Q": np.uint64,
+    "i": np.int32,
+    "q": np.int64,
+}
+_TC_BOUNDS = {
+    "B": (0, 2**8 - 1),
+    "I": (0, 2**32 - 1),
+    "Q": (0, 2**64 - 1),
+    "i": (-(2**31), 2**31 - 1),
+    "q": (-(2**63), 2**63 - 1),
+}
 
 
-class _Generator:
+def _np_column(col: np.ndarray, narrow: str, wide: str) -> array:
+    """Convert an int64 numpy column to the narrowest fitting typecode."""
+    tc = narrow
+    if narrow != wide and len(col):
+        lo, hi = _TC_BOUNDS[narrow]
+        mn, mx = int(col.min()), int(col.max())
+        if mn < lo or mx > hi:
+            tc = wide
+    out = array(tc)
+    out.frombytes(np.ascontiguousarray(col.astype(_TC_DTYPE[tc])).tobytes())
+    return out
+
+
+class _GrowBuf:
+    """Append-only int64 buffer with amortized-doubling growth."""
+
+    __slots__ = ("data", "n")
+
+    def __init__(self, cap: int = 4096) -> None:
+        self.data = np.empty(cap, dtype=_I64)
+        self.n = 0
+
+    def append(self, arr: np.ndarray) -> None:
+        need = self.n + len(arr)
+        if need > len(self.data):
+            cap = max(need, 2 * len(self.data))
+            grown = np.empty(cap, dtype=_I64)
+            grown[: self.n] = self.data[: self.n]
+            self.data = grown
+        self.data[self.n : need] = arr
+        self.n = need
+
+    def view(self) -> np.ndarray:
+        return self.data[: self.n]
+
+
+def _exp_dist(u: np.ndarray, mean: float) -> np.ndarray:
+    """Geometric-ish dependence distances: ``floor(Exp(mean)) + 1``."""
+    return (-np.log1p(-u) * mean).astype(_I64) + 1
+
+
+def _skew_idx(u: np.ndarray, count: int) -> np.ndarray:
+    """Hot-skewed static index selection (quadratic bias to low indices)."""
+    return np.minimum((count * u * u).astype(_I64), count - 1)
+
+
+class _BlockGenerator:
+    """Stateful whole-block sampler.  One instance generates one trace."""
+
     def __init__(self, profile: WorkloadProfile, n_insts: int, seed: int) -> None:
         profile.validate()
         self.profile = profile
         self.n_insts = n_insts
-        # crc32, not hash(): string hashes are randomized per process
-        # (PYTHONHASHSEED), and the trace stream must be identical across
-        # processes for result caching and pool workers to be reproducible.
-        self.rng = random.Random((seed << 16) ^ zlib.crc32(("svw:" + profile.name).encode()) & 0xFFFF_FFFF)
-        #: ``randrange``/``randint``/``choice`` all reduce to one
-        #: ``_randbelow`` draw in CPython; binding it once strips their
-        #: per-call argument plumbing from the emit path without touching
-        #: the draw sequence.  (The public-API fallback keeps alternative
-        #: interpreters correct, merely slower.)
-        self._randbelow = getattr(self.rng, "_randbelow", None) or self.rng.randrange
-        #: Precomputed ``expovariate`` rates (the exact ``1.0 / max(1.0, mean)``
-        #: floats the reference generator forms per draw).
-        self._root_frac = profile.root_frac
-        self._inv_dep = 1.0 / max(1.0, profile.dep_distance)
-        self._inv_dep2 = 1.0 / max(1.0, profile.dep_distance * 2)
-        self._inv_fwd = 1.0 / max(1.0, profile.forward_distance)
-        self._inv_red = 1.0 / max(1.0, profile.redundancy_distance)
-        #: Profile-constant _randbelow bounds and their getrandbits widths
-        #: (k = n.bit_length()), for inlined rejection loops.
-        half_slots = max(1, profile.stack_slots // 2)
-        self._slots_n, self._slots_k = half_slots, half_slots.bit_length()
-        # Candidate counts use randrange's *ceiling* division
-        # ((stop - start + step - 1) // step): heap_bytes is only required
-        # to be a multiple of 8, so the half-heap widths need not divide 8
-        # evenly and flooring would drop the last candidate.
+        # crc32, not hash(): string hashes are randomized per process and
+        # the trace stream must be identical across processes.  The "svw2:"
+        # prefix keeps the v2 entropy pool disjoint from v1's "svw:" pool.
+        self.entropy = (
+            (seed << 16) ^ zlib.crc32(("svw2:" + profile.name).encode())
+        ) & 0xFFFF_FFFF_FFFF
+        # -- profile-derived constants (mirrors the v1 parameterization) --
+        self.mean_dep = max(1.0, profile.dep_distance)
+        self.mean_dep2 = max(1.0, profile.dep_distance * 2)
+        self.mean_fwd = max(1.0, profile.forward_distance)
+        self.mean_red = max(1.0, profile.redundancy_distance)
+        self.half_slots = max(1, profile.stack_slots // 2)
         half_heap = profile.heap_bytes // 2
-        n_load = (profile.heap_bytes - half_heap + 7) // 8
-        self._heap_load_n, self._heap_load_k = n_load, n_load.bit_length()
-        n_store = (half_heap + 7) // 8
-        self._heap_store_n, self._heap_store_k = n_store, n_store.bit_length()
-        self._fwd_pcs_n = profile.forward_pcs
-        self._fwd_pcs_k = profile.forward_pcs.bit_length()
-        #: Profile-constant static-PC pool sizes and region-select
-        #: thresholds (accumulated left-to-right exactly as the reference
-        #: forms them per call).
-        self._addr_pcs = max(16, profile.static_alu_pcs // 4)
+        # Candidate counts use ceiling division: heap_bytes is only
+        # required to be a multiple of 8, so the half-heap widths need not
+        # divide 8 evenly and flooring would drop the last candidate.
+        self.half_heap = half_heap
+        self.heap_load_n = (profile.heap_bytes - half_heap + 7) // 8
+        self.heap_store_n = (half_heap + 7) // 8
         gf_load = profile.global_frac
         gf_store = profile.global_frac * profile.store_global_scale
-        self._t_stack = profile.stack_frac
-        self._t_global_load = profile.stack_frac + gf_load
-        self._t_global_store = profile.stack_frac + gf_store
-        self._t_stream_load = self._t_global_load + profile.stream_frac
-        self._t_stream_store = self._t_global_store + profile.stream_frac
-        #: Emitted-instruction count (the next seq).
-        self.n = 0
-        # The flat columns, accumulated as one row tuple per instruction
-        # (a single append beats ten) and transposed once at the end.
-        self.rows: list[tuple] = []
-        self.src_flat: list[int] = []
-        self.src_offsets: list[int] = [0]
-        self.memory = MemoryImage()
-        self.producers: deque[int] = deque(maxlen=128)
-        self.recent_stores: deque[_StoreRecord] = deque(maxlen=96)
-        #: Forwarding-site stores only (the designated spill/fill pairs).
-        self.recent_fwd_stores: deque[_StoreRecord] = deque(maxlen=48)
-        self.recent_loads: deque[_LoadRecord] = deque(maxlen=96)
-        #: Loads to the hot-global region (reliably cache-resident); used as
-        #: base producers for ambiguous stores so ambiguity windows stay
-        #: bounded by the L1 load latency.
-        self.recent_cached_loads: deque[int] = deque(maxlen=16)
-        self.wrong_path: dict[int, tuple[int, ...]] = {}
-        # Region state.
-        self.frame = 0
-        self.sp_producer = NO_PRODUCER
-        self.global_producer = NO_PRODUCER
-        self.heap_producers: deque[int] = deque(maxlen=8)
+        self.t_stack = profile.stack_frac
+        self.t_global_load = profile.stack_frac + gf_load
+        self.t_global_store = profile.stack_frac + gf_store
+        self.t_stream_load = self.t_global_load + profile.stream_frac
+        self.t_stream_store = self.t_global_store + profile.stream_frac
+        self.fwd_share = min(
+            0.9,
+            0.05
+            + profile.forward_frac
+            * profile.load_frac
+            / max(0.01, profile.store_frac),
+        )
+        self.addr_pcs = max(16, profile.static_alu_pcs // 4)
+        # Kind-selection thresholds (cumulative mix bands).
+        self.kind_edges = np.array(
+            [
+                profile.load_frac,
+                profile.load_frac + profile.store_frac,
+                profile.load_frac + profile.store_frac + profile.branch_frac,
+                profile.load_frac
+                + profile.store_frac
+                + profile.branch_frac
+                + profile.imul_frac,
+                profile.mix_total(),
+            ],
+            dtype=np.float64,
+        )
+        self.kind_ops = np.array(
+            [_OP_LOAD, _OP_STORE, _OP_BRANCH, _OP_IMUL, _OP_FALU, _OP_IALU],
+            dtype=_I64,
+        )
+        # Branch site biases: hard-to-predict branches sit at the *cold*
+        # end of the (quadratically hot-skewed) site distribution.
+        nb = profile.static_branches
+        n_hard = max(1, int(nb * profile.hard_branch_frac))
+        bias = np.full(nb, profile.easy_branch_bias, dtype=np.float64)
+        bias[nb - n_hard :] = profile.hard_branch_bias
+        self.branch_bias = bias
+        # -- cross-block carried state --
+        self.block = 0
+        self.rows_total = 0
+        self.prod = _GrowBuf()  # rows of value producers, in row order
+        self.fwd_rows = _GrowBuf()  # forwarding-site store records
+        self.fwd_addr = _GrowBuf()
+        self.fwd_size = _GrowBuf()
+        self.fwd_base = _GrowBuf()
+        self.fwd_offset = _GrowBuf()
+        self.fwd_site = _GrowBuf()
+        self.nr_rows = _GrowBuf()  # non-redundant load records (reuse pool)
+        self.nr_addr = _GrowBuf()
+        self.nr_size = _GrowBuf()
+        self.nr_base = _GrowBuf()
+        self.nr_offset = _GrowBuf()
+        self.last_load_row = -1
         self.stream_cursor = 0
-        self.insts_since_frame = 0
-        # Pending true-collision demand: (addr, size, site, expires_at_seq).
-        self.pending_collision: tuple[int, int, int, int] | None = None
-        # Branch site biases.  Hard-to-predict branches sit at the *cold*
-        # end of the (quadratically hot-skewed) site distribution: hot loop
-        # back-edges are highly predictable in real programs, data-dependent
-        # branches are scattered and cooler.
-        n_hard = max(1, int(profile.static_branches * profile.hard_branch_frac))
-        self.branch_bias = [
-            profile.hard_branch_bias
-            if i >= profile.static_branches - n_hard
-            else profile.easy_branch_bias
-            for i in range(profile.static_branches)
-        ]
+        self.value_counter = 0
+        self.memory = MemoryImage()
+        self.pending_collisions: list[tuple[int, int, int, int, int]] = []
+        self.wrong_path: dict[int, tuple[int, ...]] = {}
+        # Accumulated per-block column chunks (int64), concatenated once.
+        self.chunks: dict[str, list[np.ndarray]] = {
+            name: []
+            for name in (
+                "pc",
+                "op",
+                "dst_reg",
+                "addr",
+                "size",
+                "store_value",
+                "store_data_seq",
+                "taken",
+                "base_seq",
+                "offset",
+                "src_count",
+                "src_flat",
+            )
+        }
 
     # -- helpers --------------------------------------------------------------
 
-    def _pick_srcs(self, max_srcs: int = 2) -> tuple[int, ...]:
-        # ``expovariate``-distributed dependence distances are drawn inline
-        # (-log(1 - random()) / lambd, the exact library computation) and
-        # the one/two-source cases are unrolled -- this runs once or twice
-        # per emitted instruction.
-        producers = self.producers
-        rng = self.rng
-        if not producers or rng.random() < self._root_frac:
-            return ()
-        # The count draw is randint(1, max_srcs) reduced to raw getrandbits
-        # with the library's exact rejection behaviour: _randbelow(n) draws
-        # n.bit_length() bits and rejects values >= n.
-        getrandbits = rng.getrandbits
-        if max_srcs == 2:
-            second_draw = getrandbits(2)
-            while second_draw >= 2:
-                second_draw = getrandbits(2)
-        else:
-            while getrandbits(1):
-                pass
-            second_draw = 0
-        random = rng.random
-        inv_dep = self._inv_dep
-        n_prod = len(producers)
-        dist = int(-_log(1.0 - random()) / inv_dep) + 1
-        first = producers[n_prod - (dist if dist < n_prod else n_prod)]
-        if not second_draw:
-            return (first,)
-        dist = int(-_log(1.0 - random()) / inv_dep) + 1
-        second = producers[n_prod - (dist if dist < n_prod else n_prod)]
-        if first == second:
-            return (first,)
-        return (first, second) if first < second else (second, first)
+    def _rng(self) -> np.random.Generator:
+        seq = np.random.SeedSequence(entropy=self.entropy, spawn_key=(self.block,))
+        return np.random.Generator(np.random.PCG64(seq))
 
-    def _skewed_pc(self, base: int, count: int) -> int:
-        """Hot-loop-skewed static PC selection (quadratic bias to low indices)."""
-        idx = int(count * self.rng.random() ** 2)
-        return base + min(idx, count - 1) * 4
+    def _pick_producer(self, p_count: np.ndarray, dist: np.ndarray) -> np.ndarray:
+        """Producer rows at ``dist`` back within a 128-deep window.
 
-    def _emit(
-        self,
-        pc: int,
-        op: int,
-        srcs: tuple[int, ...],
-        is_producer: bool,
-        dst_reg: int = -1,
-        addr: int = 0,
-        size: int = 0,
-        store_value: int = 0,
-        store_data_seq: int = NO_PRODUCER,
-        taken: bool = False,
-        base_seq: int = NO_PRODUCER,
-        offset: int = 0,
-    ) -> int:
-        """Append one instruction row to the columns; returns its seq."""
-        seq = self.n
-        self.rows.append(
-            (
-                pc,
-                op,
-                dst_reg,
-                addr,
-                size,
-                store_value,
-                store_data_seq,
-                1 if taken else 0,
-                base_seq,
-                offset,
-            )
-        )
-        src_flat = self.src_flat
-        if srcs:
-            src_flat.extend(srcs)
-        self.src_offsets.append(len(src_flat))
-        self.n = seq + 1
-        if is_producer:
-            self.producers.append(seq)
-        self.insts_since_frame += 1
-        return seq
-
-    # -- region address selection ---------------------------------------------
-
-    def _ensure_region_producers(self) -> None:
-        """Refresh frame/global/heap pointer producers as needed."""
-        profile, rng = self.profile, self.rng
-        if self.sp_producer == NO_PRODUCER or self.insts_since_frame > 200:
-            # New call frame: an ALU op computes the new frame pointer.
-            self.sp_producer = self._emit(
-                _PC_ALU, _OP_IALU, (), is_producer=True, dst_reg=29
-            )
-            self.frame = (self.frame + 1) % 1024
-            self.insts_since_frame = 0
-        if self.global_producer == NO_PRODUCER:
-            self.global_producer = self._emit(
-                _PC_ALU + 4, _OP_IALU, (), is_producer=True, dst_reg=28
-            )
-        if not self.heap_producers or rng.random() < 0.01:
-            # A pointer ALU producing a heap base.  Kept dependence-free so
-            # that *store* address-resolution delay is controlled solely by
-            # ``ambiguous_store_frac`` (load-side address depth comes from
-            # ``addr_comp_frac``/``deep_addr_frac`` instead).
-            seq = self._emit(
-                self._skewed_pc(_PC_ALU + 8, max(8, profile.static_alu_pcs // 8)),
-                _OP_IALU,
-                (),
-                is_producer=True,
-                dst_reg=27,
-            )
-            self.heap_producers.append(seq)
-
-    def _fresh_address(self, for_load: bool = False) -> tuple[int, int, int, int, str]:
-        """Pick (addr, size, base_seq, offset, region) for a fresh access.
-
-        Loads frequently receive a freshly-computed base register (see
-        ``addr_comp_frac``); store bases are overwhelmingly pre-computed.
+        ``p_count[i]`` is the number of value producers at rows strictly
+        before row ``i``; the gather indexes the global producer table.
         """
-        profile, rng = self.profile, self.rng
-        self._ensure_region_producers()
-        size = 4 if rng.random() < profile.sub_quad_frac else 8
-        # Stores rarely target the hot read-mostly globals (the displaced
-        # probability falls through to the heap), hence per-kind thresholds.
-        if for_load:
-            t_global, t_stream = self._t_global_load, self._t_stream_load
-        else:
-            t_global, t_stream = self._t_global_store, self._t_stream_store
-        region = "heap"
-        r = rng.random()
-        if r < self._t_stack:
-            region = "stack"
-            # Fresh (non-forwarding) stack traffic uses disjoint slot
-            # ranges for loads and stores: compiler-managed frames do not
-            # casually reload what an unrelated store just wrote -- all
-            # window-distance stack forwarding goes through the designated
-            # spill/fill sites instead (see _emit_load's forwarding path).
-            half = self._slots_n
-            k = self._slots_k
-            getrandbits = rng.getrandbits
-            slot = getrandbits(k)
-            while slot >= half:
-                slot = getrandbits(k)
-            if for_load:
-                slot += half
-            offset = slot * 8
-            addr = STACK_BASE + (self.frame * profile.stack_slots * 8 + offset) % (1 << 20)
-            base_seq = self.sp_producer
-        elif r < t_global:
-            region = "global"
-            word = int(profile.global_words * rng.random() ** 2)
-            offset = word * 8
-            addr, base_seq = GLOBAL_BASE + offset, self.global_producer
-        elif r < t_stream:
-            region = "stream"
-            addr = STREAM_BASE + self.stream_cursor
-            self.stream_cursor = (self.stream_cursor + profile.stream_stride) % (1 << 22)
-            offset, base_seq = addr - STREAM_BASE, NO_PRODUCER
-        else:
-            # Heap access via a pointer producer; loads and stores visit
-            # disjoint halves of the working set (same rationale as the
-            # stack partition above), with the partition carried by the
-            # *offset* so that the address is a pure function of the
-            # (base producer, offset) pair -- register-integration
-            # signatures must imply address equality, as in real renaming.
-            producers = list(self.heap_producers)
-            base_seq = producers[self._randbelow(len(producers))]
-            half_heap = profile.heap_bytes // 2
-            getrandbits = rng.getrandbits
-            if for_load:
-                n, k = self._heap_load_n, self._heap_load_k
-                r = getrandbits(k)
-                while r >= n:
-                    r = getrandbits(k)
-                offset = half_heap + 8 * r
+        back = np.minimum(dist, np.minimum(p_count, 128))
+        return self.prod.view()[p_count - back]
+
+    # -- one block -------------------------------------------------------------
+
+    def _generate_block(self) -> None:
+        prof = self.profile
+        B = BLOCK_SLOTS
+        b = self.block
+        rng = self._rng()
+        rows_before = self.rows_total
+
+        # All RNG consumption happens here, as named uniform draws in one
+        # fixed order -- the block's content is a pure function of these
+        # arrays plus carried state, never of the instruction budget.
+        u_kind = rng.random(B)
+        u_pc = rng.random(B)
+        u_dst = rng.random(B)
+        u_size = rng.random(B)
+        u_root = rng.random(B)
+        u_nsrc = rng.random(B)
+        u_d1 = rng.random(B)
+        u_d2 = rng.random(B)
+        u_sregion = rng.random(B)
+        u_samb = rng.random(B)
+        u_sfwd = rng.random(B)
+        u_ssite = rng.random(B)
+        u_soff = rng.random(B)
+        u_sjit = rng.random(B)
+        u_sdata = rng.random(B)
+        u_silent = rng.random(B)
+        u_scoll = rng.random(B)
+        u_scollw = rng.random(B)
+        u_lrole = rng.random(B)
+        u_lregion = rng.random(B)
+        u_loff = rng.random(B)
+        u_ldist = rng.random(B)
+        u_lac = rng.random(B)
+        u_lacd = rng.random(B)
+        u_taken = rng.random(B)
+        u_wp = rng.random(B)
+        u_wpc = rng.random(B)
+        u_wpa1 = rng.random(B)
+        u_wpa2 = rng.random(B)
+        u_felim = rng.random(B)
+
+        # -- kinds -------------------------------------------------------------
+        op_slot = self.kind_ops[np.searchsorted(self.kind_edges, u_kind, side="right")]
+        is_load = op_slot == _OP_LOAD
+        is_store = op_slot == _OP_STORE
+        is_branch = op_slot == _OP_BRANCH
+        is_alu = ~(is_load | is_store | is_branch)
+
+        # -- roles (position-independent, so row layout can follow) ------------
+        # Store roles first: ambiguity needs only "a load exists earlier".
+        load_seen = np.cumsum(is_load) - is_load
+        amb_ok = (load_seen > 0) | (self.last_load_row >= 0)
+        amb = is_store & amb_ok & (u_samb < prof.ambiguous_store_frac)
+        reg_global_s = (
+            is_store & (u_sregion >= self.t_stack) & (u_sregion < self.t_global_store)
+        )
+        fwd_s = is_store & ~amb & ~reg_global_s & (u_sfwd < self.fwd_share)
+        plain_s = is_store & ~amb & ~reg_global_s & ~fwd_s
+        stack_s = plain_s & (u_sregion < self.t_stack)
+        stream_s = (
+            plain_s
+            & (u_sregion >= self.t_global_store)
+            & (u_sregion < self.t_stream_store)
+        )
+        heap_s = plain_s & ~stack_s & ~stream_s
+
+        # Load roles: forwarding needs a forwarding-site store on record,
+        # redundancy a non-redundant load on record.  Loads whose role draw
+        # falls in the forwarding band can never be redundant, so both
+        # bands outside [f, f+r) count toward the reuse pool a priori.
+        f = prof.forward_frac
+        r = prof.redundancy_frac
+        fwd_seen = self.fwd_rows.n + np.cumsum(fwd_s) - fwd_s
+        fwd_l = is_load & (u_lrole < f) & (fwd_seen > 0)
+        certain_nr = is_load & ~((u_lrole >= f) & (u_lrole < f + r))
+        nr_seen = self.nr_rows.n + np.cumsum(certain_nr) - certain_nr
+        red_l = is_load & (u_lrole >= f) & (u_lrole < f + r) & (nr_seen > 0)
+        fresh_l = is_load & ~fwd_l & ~red_l
+        stack_l = fresh_l & (u_lregion < self.t_stack)
+        global_l = (
+            fresh_l & (u_lregion >= self.t_stack) & (u_lregion < self.t_global_load)
+        )
+        stream_l = (
+            fresh_l
+            & (u_lregion >= self.t_global_load)
+            & (u_lregion < self.t_stream_load)
+        )
+        heap_l = fresh_l & ~stack_l & ~global_l & ~stream_l
+
+        # A redundant load with an intervening same-address store expands
+        # its slot to two rows: the false-eliminating store, then the load.
+        felim = red_l & (u_felim < prof.false_elim_frac)
+
+        # -- row layout --------------------------------------------------------
+        # 5 preamble pointer producers, then one row per slot plus one extra
+        # row (before the load) for each false-elimination store.
+        extra = felim.astype(_I64)
+        local_main = 5 + np.arange(B, dtype=_I64) + np.cumsum(extra)
+        n_rows = 5 + B + int(extra.sum())
+        main_rows = rows_before + local_main  # global row ids == seqs
+        fp_row = rows_before  # frame pointer
+        gp_row = rows_before + 1  # global base
+        hp_row = rows_before + 2  # heap pointer
+        frame_off = (b * prof.stack_slots * 8) % (1 << 20)
+
+        # Value-producer table: preamble rows and every load/ALU row, in
+        # row order.  Appended *before* the gathers -- per-row producer
+        # counts keep every gather strictly in the past.
+        is_prod_slot = is_load | is_alu
+        local_prod = np.zeros(n_rows, dtype=bool)
+        local_prod[:5] = True
+        local_prod[local_main] = is_prod_slot
+        p_carry = self.prod.n
+        p_row = p_carry + np.cumsum(local_prod) - local_prod
+        p_main = p_row[local_main]
+        self.prod.append(rows_before + np.flatnonzero(local_prod))
+
+        # -- per-slot columns --------------------------------------------------
+        pc = np.empty(B, dtype=_I64)
+        dst = np.where(is_prod_slot, 1 + (u_dst * 24).astype(_I64), NO_PRODUCER)
+        addr = np.zeros(B, dtype=_I64)
+        size = np.where(
+            is_load | is_store, np.where(u_size < prof.sub_quad_frac, 4, 8), 0
+        )
+        base = np.full(B, NO_PRODUCER, dtype=_I64)
+        offset = np.zeros(B, dtype=_I64)
+        taken = np.zeros(B, dtype=_I64)
+        sdseq = np.full(B, NO_PRODUCER, dtype=_I64)
+
+        # ALU rows.
+        pc[is_alu] = _PC_ALU + _skew_idx(u_pc[is_alu], prof.static_alu_pcs) * 4
+
+        # Branch rows.
+        site_b = _skew_idx(u_pc, prof.static_branches)
+        pc[is_branch] = _PC_BRANCH + site_b[is_branch] * 4
+        taken[is_branch] = (u_taken < self.branch_bias[site_b])[is_branch]
+
+        # -- store addresses ---------------------------------------------------
+        site_s = (u_ssite * prof.forward_pcs).astype(_I64)
+        # plain/stack: spill slots in the low half of the frame.
+        off_stack = (u_soff * self.half_slots).astype(_I64) * 8
+        addr[stack_s] = STACK_BASE + (frame_off + off_stack[stack_s]) % (1 << 20)
+        offset[stack_s] = off_stack[stack_s]
+        base[stack_s] = fp_row
+        pc[stack_s | heap_s | stream_s] = (
+            _PC_STORE
+            + _skew_idx(u_pc[stack_s | heap_s | stream_s], prof.static_store_pcs) * 4
+        )
+        # hot globals (quadratic word skew).
+        word_s = np.minimum(
+            (prof.global_words * u_soff * u_soff).astype(_I64), prof.global_words - 1
+        )
+        addr[reg_global_s] = GLOBAL_BASE + word_s[reg_global_s] * 8
+        offset[reg_global_s] = word_s[reg_global_s] * 8
+        base[reg_global_s] = gp_row
+        pc[reg_global_s] = _PC_GLOBAL_STORE + (word_s[reg_global_s] % 64) * 4
+        # heap (store half).
+        off_heap_s = (u_soff * self.heap_store_n).astype(_I64) * 8
+        addr[heap_s] = HEAP_BASE + off_heap_s[heap_s]
+        offset[heap_s] = off_heap_s[heap_s]
+        base[heap_s] = hp_row
+        # ambiguous stores: address hangs off the most recent load; the
+        # full address doubles as the offset so signatures stay one-to-one.
+        ll = np.empty(B, dtype=_I64)
+        ll[0] = self.last_load_row
+        ll[1:] = np.where(is_load, main_rows, -1)[:-1]
+        last_load_excl = np.maximum.accumulate(ll)
+        amb_addr = HEAP_BASE + off_heap_s
+        addr[amb] = amb_addr[amb]
+        offset[amb] = amb_addr[amb]
+        base[amb] = last_load_excl[amb]
+        pc[amb] = _PC_AMB_STORE + site_s[amb] * 4
+        # forwarding-site stores: dedicated slots off the frame pointer.
+        fwd_slot = (
+            (b & 63) * prof.forward_pcs * 4 + site_s * 4 + (u_sjit * 4).astype(_I64)
+        )
+        addr[fwd_s] = FORWARD_BASE + fwd_slot[fwd_s] * 8
+        offset[fwd_s] = _FWD_OFFSET_BIAS + fwd_slot[fwd_s] * 8
+        base[fwd_s] = fp_row
+        pc[fwd_s] = _PC_FWD_STORE + site_s[fwd_s] * 4
+        # store data producers.
+        d_data = _exp_dist(u_sdata, self.mean_dep2)
+        sdseq[is_store] = self._pick_producer(p_main[is_store], d_data[is_store])
+
+        # -- fresh load addresses ----------------------------------------------
+        off_lstack = (self.half_slots + (u_loff * self.half_slots).astype(_I64)) * 8
+        addr[stack_l] = STACK_BASE + (frame_off + off_lstack[stack_l]) % (1 << 20)
+        offset[stack_l] = off_lstack[stack_l]
+        base[stack_l] = fp_row
+        pc[stack_l | heap_l | stream_l] = (
+            _PC_LOAD
+            + _skew_idx(u_pc[stack_l | heap_l | stream_l], prof.static_load_pcs) * 4
+        )
+        word_l = np.minimum(
+            (prof.global_words * u_loff * u_loff).astype(_I64), prof.global_words - 1
+        )
+        addr[global_l] = GLOBAL_BASE + word_l[global_l] * 8
+        offset[global_l] = word_l[global_l] * 8
+        base[global_l] = gp_row
+        pc[global_l] = _PC_GLOBAL_LOAD + (word_l[global_l] % 64) * 4
+        off_lheap = self.half_heap + (u_loff * self.heap_load_n).astype(_I64) * 8
+        addr[heap_l] = HEAP_BASE + off_lheap[heap_l]
+        offset[heap_l] = off_lheap[heap_l]
+        base[heap_l] = hp_row
+        # stream cursor: loads and stores share one sequential cursor.
+        stream_m = stream_l | stream_s
+        rank = np.cumsum(stream_m) - stream_m
+        raw = (
+            self.stream_cursor + prof.stream_stride * (rank + 1)
+        ) % (1 << 22)
+        stream_addr = (STREAM_BASE + raw) & ~(np.maximum(size, 1) - 1)
+        addr[stream_m] = stream_addr[stream_m]
+        offset[stream_m] = 0
+        self.stream_cursor = (
+            self.stream_cursor + prof.stream_stride * int(stream_m.sum())
+        ) % (1 << 22)
+        # freshly-computed addresses: an in-window producer feeds the base
+        # register, delaying AGEN; the full address becomes the offset.
+        ac = fresh_l & (u_lac < prof.addr_comp_frac)
+        d_ac = _exp_dist(u_lacd, self.mean_dep)
+        base[ac] = self._pick_producer(p_main[ac], d_ac[ac])
+        offset[ac] = addr[ac]
+
+        # -- forwarding loads (copy a recorded forwarding store) ---------------
+        fwd_block_rows = main_rows[fwd_s]
+        self.fwd_rows.append(fwd_block_rows)
+        self.fwd_addr.append(addr[fwd_s])
+        self.fwd_size.append(size[fwd_s])
+        self.fwd_base.append(base[fwd_s])
+        self.fwd_offset.append(offset[fwd_s])
+        self.fwd_site.append(site_s[fwd_s])
+        if fwd_l.any():
+            rows_v = self.fwd_rows.view()
+            g = main_rows[fwd_l]
+            d = _exp_dist(u_ldist[fwd_l], self.mean_fwd)
+            hi = np.searchsorted(rows_v, g, side="left") - 1
+            j = np.clip(np.searchsorted(rows_v, g - d, side="right") - 1, 0, hi)
+            addr[fwd_l] = self.fwd_addr.view()[j]
+            size[fwd_l] = self.fwd_size.view()[j]
+            base[fwd_l] = self.fwd_base.view()[j]
+            offset[fwd_l] = self.fwd_offset.view()[j]
+            pc[fwd_l] = _PC_FWD_LOAD + self.fwd_site.view()[j] * 4
+
+        # -- true collisions (ambiguous store hits the next fresh load) --------
+        overrides: list[tuple[int, int, int, int]] = []
+        fresh_idx = np.flatnonzero(fresh_l)
+        fresh_rows_g = main_rows[fresh_idx]
+        claimed = np.zeros(len(fresh_idx), dtype=bool)
+
+        def _claim(after: int, until: int, a: int, s: int, site: int) -> bool:
+            j = int(np.searchsorted(fresh_rows_g, after, side="right"))
+            while j < len(fresh_idx) and claimed[j]:
+                j += 1
+            if j < len(fresh_idx) and fresh_rows_g[j] <= until:
+                claimed[j] = True
+                overrides.append((int(fresh_idx[j]), a, s, site))
+                return True
+            return False
+
+        for pend in self.pending_collisions:
+            _claim(*pend)
+        self.pending_collisions = []
+        block_end = rows_before + n_rows
+        for s_idx in np.flatnonzero(amb & (u_scoll < prof.collision_frac)).tolist():
+            row = int(main_rows[s_idx])
+            until = row + 2 + int(u_scollw[s_idx] * 11)
+            hit = _claim(row, until, int(addr[s_idx]), int(size[s_idx]),
+                         int(site_s[s_idx]))
+            if not hit and until >= block_end:
+                self.pending_collisions.append(
+                    (row, until, int(addr[s_idx]), int(size[s_idx]),
+                     int(site_s[s_idx]))
+                )
+        for slot, a, sz, site in overrides:
+            addr[slot] = a
+            size[slot] = sz
+            offset[slot] = 0
+            base[slot] = NO_PRODUCER
+            pc[slot] = _PC_COLLIDE_LOAD + site * 4
+
+        # -- redundant loads (copy a recorded non-redundant load) --------------
+        nonred = fresh_l | fwd_l
+        self.nr_rows.append(main_rows[nonred])
+        self.nr_addr.append(addr[nonred])
+        self.nr_size.append(size[nonred])
+        self.nr_base.append(base[nonred])
+        self.nr_offset.append(offset[nonred])
+        if red_l.any():
+            rows_v = self.nr_rows.view()
+            g = main_rows[red_l]
+            d = _exp_dist(u_ldist[red_l], self.mean_red)
+            hi = np.searchsorted(rows_v, g, side="left") - 1
+            j = np.clip(np.searchsorted(rows_v, g - d, side="right") - 1, 0, hi)
+            addr[red_l] = self.nr_addr.view()[j]
+            size[red_l] = self.nr_size.view()[j]
+            base[red_l] = self.nr_base.view()[j]
+            offset[red_l] = self.nr_offset.view()[j]
+            pc[red_l] = _PC_REDUNDANT_LOAD + (offset[red_l] % 64) * 4
+
+        self.last_load_row = int(
+            np.max(np.where(is_load, main_rows, self.last_load_row))
+        )
+
+        # -- sources -----------------------------------------------------------
+        src_n = np.zeros(B, dtype=_I64)
+        src_a = np.full(B, NO_PRODUCER, dtype=_I64)
+        src_b = np.full(B, NO_PRODUCER, dtype=_I64)
+        rooted = u_root < prof.root_frac
+        d1 = _exp_dist(u_d1, self.mean_dep)
+        d2 = _exp_dist(u_d2, self.mean_dep)
+        s1 = self._pick_producer(p_main, d1)
+        s2 = self._pick_producer(p_main, d2)
+        one_alu = is_alu & ~rooted
+        src_n[one_alu] = 1
+        src_a[one_alu] = s1[one_alu]
+        pair = one_alu & (u_nsrc < 0.5) & (s1 != s2)
+        src_n[pair] = 2
+        src_a[pair] = np.minimum(s1, s2)[pair]
+        src_b[pair] = np.maximum(s1, s2)[pair]
+        one_br = is_branch & ~rooted
+        src_n[one_br] = 1
+        src_a[one_br] = s1[one_br]
+        load_src = is_load & (base >= 0)
+        src_n[load_src] = 1
+        src_a[load_src] = base[load_src]
+        st_two = is_store & (base >= 0) & (base != sdseq)
+        st_one = is_store & ~st_two
+        src_n[st_one] = 1
+        src_a[st_one] = sdseq[st_one]
+        src_n[st_two] = 2
+        src_a[st_two] = np.minimum(base, sdseq)[st_two]
+        src_b[st_two] = np.maximum(base, sdseq)[st_two]
+
+        # -- scatter into local row-major columns ------------------------------
+        c_pc = np.zeros(n_rows, dtype=_I64)
+        c_op = np.full(n_rows, _OP_IALU, dtype=_I64)
+        c_dst = np.full(n_rows, NO_PRODUCER, dtype=_I64)
+        c_addr = np.zeros(n_rows, dtype=_I64)
+        c_size = np.zeros(n_rows, dtype=_I64)
+        c_sval = np.zeros(n_rows, dtype=_I64)
+        c_sdseq = np.full(n_rows, NO_PRODUCER, dtype=_I64)
+        c_taken = np.zeros(n_rows, dtype=_I64)
+        c_base = np.full(n_rows, NO_PRODUCER, dtype=_I64)
+        c_off = np.zeros(n_rows, dtype=_I64)
+        c_srcn = np.zeros(n_rows, dtype=_I64)
+        c_srca = np.full(n_rows, NO_PRODUCER, dtype=_I64)
+        c_srcb = np.full(n_rows, NO_PRODUCER, dtype=_I64)
+        silent = np.zeros(n_rows, dtype=bool)
+        # Preamble: frame/global/heap pointers plus two seed producers.
+        c_pc[:5] = _PC_ALU
+        c_dst[:5] = np.arange(29, 24, -1, dtype=_I64)
+        c_op[local_main] = op_slot
+        c_pc[local_main] = pc
+        c_dst[local_main] = dst
+        c_addr[local_main] = addr
+        c_size[local_main] = size
+        c_sdseq[local_main] = sdseq
+        c_taken[local_main] = taken
+        c_base[local_main] = base
+        c_off[local_main] = offset
+        c_srcn[local_main] = src_n
+        c_srca[local_main] = src_a
+        c_srcb[local_main] = src_b
+        silent[local_main] = is_store & (u_silent < prof.silent_store_frac)
+        # False-elimination stores: one row before their redundant load,
+        # rewriting the load's address with a fresh (never silent) value.
+        if felim.any():
+            fe_local = local_main[felim] - 1
+            c_op[fe_local] = _OP_STORE
+            c_addr[fe_local] = addr[felim]
+            c_size[fe_local] = size[felim]
+            c_off[fe_local] = offset[felim]
+            c_pc[fe_local] = _PC_FALSE_ELIM_STORE + (offset[felim] % 64)
+            fe_data = self.prod.view()[p_row[fe_local] - 1]
+            c_sdseq[fe_local] = fe_data
+            c_srcn[fe_local] = 1
+            c_srca[fe_local] = fe_data
+
+        # -- store values (exact silent semantics vs the functional image) -----
+        mem = self.memory
+        counter = self.value_counter
+        addr_l = c_addr.tolist()
+        size_l = c_size.tolist()
+        silent_l = silent.tolist()
+        for row in np.flatnonzero(c_op == _OP_STORE).tolist():
+            a, s = addr_l[row], size_l[row]
+            if silent_l[row]:
+                value = mem.read(a, s)
             else:
-                n, k = self._heap_store_n, self._heap_store_k
-                r = getrandbits(k)
-                while r >= n:
-                    r = getrandbits(k)
-                offset = 8 * r
-            addr = HEAP_BASE + offset
-        if for_load and rng.random() < profile.addr_comp_frac:
-            base_seq = self._emit_addr_computation(base_seq)
-        return addr, size, base_seq, offset, region
+                counter += 1
+                value = counter
+            mem.write(a, value, s)
+            c_sval[row] = value
+        self.value_counter = counter
 
-    def _emit_addr_computation(self, region_base: int) -> int:
-        """Emit the ALU op that computes a load's effective base register."""
-        profile, rng = self.profile, self.rng
-        srcs = {region_base} if region_base != NO_PRODUCER else set()
-        if rng.random() < profile.deep_addr_frac:
-            srcs.update(self._pick_srcs(1))
-        count = self._addr_pcs
-        idx = int(count * rng.random() ** 2)
-        if idx > count - 1:
-            idx = count - 1
-        seq = self.n
-        self.rows.append(
-            (_PC_ALU + 32 + idx * 4, _OP_IALU, 26, 0, 0, 0, NO_PRODUCER, 0,
-             NO_PRODUCER, 0)
-        )
-        src_flat = self.src_flat
-        if srcs:
-            src_flat.extend(sorted(srcs))
-        self.src_offsets.append(len(src_flat))
-        self.n = seq + 1
-        self.producers.append(seq)
-        self.insts_since_frame += 1
-        return seq
+        # -- wrong-path address payloads ---------------------------------------
+        wp = is_branch & (u_wp < 0.4)
+        heap_words = prof.heap_bytes // 8
+        wpa1 = HEAP_BASE + (u_wpa1 * heap_words).astype(_I64) * 8
+        wpa2 = GLOBAL_BASE + (u_wpa2 * prof.global_words).astype(_I64) * 8
+        for s_idx in np.flatnonzero(wp).tolist():
+            addrs = (int(wpa1[s_idx]),)
+            if u_wpc[s_idx] < 0.5:
+                addrs += (int(wpa2[s_idx]),)
+            self.wrong_path[int(main_rows[s_idx])] = addrs
 
-    def _align(self, addr: int, size: int) -> int:
-        return addr & ~(size - 1)
+        # -- flat source list (CSR values; offsets derive from counts) ---------
+        starts = np.cumsum(c_srcn) - c_srcn
+        flat = np.empty(int(c_srcn.sum()), dtype=_I64)
+        m1 = c_srcn >= 1
+        m2 = c_srcn == 2
+        flat[starts[m1]] = c_srca[m1]
+        flat[starts[m2] + 1] = c_srcb[m2]
 
-    # -- instruction emitters ---------------------------------------------------
+        chunks = self.chunks
+        chunks["pc"].append(c_pc)
+        chunks["op"].append(c_op)
+        chunks["dst_reg"].append(c_dst)
+        chunks["addr"].append(c_addr)
+        chunks["size"].append(c_size)
+        chunks["store_value"].append(c_sval)
+        chunks["store_data_seq"].append(c_sdseq)
+        chunks["taken"].append(c_taken)
+        chunks["base_seq"].append(c_base)
+        chunks["offset"].append(c_off)
+        chunks["src_count"].append(c_srcn)
+        chunks["src_flat"].append(flat)
+        self.rows_total += n_rows
+        self.block += 1
 
-    def _emit_alu(self, op: int) -> None:
-        # The most frequent emitter (~60% of the stream): _skewed_pc and
-        # _emit are inlined here, with the exact draw order of the generic
-        # path (pc, then sources, then destination register).
-        rng = self.rng
-        count = self.profile.static_alu_pcs
-        idx = int(count * rng.random() ** 2)
-        if idx > count - 1:
-            idx = count - 1
-        pc = _PC_ALU + 64 + idx * 4
-        srcs = self._pick_srcs()
-        # randrange(1, 26) = 1 + _randbelow(25), rejection loop inlined.
-        getrandbits = rng.getrandbits
-        dst_reg = getrandbits(5)
-        while dst_reg >= 25:
-            dst_reg = getrandbits(5)
-        dst_reg += 1
-        seq = self.n
-        self.rows.append((pc, op, dst_reg, 0, 0, 0, NO_PRODUCER, 0, NO_PRODUCER, 0))
-        src_flat = self.src_flat
-        if srcs:
-            src_flat.extend(srcs)
-        self.src_offsets.append(len(src_flat))
-        self.n = seq + 1
-        self.producers.append(seq)
-        self.insts_since_frame += 1
+    # -- invariants ------------------------------------------------------------
 
-    def _emit_branch(self) -> None:
-        profile, rng = self.profile, self.rng
-        site = int(profile.static_branches * rng.random() ** 2)
-        site = min(site, profile.static_branches - 1)
-        taken = rng.random() < self.branch_bias[site]
-        srcs = self._pick_srcs(1)
-        seq = self.n
-        self.rows.append(
-            (_PC_BRANCH + site * 4, _OP_BRANCH, -1, 0, 0, 0, NO_PRODUCER,
-             1 if taken else 0, NO_PRODUCER, 0)
-        )
-        src_flat = self.src_flat
-        if srcs:
-            src_flat.extend(srcs)
-        self.src_offsets.append(len(src_flat))
-        self.n = seq + 1
-        self.insts_since_frame += 1
-        if rng.random() < 0.4:
-            addrs = tuple(
-                self._align(self._fresh_address()[0], 8)
-                for _ in range(1 + self._randbelow(2))
-            )
-            self.wrong_path[seq] = addrs
+    def _self_check(
+        self,
+        cols: dict[str, np.ndarray],
+        offsets: np.ndarray,
+        flat: np.ndarray,
+        counts: np.ndarray,
+    ) -> None:
+        """Vectorized generation-time invariant check (mirrors
+        :meth:`ColumnTrace.validate`, at numpy speed)."""
+        n = len(cols["op"])
+        rows = np.arange(n, dtype=_I64)
+        op = cols["op"]
+        base = cols["base_seq"]
+        addr = cols["addr"]
+        size = cols["size"]
+        offset = cols["offset"]
+        sdseq = cols["store_data_seq"]
+        if not bool(np.all((base == NO_PRODUCER) | ((base >= 0) & (base < rows)))):
+            raise ValueError("v2 generator: base producer not strictly earlier")
+        if not bool(np.all((sdseq == NO_PRODUCER) | ((sdseq >= 0) & (sdseq < rows)))):
+            raise ValueError("v2 generator: store data producer not strictly earlier")
+        owner = np.repeat(rows, counts)
+        if not bool(np.all((flat >= 0) & (flat < owner))):
+            raise ValueError("v2 generator: source not strictly earlier")
+        mem = (op == _OP_LOAD) | (op == _OP_STORE)
+        if not bool(np.all(np.isin(size[mem], (4, 8)))):
+            raise ValueError("v2 generator: bad memory access size")
+        if not bool(np.all(addr[mem] % np.maximum(size[mem], 1) == 0)):
+            raise ValueError("v2 generator: unaligned memory access")
+        sig = mem & (base >= 0)
+        sb, so, sa = base[sig], offset[sig], addr[sig]
+        order = np.lexsort((sa, so, sb))
+        sb, so, sa = sb[order], so[order], sa[order]
+        same_key = (sb[1:] == sb[:-1]) & (so[1:] == so[:-1])
+        if bool(np.any(same_key & (sa[1:] != sa[:-1]))):
+            raise ValueError("v2 generator: signature maps to two addresses")
 
-    def _emit_store(self) -> None:
-        profile, rng = self.profile, self.rng
-        addr, size, base_seq, offset, region = self._fresh_address()
-        addr = self._align(addr, size)
-        # Forwarding sites are uniform: real spill/fill pairs spread across
-        # call sites rather than concentrating in one hot store-set.
-        n, k = self._fwd_pcs_n, self._fwd_pcs_k
-        getrandbits = rng.getrandbits
-        site = getrandbits(k)
-        while site >= n:
-            site = getrandbits(k)
-        ambiguous = rng.random() < profile.ambiguous_store_frac and self.recent_loads
-        if ambiguous:
-            # The address depends on a recent load (a pointer read): it
-            # resolves late, opening an ambiguity window.  Cache-resident
-            # (hot-global) loads are preferred so the window length stays
-            # bounded by the L1 latency rather than by miss chaos.
-            if self.recent_cached_loads:
-                base_seq = self.recent_cached_loads[-1]
-            else:
-                base_seq = self.recent_loads[-1].seq
-            pc = _PC_AMB_STORE + site * 4
-            # Rebinding the base to a loaded pointer moves this store into
-            # that pointer's offset namespace: the region-relative offset
-            # would let two ambiguous stores off the same load share a
-            # (base, offset) signature while targeting different regions.
-            # The full target address keeps the signature->address map
-            # one-to-one (the invariant trace validation enforces).
-            offset = addr
-        elif region == "global":
-            # Updates of a named global happen at a stable, per-word PC
-            # (so the steering predictor and store-sets see stable pairs).
-            pc = _PC_GLOBAL_STORE + (offset // 8 % 64) * 4
-        else:
-            # Forwarding-site stores are sized to forwarding demand: the
-            # share of stores whose values loads actually reload.  (The
-            # static set of forwarding stores is small and stable.)
-            fwd_store_share = min(
-                0.9, 0.05 + profile.forward_frac * profile.load_frac / max(0.01, profile.store_frac)
-            )
-            if rng.random() < fwd_store_share:
-                pc = _PC_FWD_STORE + site * 4
-                # Spill-style slots rotate with the frame so each dynamic
-                # instance writes a fresh location of its own region.  The
-                # offset namespace is biased away from plain stack offsets
-                # so (base producer, offset) stays a one-to-one address map.
-                slot = (self.frame & 63) * profile.forward_pcs * 4 + site * 4 + self._randbelow(4)
-                offset = _FWD_OFFSET_BIAS + slot * 8
-                addr = FORWARD_BASE + slot * 8
-                base_seq = self.sp_producer
-            else:
-                pc = self._skewed_pc(_PC_STORE, profile.static_store_pcs)
-        current = self.memory.read(addr, size)
-        if rng.random() < profile.silent_store_frac:
-            value = current
-        else:
-            value = rng.getrandbits(size * 8 - 1) & _WORD64
-            if value == current:
-                value = (value + 1) & _WORD64
-        # Stored values were typically computed a while ago (a value is
-        # spilled *because* it has been live for a long time), so the data
-        # producer is drawn from a distance, not the latest instruction.
-        if self.producers:
-            dist = int(-_log(1.0 - rng.random()) / self._inv_dep2) + 1
-            data_seq = self.producers[len(self.producers) - min(dist, len(self.producers))]
-        else:
-            data_seq = NO_PRODUCER
-        srcs = tuple(sorted({s for s in (base_seq, data_seq) if s != NO_PRODUCER}))
-        # _emit inlined (field order: pc, op, dst_reg, addr, size,
-        # store_value, store_data_seq, taken, base_seq, offset).
-        seq = self.n
-        self.rows.append(
-            (pc, _OP_STORE, -1, addr, size, value, data_seq, 0, base_seq, offset)
-        )
-        src_flat = self.src_flat
-        if srcs:
-            src_flat.extend(srcs)
-        self.src_offsets.append(len(src_flat))
-        self.n = seq + 1
-        self.insts_since_frame += 1
-        self.memory.write(addr, value, size)
-        record = _StoreRecord(
-            seq=seq, addr=addr, size=size, base_seq=base_seq,
-            offset=offset, site=site, pc=pc,
-        )
-        self.recent_stores.append(record)
-        if _PC_FWD_STORE <= pc < _PC_AMB_STORE:
-            self.recent_fwd_stores.append(record)
-        if ambiguous and rng.random() < profile.collision_frac:
-            # Demand a truly-colliding load shortly after this store.
-            self.pending_collision = (addr, size, site, seq + 2 + self._randbelow(11))
-
-    def _emit_load(self) -> None:
-        profile, rng = self.profile, self.rng
-        seq = self.n
-
-        if self.pending_collision is not None and seq <= self.pending_collision[3]:
-            addr, size, site, _ = self.pending_collision
-            self.pending_collision = None
-            offset = addr & 0xFFFF
-            self._emit(
-                _PC_COLLIDE_LOAD + site * 4,
-                _OP_LOAD,
-                self._pick_srcs(1),
-                is_producer=True,
-                dst_reg=1 + self._randbelow(25),
-                addr=addr,
-                size=size,
-                base_seq=NO_PRODUCER,
-                offset=offset,
-            )
-            self.recent_loads.append(
-                _LoadRecord(seq=seq, addr=addr, size=size, base_seq=NO_PRODUCER, offset=offset)
-            )
-            return
-        if self.pending_collision is not None and seq > self.pending_collision[3]:
-            self.pending_collision = None
-
-        r = rng.random()
-        if r < profile.forward_frac and self.recent_fwd_stores:
-            # Read a recently-stored address (forwarding candidate).  Only
-            # forwarding-site stores participate: the paper's premise is
-            # that "the static set of forwarding stores and loads is small"
-            # (it is what lets the FSQ steering predictor work).
-            dist = int(-_log(1.0 - rng.random()) / self._inv_fwd) + 1
-            # Ring positions approximate instruction distance via the
-            # forwarding-store density of the stream.
-            density = max(0.005, profile.store_frac * 0.3)
-            back = max(1, int(dist * density))
-            back = min(back, len(self.recent_fwd_stores))
-            record = self.recent_fwd_stores[-back]
-            getrandbits = rng.getrandbits
-            dst_reg = getrandbits(5)
-            while dst_reg >= 25:
-                dst_reg = getrandbits(5)
-            base_seq = record.base_seq
-            self.rows.append(
-                (_PC_FWD_LOAD + record.site * 4, _OP_LOAD, dst_reg + 1,
-                 record.addr, record.size, 0, NO_PRODUCER, 0, base_seq, record.offset)
-            )
-            src_flat = self.src_flat
-            if base_seq != NO_PRODUCER:
-                src_flat.append(base_seq)
-            self.src_offsets.append(len(src_flat))
-            self.n = seq + 1
-            self.producers.append(seq)
-            self.insts_since_frame += 1
-            self.recent_loads.append(
-                _LoadRecord(
-                    seq=seq,
-                    addr=record.addr,
-                    size=record.size,
-                    base_seq=record.base_seq,
-                    offset=record.offset,
-                )
-            )
-            return
-
-        r -= profile.forward_frac
-        if r < profile.redundancy_frac and self.recent_loads:
-            # Repeat an earlier load's address computation (RLE reuse).
-            dist = int(-_log(1.0 - rng.random()) / self._inv_red) + 1
-            back = max(1, int(dist * (profile.load_frac + 0.05)))
-            record = self.recent_loads[-min(back, len(self.recent_loads))]
-            if rng.random() < profile.false_elim_frac:
-                # Unaccounted-for intervening store: a false elimination.
-                value = rng.getrandbits(record.size * 8 - 1)
-                store_seq = self._emit(
-                    _PC_FALSE_ELIM_STORE + (record.offset % 64),
-                    _OP_STORE,
-                    self._pick_srcs(1),
-                    is_producer=False,
-                    addr=record.addr,
-                    size=record.size,
-                    store_value=value,
-                    store_data_seq=self.producers[-1] if self.producers else NO_PRODUCER,
-                    base_seq=NO_PRODUCER,
-                    offset=record.offset,
-                )
-                self.memory.write(record.addr, value, record.size)
-                self.recent_stores.append(
-                    _StoreRecord(
-                        seq=store_seq,
-                        addr=record.addr,
-                        size=record.size,
-                        base_seq=NO_PRODUCER,
-                        offset=record.offset,
-                        site=0,
-                    )
-                )
-                seq = self.n
-            getrandbits = rng.getrandbits
-            dst_reg = getrandbits(5)
-            while dst_reg >= 25:
-                dst_reg = getrandbits(5)
-            base_seq = record.base_seq
-            self.rows.append(
-                (_PC_REDUNDANT_LOAD + (record.offset % 64) * 4, _OP_LOAD, dst_reg + 1,
-                 record.addr, record.size, 0, NO_PRODUCER, 0, base_seq, record.offset)
-            )
-            src_flat = self.src_flat
-            if base_seq != NO_PRODUCER:
-                src_flat.append(base_seq)
-            self.src_offsets.append(len(src_flat))
-            self.n = seq + 1
-            self.producers.append(seq)
-            self.insts_since_frame += 1
-            self.recent_loads.append(
-                _LoadRecord(
-                    seq=seq,
-                    addr=record.addr,
-                    size=record.size,
-                    base_seq=record.base_seq,
-                    offset=record.offset,
-                )
-            )
-            return
-
-        addr, size, base_seq, offset, region = self._fresh_address(for_load=True)
-        addr = self._align(addr, size)
-        seq = self.n  # _fresh_address may emit producers
-        if region == "global":
-            # Reads of a named global come from a stable, per-word PC.
-            load_pc = _PC_GLOBAL_LOAD + (offset // 8 % 64) * 4
-        else:
-            load_pc = self._skewed_pc(_PC_LOAD, profile.static_load_pcs)
-        # randrange(1, 26) rejection loop and _emit inlined (hot path).
-        getrandbits = rng.getrandbits
-        dst_reg = getrandbits(5)
-        while dst_reg >= 25:
-            dst_reg = getrandbits(5)
-        self.rows.append(
-            (load_pc, _OP_LOAD, dst_reg + 1, addr, size, 0, NO_PRODUCER, 0, base_seq, offset)
-        )
-        src_flat = self.src_flat
-        if base_seq != NO_PRODUCER:
-            src_flat.append(base_seq)
-        self.src_offsets.append(len(src_flat))
-        self.n = seq + 1
-        self.producers.append(seq)
-        self.insts_since_frame += 1
-        self.recent_loads.append(
-            _LoadRecord(seq=seq, addr=addr, size=size, base_seq=base_seq, offset=offset)
-        )
-        if GLOBAL_BASE <= addr < HEAP_BASE:
-            self.recent_cached_loads.append(seq)
-
-    # -- main loop -----------------------------------------------------------
+    # -- finalize --------------------------------------------------------------
 
     def run(self) -> ColumnTrace:
-        profile = self.profile
-        imul, falu, ialu = int(OpClass.IMUL), int(OpClass.FALU), _OP_IALU
-        self._ensure_region_producers()
-        # Dispatch thresholds, accumulated left-to-right exactly as the
-        # per-iteration sums the reference generator forms.
-        t_load = profile.load_frac
-        t_store = t_load + profile.store_frac
-        t_branch = t_store + profile.branch_frac
-        t_imul = t_branch + profile.imul_frac
-        t_mix = profile.mix_total()
-        random = self.rng.random
-        emit_load, emit_store = self._emit_load, self._emit_store
-        emit_branch, emit_alu = self._emit_branch, self._emit_alu
-        n_insts = self.n_insts
-        while self.n < n_insts:
-            r = random()
-            if r < t_load:
-                emit_load()
-            elif r < t_store:
-                emit_store()
-            elif r < t_branch:
-                emit_branch()
-            elif r < t_imul:
-                emit_alu(imul)
-            elif r < t_mix:
-                emit_alu(falu)
-            else:
-                emit_alu(ialu)
-        # Truncate to the requested budget (the emitters may overshoot by a
-        # few helper producers), transpose the row tuples into columns, and
-        # freeze them into typed arrays.
         n = self.n_insts
-        src_offsets = self.src_offsets[: n + 1]
-        (
-            pc, op, dst_reg, addr, size, store_value,
-            store_data_seq, taken, base_seq, offset,
-        ) = zip(*self.rows[:n])
-        trace = ColumnTrace.from_lists(
-            profile.name,
-            {
-                "pc": pc,
-                "op": op,
-                "dst_reg": dst_reg,
-                "addr": addr,
-                "size": size,
-                "store_value": store_value,
-                "store_data_seq": store_data_seq,
-                "taken": taken,
-                "base_seq": base_seq,
-                "offset": offset,
-                "src_offsets": src_offsets,
-                "src_flat": self.src_flat[: src_offsets[n]],
-            },
+        while self.rows_total < n:
+            self._generate_block()
+        chunks = self.chunks
+        cols = {
+            name: np.concatenate(chunks[name])[:n]
+            for name in (
+                "pc",
+                "op",
+                "dst_reg",
+                "addr",
+                "size",
+                "store_value",
+                "store_data_seq",
+                "taken",
+                "base_seq",
+                "offset",
+            )
+        }
+        counts = np.concatenate(chunks["src_count"])[:n]
+        offsets = np.zeros(n + 1, dtype=_I64)
+        np.cumsum(counts, out=offsets[1:])
+        flat = np.concatenate(chunks["src_flat"])[: int(offsets[-1])]
+        self._self_check(cols, offsets, flat, counts)
+        arrays = {
+            "pc": _np_column(cols["pc"], "I", "Q"),
+            "op": _np_column(cols["op"], "B", "B"),
+            "dst_reg": _np_column(cols["dst_reg"], "i", "q"),
+            "addr": _np_column(cols["addr"], "I", "Q"),
+            "size": _np_column(cols["size"], "B", "B"),
+            "store_value": _np_column(cols["store_value"], "Q", "Q"),
+            "store_data_seq": _np_column(cols["store_data_seq"], "i", "q"),
+            "taken": _np_column(cols["taken"], "B", "B"),
+            "base_seq": _np_column(cols["base_seq"], "i", "q"),
+            "offset": _np_column(cols["offset"], "i", "q"),
+            "src_offsets": _np_column(offsets, "I", "Q"),
+            "src_flat": _np_column(flat, "i", "q"),
+        }
+        wrong_path = {
+            seq: addrs for seq, addrs in self.wrong_path.items() if seq < n
+        }
+        return ColumnTrace(
+            self.profile.name,
+            arrays,
             initial_memory={},
-            wrong_path_addrs={
-                seq: addrs for seq, addrs in self.wrong_path.items() if seq < n
-            },
+            wrong_path_addrs=wrong_path,
         )
-        trace.validate()
-        return trace
 
 
 def generate_trace(
     profile: WorkloadProfile, n_insts: int, seed: int | None = None
 ) -> ColumnTrace:
-    """Generate a deterministic dynamic trace for ``profile``.
+    """Generate a deterministic **epoch-v2** trace for ``profile``.
+
+    Block-sampled on numpy (see the module docstring); deterministic per
+    ``(profile, seed)`` across platforms and prefix-stable in ``n_insts``.
 
     Args:
         profile: The workload description.
@@ -782,4 +825,5 @@ def generate_trace(
     """
     if n_insts <= 0:
         raise ValueError("n_insts must be positive")
-    return _Generator(profile, n_insts, profile.seed if seed is None else seed).run()
+    gen = _BlockGenerator(profile, n_insts, profile.seed if seed is None else seed)
+    return gen.run()

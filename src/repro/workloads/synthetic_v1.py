@@ -1,0 +1,794 @@
+"""Frozen **epoch-v1** column-native synthetic generator.
+
+This is the pre-vectorization column-native generator, kept importable --
+together with the object-path reference
+(:func:`repro.workloads.reference.generate_trace_objects`) -- as the
+**v1 oracle pair**: the golden equivalence suite proves
+``encode(generate_trace_v1(...)) == encode(generate_trace_objects(...))``
+for every shipped profile and seed, pinning the v1 trace identity forever.
+The live generator (:func:`repro.workloads.synthetic.generate_trace`) is
+the numpy epoch-v2 rewrite; it deliberately draws a different RNG stream
+and is gated by its own v2 golden fingerprints.
+
+Do not modify this module except in lock-step with
+:mod:`repro.workloads.reference` -- its entire value is standing still.
+Nothing in the hot paths imports it.
+
+The generator emits a deterministic dynamic instruction stream whose
+*structure* -- dataflow, address regions, forwarding pairs, ambiguous
+stores, redundant loads, silent stores, branch biases -- follows a
+:class:`~repro.workloads.profile.WorkloadProfile`.  It emits the codec's
+flat columns directly -- one row tuple per instruction, transposed once at
+the end -- and returns a :class:`~repro.isa.coltrace.ColumnTrace`; the hot
+emitters inline their RNG draws (raw ``getrandbits`` rejection loops and
+the exact ``expovariate`` arithmetic, reproducing the :mod:`random`
+library's draw consumption bit for bit).
+
+Layout of the synthetic address space (all regions disjoint):
+
+==============  ==========================================================
+``0x1000_0000``  stack: spill/fill slots addressed off a long-lived frame
+                 pointer producer; rewritten frames create forwarding pairs
+``0x2000_0000``  globals: a small set of hot words (high locality, silent
+                 stores, redundancy)
+``0x3000_0000``  heap: a configurable working set reached through pointer
+                 producers (cache misses, pointer chasing)
+``0x4000_0000``  stream: sequential cursor (compression-style workloads)
+==============  ==========================================================
+
+Static PCs are likewise partitioned by role so that PC-indexed predictors
+(store-sets, FSQ steering bits, SPCT training) see the stable static
+behaviour the paper relies on ("forwarding patterns are stable and the
+static set of forwarding stores and loads is small").
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from collections import deque
+from dataclasses import dataclass
+from math import log as _log
+
+from repro.isa.coltrace import ColumnTrace
+from repro.isa.inst import NO_PRODUCER
+from repro.isa.ops import OpClass
+from repro.memsys.memimg import MemoryImage
+from repro.workloads.profile import WorkloadProfile
+
+STACK_BASE = 0x1000_0000
+GLOBAL_BASE = 0x2000_0000
+HEAP_BASE = 0x3000_0000
+STREAM_BASE = 0x4000_0000
+#: Dedicated slots for the designated forwarding (spill/fill-style) pairs;
+#: plain stores never write here, so address-indexed training (SPCT) maps
+#: forwarding loads back to forwarding-site stores and nothing else.
+FORWARD_BASE = 0x5000_0000
+
+# Static PC ranges by role (disjoint; sized generously).
+_PC_ALU = 0x10_0000
+_PC_LOAD = 0x20_0000
+_PC_STORE = 0x30_0000
+_PC_BRANCH = 0x40_0000
+_PC_FWD_LOAD = 0x50_0000
+_PC_FWD_STORE = 0x60_0000
+_PC_AMB_STORE = 0x70_0000
+_PC_COLLIDE_LOAD = 0x80_0000
+_PC_REDUNDANT_LOAD = 0x90_0000
+_PC_GLOBAL_LOAD = 0xA0_0000
+_PC_GLOBAL_STORE = 0xB0_0000
+_PC_FALSE_ELIM_STORE = 0xC0_0000
+
+_WORD64 = 0xFFFF_FFFF_FFFF_FFFF
+#: Offset-namespace bias for forwarding-region accesses (must clear the
+#: largest plain stack offset so signatures stay one-to-one with addresses).
+_FWD_OFFSET_BIAS = 1 << 24
+
+# Op codes as plain ints (the column values).
+_OP_IALU = int(OpClass.IALU)
+_OP_LOAD = int(OpClass.LOAD)
+_OP_STORE = int(OpClass.STORE)
+_OP_BRANCH = int(OpClass.BRANCH)
+
+
+@dataclass(slots=True)
+class _StoreRecord:
+    seq: int
+    addr: int
+    size: int
+    base_seq: int
+    offset: int
+    site: int
+    pc: int = 0
+
+
+@dataclass(slots=True)
+class _LoadRecord:
+    seq: int
+    addr: int
+    size: int
+    base_seq: int
+    offset: int
+
+
+class _Generator:
+    def __init__(self, profile: WorkloadProfile, n_insts: int, seed: int) -> None:
+        profile.validate()
+        self.profile = profile
+        self.n_insts = n_insts
+        # crc32, not hash(): string hashes are randomized per process
+        # (PYTHONHASHSEED), and the trace stream must be identical across
+        # processes for result caching and pool workers to be reproducible.
+        self.rng = random.Random((seed << 16) ^ zlib.crc32(("svw:" + profile.name).encode()) & 0xFFFF_FFFF)
+        #: ``randrange``/``randint``/``choice`` all reduce to one
+        #: ``_randbelow`` draw in CPython; binding it once strips their
+        #: per-call argument plumbing from the emit path without touching
+        #: the draw sequence.  (The public-API fallback keeps alternative
+        #: interpreters correct, merely slower.)
+        self._randbelow = getattr(self.rng, "_randbelow", None) or self.rng.randrange
+        #: Precomputed ``expovariate`` rates (the exact ``1.0 / max(1.0, mean)``
+        #: floats the reference generator forms per draw).
+        self._root_frac = profile.root_frac
+        self._inv_dep = 1.0 / max(1.0, profile.dep_distance)
+        self._inv_dep2 = 1.0 / max(1.0, profile.dep_distance * 2)
+        self._inv_fwd = 1.0 / max(1.0, profile.forward_distance)
+        self._inv_red = 1.0 / max(1.0, profile.redundancy_distance)
+        #: Profile-constant _randbelow bounds and their getrandbits widths
+        #: (k = n.bit_length()), for inlined rejection loops.
+        half_slots = max(1, profile.stack_slots // 2)
+        self._slots_n, self._slots_k = half_slots, half_slots.bit_length()
+        # Candidate counts use randrange's *ceiling* division
+        # ((stop - start + step - 1) // step): heap_bytes is only required
+        # to be a multiple of 8, so the half-heap widths need not divide 8
+        # evenly and flooring would drop the last candidate.
+        half_heap = profile.heap_bytes // 2
+        n_load = (profile.heap_bytes - half_heap + 7) // 8
+        self._heap_load_n, self._heap_load_k = n_load, n_load.bit_length()
+        n_store = (half_heap + 7) // 8
+        self._heap_store_n, self._heap_store_k = n_store, n_store.bit_length()
+        self._fwd_pcs_n = profile.forward_pcs
+        self._fwd_pcs_k = profile.forward_pcs.bit_length()
+        #: Profile-constant static-PC pool sizes and region-select
+        #: thresholds (accumulated left-to-right exactly as the reference
+        #: forms them per call).
+        self._addr_pcs = max(16, profile.static_alu_pcs // 4)
+        gf_load = profile.global_frac
+        gf_store = profile.global_frac * profile.store_global_scale
+        self._t_stack = profile.stack_frac
+        self._t_global_load = profile.stack_frac + gf_load
+        self._t_global_store = profile.stack_frac + gf_store
+        self._t_stream_load = self._t_global_load + profile.stream_frac
+        self._t_stream_store = self._t_global_store + profile.stream_frac
+        #: Emitted-instruction count (the next seq).
+        self.n = 0
+        # The flat columns, accumulated as one row tuple per instruction
+        # (a single append beats ten) and transposed once at the end.
+        self.rows: list[tuple] = []
+        self.src_flat: list[int] = []
+        self.src_offsets: list[int] = [0]
+        self.memory = MemoryImage()
+        self.producers: deque[int] = deque(maxlen=128)
+        self.recent_stores: deque[_StoreRecord] = deque(maxlen=96)
+        #: Forwarding-site stores only (the designated spill/fill pairs).
+        self.recent_fwd_stores: deque[_StoreRecord] = deque(maxlen=48)
+        self.recent_loads: deque[_LoadRecord] = deque(maxlen=96)
+        #: Loads to the hot-global region (reliably cache-resident); used as
+        #: base producers for ambiguous stores so ambiguity windows stay
+        #: bounded by the L1 load latency.
+        self.recent_cached_loads: deque[int] = deque(maxlen=16)
+        self.wrong_path: dict[int, tuple[int, ...]] = {}
+        # Region state.
+        self.frame = 0
+        self.sp_producer = NO_PRODUCER
+        self.global_producer = NO_PRODUCER
+        self.heap_producers: deque[int] = deque(maxlen=8)
+        self.stream_cursor = 0
+        self.insts_since_frame = 0
+        # Pending true-collision demand: (addr, size, site, expires_at_seq).
+        self.pending_collision: tuple[int, int, int, int] | None = None
+        # Branch site biases.  Hard-to-predict branches sit at the *cold*
+        # end of the (quadratically hot-skewed) site distribution: hot loop
+        # back-edges are highly predictable in real programs, data-dependent
+        # branches are scattered and cooler.
+        n_hard = max(1, int(profile.static_branches * profile.hard_branch_frac))
+        self.branch_bias = [
+            profile.hard_branch_bias
+            if i >= profile.static_branches - n_hard
+            else profile.easy_branch_bias
+            for i in range(profile.static_branches)
+        ]
+
+    # -- helpers --------------------------------------------------------------
+
+    def _pick_srcs(self, max_srcs: int = 2) -> tuple[int, ...]:
+        # ``expovariate``-distributed dependence distances are drawn inline
+        # (-log(1 - random()) / lambd, the exact library computation) and
+        # the one/two-source cases are unrolled -- this runs once or twice
+        # per emitted instruction.
+        producers = self.producers
+        rng = self.rng
+        if not producers or rng.random() < self._root_frac:
+            return ()
+        # The count draw is randint(1, max_srcs) reduced to raw getrandbits
+        # with the library's exact rejection behaviour: _randbelow(n) draws
+        # n.bit_length() bits and rejects values >= n.
+        getrandbits = rng.getrandbits
+        if max_srcs == 2:
+            second_draw = getrandbits(2)
+            while second_draw >= 2:
+                second_draw = getrandbits(2)
+        else:
+            while getrandbits(1):
+                pass
+            second_draw = 0
+        random = rng.random
+        inv_dep = self._inv_dep
+        n_prod = len(producers)
+        dist = int(-_log(1.0 - random()) / inv_dep) + 1
+        first = producers[n_prod - (dist if dist < n_prod else n_prod)]
+        if not second_draw:
+            return (first,)
+        dist = int(-_log(1.0 - random()) / inv_dep) + 1
+        second = producers[n_prod - (dist if dist < n_prod else n_prod)]
+        if first == second:
+            return (first,)
+        return (first, second) if first < second else (second, first)
+
+    def _skewed_pc(self, base: int, count: int) -> int:
+        """Hot-loop-skewed static PC selection (quadratic bias to low indices)."""
+        idx = int(count * self.rng.random() ** 2)
+        return base + min(idx, count - 1) * 4
+
+    def _emit(
+        self,
+        pc: int,
+        op: int,
+        srcs: tuple[int, ...],
+        is_producer: bool,
+        dst_reg: int = -1,
+        addr: int = 0,
+        size: int = 0,
+        store_value: int = 0,
+        store_data_seq: int = NO_PRODUCER,
+        taken: bool = False,
+        base_seq: int = NO_PRODUCER,
+        offset: int = 0,
+    ) -> int:
+        """Append one instruction row to the columns; returns its seq."""
+        seq = self.n
+        self.rows.append(
+            (
+                pc,
+                op,
+                dst_reg,
+                addr,
+                size,
+                store_value,
+                store_data_seq,
+                1 if taken else 0,
+                base_seq,
+                offset,
+            )
+        )
+        src_flat = self.src_flat
+        if srcs:
+            src_flat.extend(srcs)
+        self.src_offsets.append(len(src_flat))
+        self.n = seq + 1
+        if is_producer:
+            self.producers.append(seq)
+        self.insts_since_frame += 1
+        return seq
+
+    # -- region address selection ---------------------------------------------
+
+    def _ensure_region_producers(self) -> None:
+        """Refresh frame/global/heap pointer producers as needed."""
+        profile, rng = self.profile, self.rng
+        if self.sp_producer == NO_PRODUCER or self.insts_since_frame > 200:
+            # New call frame: an ALU op computes the new frame pointer.
+            self.sp_producer = self._emit(
+                _PC_ALU, _OP_IALU, (), is_producer=True, dst_reg=29
+            )
+            self.frame = (self.frame + 1) % 1024
+            self.insts_since_frame = 0
+        if self.global_producer == NO_PRODUCER:
+            self.global_producer = self._emit(
+                _PC_ALU + 4, _OP_IALU, (), is_producer=True, dst_reg=28
+            )
+        if not self.heap_producers or rng.random() < 0.01:
+            # A pointer ALU producing a heap base.  Kept dependence-free so
+            # that *store* address-resolution delay is controlled solely by
+            # ``ambiguous_store_frac`` (load-side address depth comes from
+            # ``addr_comp_frac``/``deep_addr_frac`` instead).
+            seq = self._emit(
+                self._skewed_pc(_PC_ALU + 8, max(8, profile.static_alu_pcs // 8)),
+                _OP_IALU,
+                (),
+                is_producer=True,
+                dst_reg=27,
+            )
+            self.heap_producers.append(seq)
+
+    def _fresh_address(self, for_load: bool = False) -> tuple[int, int, int, int, str]:
+        """Pick (addr, size, base_seq, offset, region) for a fresh access.
+
+        Loads frequently receive a freshly-computed base register (see
+        ``addr_comp_frac``); store bases are overwhelmingly pre-computed.
+        """
+        profile, rng = self.profile, self.rng
+        self._ensure_region_producers()
+        size = 4 if rng.random() < profile.sub_quad_frac else 8
+        # Stores rarely target the hot read-mostly globals (the displaced
+        # probability falls through to the heap), hence per-kind thresholds.
+        if for_load:
+            t_global, t_stream = self._t_global_load, self._t_stream_load
+        else:
+            t_global, t_stream = self._t_global_store, self._t_stream_store
+        region = "heap"
+        r = rng.random()
+        if r < self._t_stack:
+            region = "stack"
+            # Fresh (non-forwarding) stack traffic uses disjoint slot
+            # ranges for loads and stores: compiler-managed frames do not
+            # casually reload what an unrelated store just wrote -- all
+            # window-distance stack forwarding goes through the designated
+            # spill/fill sites instead (see _emit_load's forwarding path).
+            half = self._slots_n
+            k = self._slots_k
+            getrandbits = rng.getrandbits
+            slot = getrandbits(k)
+            while slot >= half:
+                slot = getrandbits(k)
+            if for_load:
+                slot += half
+            offset = slot * 8
+            addr = STACK_BASE + (self.frame * profile.stack_slots * 8 + offset) % (1 << 20)
+            base_seq = self.sp_producer
+        elif r < t_global:
+            region = "global"
+            word = int(profile.global_words * rng.random() ** 2)
+            offset = word * 8
+            addr, base_seq = GLOBAL_BASE + offset, self.global_producer
+        elif r < t_stream:
+            region = "stream"
+            addr = STREAM_BASE + self.stream_cursor
+            self.stream_cursor = (self.stream_cursor + profile.stream_stride) % (1 << 22)
+            offset, base_seq = addr - STREAM_BASE, NO_PRODUCER
+        else:
+            # Heap access via a pointer producer; loads and stores visit
+            # disjoint halves of the working set (same rationale as the
+            # stack partition above), with the partition carried by the
+            # *offset* so that the address is a pure function of the
+            # (base producer, offset) pair -- register-integration
+            # signatures must imply address equality, as in real renaming.
+            producers = list(self.heap_producers)
+            base_seq = producers[self._randbelow(len(producers))]
+            half_heap = profile.heap_bytes // 2
+            getrandbits = rng.getrandbits
+            if for_load:
+                n, k = self._heap_load_n, self._heap_load_k
+                r = getrandbits(k)
+                while r >= n:
+                    r = getrandbits(k)
+                offset = half_heap + 8 * r
+            else:
+                n, k = self._heap_store_n, self._heap_store_k
+                r = getrandbits(k)
+                while r >= n:
+                    r = getrandbits(k)
+                offset = 8 * r
+            addr = HEAP_BASE + offset
+        if for_load and rng.random() < profile.addr_comp_frac:
+            base_seq = self._emit_addr_computation(base_seq)
+        return addr, size, base_seq, offset, region
+
+    def _emit_addr_computation(self, region_base: int) -> int:
+        """Emit the ALU op that computes a load's effective base register."""
+        profile, rng = self.profile, self.rng
+        srcs = {region_base} if region_base != NO_PRODUCER else set()
+        if rng.random() < profile.deep_addr_frac:
+            srcs.update(self._pick_srcs(1))
+        count = self._addr_pcs
+        idx = int(count * rng.random() ** 2)
+        if idx > count - 1:
+            idx = count - 1
+        seq = self.n
+        self.rows.append(
+            (_PC_ALU + 32 + idx * 4, _OP_IALU, 26, 0, 0, 0, NO_PRODUCER, 0,
+             NO_PRODUCER, 0)
+        )
+        src_flat = self.src_flat
+        if srcs:
+            src_flat.extend(sorted(srcs))
+        self.src_offsets.append(len(src_flat))
+        self.n = seq + 1
+        self.producers.append(seq)
+        self.insts_since_frame += 1
+        return seq
+
+    def _align(self, addr: int, size: int) -> int:
+        return addr & ~(size - 1)
+
+    # -- instruction emitters ---------------------------------------------------
+
+    def _emit_alu(self, op: int) -> None:
+        # The most frequent emitter (~60% of the stream): _skewed_pc and
+        # _emit are inlined here, with the exact draw order of the generic
+        # path (pc, then sources, then destination register).
+        rng = self.rng
+        count = self.profile.static_alu_pcs
+        idx = int(count * rng.random() ** 2)
+        if idx > count - 1:
+            idx = count - 1
+        pc = _PC_ALU + 64 + idx * 4
+        srcs = self._pick_srcs()
+        # randrange(1, 26) = 1 + _randbelow(25), rejection loop inlined.
+        getrandbits = rng.getrandbits
+        dst_reg = getrandbits(5)
+        while dst_reg >= 25:
+            dst_reg = getrandbits(5)
+        dst_reg += 1
+        seq = self.n
+        self.rows.append((pc, op, dst_reg, 0, 0, 0, NO_PRODUCER, 0, NO_PRODUCER, 0))
+        src_flat = self.src_flat
+        if srcs:
+            src_flat.extend(srcs)
+        self.src_offsets.append(len(src_flat))
+        self.n = seq + 1
+        self.producers.append(seq)
+        self.insts_since_frame += 1
+
+    def _emit_branch(self) -> None:
+        profile, rng = self.profile, self.rng
+        site = int(profile.static_branches * rng.random() ** 2)
+        site = min(site, profile.static_branches - 1)
+        taken = rng.random() < self.branch_bias[site]
+        srcs = self._pick_srcs(1)
+        seq = self.n
+        self.rows.append(
+            (_PC_BRANCH + site * 4, _OP_BRANCH, -1, 0, 0, 0, NO_PRODUCER,
+             1 if taken else 0, NO_PRODUCER, 0)
+        )
+        src_flat = self.src_flat
+        if srcs:
+            src_flat.extend(srcs)
+        self.src_offsets.append(len(src_flat))
+        self.n = seq + 1
+        self.insts_since_frame += 1
+        if rng.random() < 0.4:
+            addrs = tuple(
+                self._align(self._fresh_address()[0], 8)
+                for _ in range(1 + self._randbelow(2))
+            )
+            self.wrong_path[seq] = addrs
+
+    def _emit_store(self) -> None:
+        profile, rng = self.profile, self.rng
+        addr, size, base_seq, offset, region = self._fresh_address()
+        addr = self._align(addr, size)
+        # Forwarding sites are uniform: real spill/fill pairs spread across
+        # call sites rather than concentrating in one hot store-set.
+        n, k = self._fwd_pcs_n, self._fwd_pcs_k
+        getrandbits = rng.getrandbits
+        site = getrandbits(k)
+        while site >= n:
+            site = getrandbits(k)
+        ambiguous = rng.random() < profile.ambiguous_store_frac and self.recent_loads
+        if ambiguous:
+            # The address depends on a recent load (a pointer read): it
+            # resolves late, opening an ambiguity window.  Cache-resident
+            # (hot-global) loads are preferred so the window length stays
+            # bounded by the L1 latency rather than by miss chaos.
+            if self.recent_cached_loads:
+                base_seq = self.recent_cached_loads[-1]
+            else:
+                base_seq = self.recent_loads[-1].seq
+            pc = _PC_AMB_STORE + site * 4
+            # Rebinding the base to a loaded pointer moves this store into
+            # that pointer's offset namespace: the region-relative offset
+            # would let two ambiguous stores off the same load share a
+            # (base, offset) signature while targeting different regions.
+            # The full target address keeps the signature->address map
+            # one-to-one (the invariant trace validation enforces).
+            offset = addr
+        elif region == "global":
+            # Updates of a named global happen at a stable, per-word PC
+            # (so the steering predictor and store-sets see stable pairs).
+            pc = _PC_GLOBAL_STORE + (offset // 8 % 64) * 4
+        else:
+            # Forwarding-site stores are sized to forwarding demand: the
+            # share of stores whose values loads actually reload.  (The
+            # static set of forwarding stores is small and stable.)
+            fwd_store_share = min(
+                0.9, 0.05 + profile.forward_frac * profile.load_frac / max(0.01, profile.store_frac)
+            )
+            if rng.random() < fwd_store_share:
+                pc = _PC_FWD_STORE + site * 4
+                # Spill-style slots rotate with the frame so each dynamic
+                # instance writes a fresh location of its own region.  The
+                # offset namespace is biased away from plain stack offsets
+                # so (base producer, offset) stays a one-to-one address map.
+                slot = (self.frame & 63) * profile.forward_pcs * 4 + site * 4 + self._randbelow(4)
+                offset = _FWD_OFFSET_BIAS + slot * 8
+                addr = FORWARD_BASE + slot * 8
+                base_seq = self.sp_producer
+            else:
+                pc = self._skewed_pc(_PC_STORE, profile.static_store_pcs)
+        current = self.memory.read(addr, size)
+        if rng.random() < profile.silent_store_frac:
+            value = current
+        else:
+            value = rng.getrandbits(size * 8 - 1) & _WORD64
+            if value == current:
+                value = (value + 1) & _WORD64
+        # Stored values were typically computed a while ago (a value is
+        # spilled *because* it has been live for a long time), so the data
+        # producer is drawn from a distance, not the latest instruction.
+        if self.producers:
+            dist = int(-_log(1.0 - rng.random()) / self._inv_dep2) + 1
+            data_seq = self.producers[len(self.producers) - min(dist, len(self.producers))]
+        else:
+            data_seq = NO_PRODUCER
+        srcs = tuple(sorted({s for s in (base_seq, data_seq) if s != NO_PRODUCER}))
+        # _emit inlined (field order: pc, op, dst_reg, addr, size,
+        # store_value, store_data_seq, taken, base_seq, offset).
+        seq = self.n
+        self.rows.append(
+            (pc, _OP_STORE, -1, addr, size, value, data_seq, 0, base_seq, offset)
+        )
+        src_flat = self.src_flat
+        if srcs:
+            src_flat.extend(srcs)
+        self.src_offsets.append(len(src_flat))
+        self.n = seq + 1
+        self.insts_since_frame += 1
+        self.memory.write(addr, value, size)
+        record = _StoreRecord(
+            seq=seq, addr=addr, size=size, base_seq=base_seq,
+            offset=offset, site=site, pc=pc,
+        )
+        self.recent_stores.append(record)
+        if _PC_FWD_STORE <= pc < _PC_AMB_STORE:
+            self.recent_fwd_stores.append(record)
+        if ambiguous and rng.random() < profile.collision_frac:
+            # Demand a truly-colliding load shortly after this store.
+            self.pending_collision = (addr, size, site, seq + 2 + self._randbelow(11))
+
+    def _emit_load(self) -> None:
+        profile, rng = self.profile, self.rng
+        seq = self.n
+
+        if self.pending_collision is not None and seq <= self.pending_collision[3]:
+            addr, size, site, _ = self.pending_collision
+            self.pending_collision = None
+            offset = addr & 0xFFFF
+            self._emit(
+                _PC_COLLIDE_LOAD + site * 4,
+                _OP_LOAD,
+                self._pick_srcs(1),
+                is_producer=True,
+                dst_reg=1 + self._randbelow(25),
+                addr=addr,
+                size=size,
+                base_seq=NO_PRODUCER,
+                offset=offset,
+            )
+            self.recent_loads.append(
+                _LoadRecord(seq=seq, addr=addr, size=size, base_seq=NO_PRODUCER, offset=offset)
+            )
+            return
+        if self.pending_collision is not None and seq > self.pending_collision[3]:
+            self.pending_collision = None
+
+        r = rng.random()
+        if r < profile.forward_frac and self.recent_fwd_stores:
+            # Read a recently-stored address (forwarding candidate).  Only
+            # forwarding-site stores participate: the paper's premise is
+            # that "the static set of forwarding stores and loads is small"
+            # (it is what lets the FSQ steering predictor work).
+            dist = int(-_log(1.0 - rng.random()) / self._inv_fwd) + 1
+            # Ring positions approximate instruction distance via the
+            # forwarding-store density of the stream.
+            density = max(0.005, profile.store_frac * 0.3)
+            back = max(1, int(dist * density))
+            back = min(back, len(self.recent_fwd_stores))
+            record = self.recent_fwd_stores[-back]
+            getrandbits = rng.getrandbits
+            dst_reg = getrandbits(5)
+            while dst_reg >= 25:
+                dst_reg = getrandbits(5)
+            base_seq = record.base_seq
+            self.rows.append(
+                (_PC_FWD_LOAD + record.site * 4, _OP_LOAD, dst_reg + 1,
+                 record.addr, record.size, 0, NO_PRODUCER, 0, base_seq, record.offset)
+            )
+            src_flat = self.src_flat
+            if base_seq != NO_PRODUCER:
+                src_flat.append(base_seq)
+            self.src_offsets.append(len(src_flat))
+            self.n = seq + 1
+            self.producers.append(seq)
+            self.insts_since_frame += 1
+            self.recent_loads.append(
+                _LoadRecord(
+                    seq=seq,
+                    addr=record.addr,
+                    size=record.size,
+                    base_seq=record.base_seq,
+                    offset=record.offset,
+                )
+            )
+            return
+
+        r -= profile.forward_frac
+        if r < profile.redundancy_frac and self.recent_loads:
+            # Repeat an earlier load's address computation (RLE reuse).
+            dist = int(-_log(1.0 - rng.random()) / self._inv_red) + 1
+            back = max(1, int(dist * (profile.load_frac + 0.05)))
+            record = self.recent_loads[-min(back, len(self.recent_loads))]
+            if rng.random() < profile.false_elim_frac:
+                # Unaccounted-for intervening store: a false elimination.
+                value = rng.getrandbits(record.size * 8 - 1)
+                store_seq = self._emit(
+                    _PC_FALSE_ELIM_STORE + (record.offset % 64),
+                    _OP_STORE,
+                    self._pick_srcs(1),
+                    is_producer=False,
+                    addr=record.addr,
+                    size=record.size,
+                    store_value=value,
+                    store_data_seq=self.producers[-1] if self.producers else NO_PRODUCER,
+                    base_seq=NO_PRODUCER,
+                    offset=record.offset,
+                )
+                self.memory.write(record.addr, value, record.size)
+                self.recent_stores.append(
+                    _StoreRecord(
+                        seq=store_seq,
+                        addr=record.addr,
+                        size=record.size,
+                        base_seq=NO_PRODUCER,
+                        offset=record.offset,
+                        site=0,
+                    )
+                )
+                seq = self.n
+            getrandbits = rng.getrandbits
+            dst_reg = getrandbits(5)
+            while dst_reg >= 25:
+                dst_reg = getrandbits(5)
+            base_seq = record.base_seq
+            self.rows.append(
+                (_PC_REDUNDANT_LOAD + (record.offset % 64) * 4, _OP_LOAD, dst_reg + 1,
+                 record.addr, record.size, 0, NO_PRODUCER, 0, base_seq, record.offset)
+            )
+            src_flat = self.src_flat
+            if base_seq != NO_PRODUCER:
+                src_flat.append(base_seq)
+            self.src_offsets.append(len(src_flat))
+            self.n = seq + 1
+            self.producers.append(seq)
+            self.insts_since_frame += 1
+            self.recent_loads.append(
+                _LoadRecord(
+                    seq=seq,
+                    addr=record.addr,
+                    size=record.size,
+                    base_seq=record.base_seq,
+                    offset=record.offset,
+                )
+            )
+            return
+
+        addr, size, base_seq, offset, region = self._fresh_address(for_load=True)
+        addr = self._align(addr, size)
+        seq = self.n  # _fresh_address may emit producers
+        if region == "global":
+            # Reads of a named global come from a stable, per-word PC.
+            load_pc = _PC_GLOBAL_LOAD + (offset // 8 % 64) * 4
+        else:
+            load_pc = self._skewed_pc(_PC_LOAD, profile.static_load_pcs)
+        # randrange(1, 26) rejection loop and _emit inlined (hot path).
+        getrandbits = rng.getrandbits
+        dst_reg = getrandbits(5)
+        while dst_reg >= 25:
+            dst_reg = getrandbits(5)
+        self.rows.append(
+            (load_pc, _OP_LOAD, dst_reg + 1, addr, size, 0, NO_PRODUCER, 0, base_seq, offset)
+        )
+        src_flat = self.src_flat
+        if base_seq != NO_PRODUCER:
+            src_flat.append(base_seq)
+        self.src_offsets.append(len(src_flat))
+        self.n = seq + 1
+        self.producers.append(seq)
+        self.insts_since_frame += 1
+        self.recent_loads.append(
+            _LoadRecord(seq=seq, addr=addr, size=size, base_seq=base_seq, offset=offset)
+        )
+        if GLOBAL_BASE <= addr < HEAP_BASE:
+            self.recent_cached_loads.append(seq)
+
+    # -- main loop -----------------------------------------------------------
+
+    def run(self) -> ColumnTrace:
+        profile = self.profile
+        imul, falu, ialu = int(OpClass.IMUL), int(OpClass.FALU), _OP_IALU
+        self._ensure_region_producers()
+        # Dispatch thresholds, accumulated left-to-right exactly as the
+        # per-iteration sums the reference generator forms.
+        t_load = profile.load_frac
+        t_store = t_load + profile.store_frac
+        t_branch = t_store + profile.branch_frac
+        t_imul = t_branch + profile.imul_frac
+        t_mix = profile.mix_total()
+        random = self.rng.random
+        emit_load, emit_store = self._emit_load, self._emit_store
+        emit_branch, emit_alu = self._emit_branch, self._emit_alu
+        n_insts = self.n_insts
+        while self.n < n_insts:
+            r = random()
+            if r < t_load:
+                emit_load()
+            elif r < t_store:
+                emit_store()
+            elif r < t_branch:
+                emit_branch()
+            elif r < t_imul:
+                emit_alu(imul)
+            elif r < t_mix:
+                emit_alu(falu)
+            else:
+                emit_alu(ialu)
+        # Truncate to the requested budget (the emitters may overshoot by a
+        # few helper producers), transpose the row tuples into columns, and
+        # freeze them into typed arrays.
+        n = self.n_insts
+        src_offsets = self.src_offsets[: n + 1]
+        (
+            pc, op, dst_reg, addr, size, store_value,
+            store_data_seq, taken, base_seq, offset,
+        ) = zip(*self.rows[:n])
+        trace = ColumnTrace.from_lists(
+            profile.name,
+            {
+                "pc": pc,
+                "op": op,
+                "dst_reg": dst_reg,
+                "addr": addr,
+                "size": size,
+                "store_value": store_value,
+                "store_data_seq": store_data_seq,
+                "taken": taken,
+                "base_seq": base_seq,
+                "offset": offset,
+                "src_offsets": src_offsets,
+                "src_flat": self.src_flat[: src_offsets[n]],
+            },
+            initial_memory={},
+            wrong_path_addrs={
+                seq: addrs for seq, addrs in self.wrong_path.items() if seq < n
+            },
+        )
+        trace.validate()
+        return trace
+
+
+def generate_trace_v1(
+    profile: WorkloadProfile, n_insts: int, seed: int | None = None
+) -> ColumnTrace:
+    """Generate a deterministic **epoch-v1** trace for ``profile``.
+
+    Bit-identical to the frozen object-path reference; kept as the v1
+    oracle and for decoding-era comparisons.  New code wants
+    :func:`repro.workloads.synthetic.generate_trace` (epoch v2).
+
+    Args:
+        profile: The workload description.
+        n_insts: Number of dynamic instructions to emit.
+        seed: Generator seed; defaults to ``profile.seed``.
+    """
+    if n_insts <= 0:
+        raise ValueError("n_insts must be positive")
+    return _Generator(profile, n_insts, profile.seed if seed is None else seed).run()

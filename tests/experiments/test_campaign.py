@@ -321,6 +321,38 @@ class TestFleet:
                 assert len(stats) == 2
 
 
+class TestPrefetch:
+    """Trace-push pipelining on the daemon's dispatch loops: the next
+    pending workload's frame is encoded behind the current cell's
+    simulation, one outstanding prefetch per worker slot."""
+
+    def test_prefetch_hits_counted_and_bit_identical(
+        self, tmp_path, requests, serial_fingerprints
+    ):
+        with CampaignDaemon(cache_dir=tmp_path / "central") as daemon:
+            with WorkerAgent() as agent:
+                agent.register_with(daemon.address)
+                stats = CampaignBackend(daemon.address).run(requests)
+                assert [s.fingerprint() for s in stats] == serial_fingerprints
+                # Two workloads, one cold worker: the second workload's
+                # frame was prefetched behind the first's simulations.
+                assert daemon.prefetch_hits >= 1
+                with CampaignClient(daemon.address) as client:
+                    assert client.stats()["prefetch_hits"] == daemon.prefetch_hits
+
+    def test_prefetch_disabled_still_bit_identical(
+        self, tmp_path, requests, serial_fingerprints
+    ):
+        with CampaignDaemon(
+            cache_dir=tmp_path / "central", prefetch=False
+        ) as daemon:
+            with WorkerAgent() as agent:
+                agent.register_with(daemon.address)
+                stats = CampaignBackend(daemon.address).run(requests)
+                assert [s.fingerprint() for s in stats] == serial_fingerprints
+                assert daemon.prefetch_hits == 0
+
+
 class TestFailure:
     def test_cancel_releases_cells(self, tmp_path, requests):
         with CampaignDaemon(cache_dir=tmp_path / "central") as daemon:

@@ -360,6 +360,47 @@ class TestCompression:
             assert agent.compressed_traces == 0
 
 
+class TestPrefetch:
+    """Trace-push pipelining: once a slot ships a frame (cold-fleet
+    evidence), the next workload's frame is encoded behind the current
+    cell's simulation, one outstanding prefetch per worker slot."""
+
+    def test_prefetch_hides_the_second_workload_miss(
+        self, requests, serial_fingerprints
+    ):
+        with WorkerAgent() as agent:
+            backend = RemoteBackend([agent.address])
+            stats = backend.run(requests)
+            assert [s.fingerprint() for s in stats] == serial_fingerprints
+            # Two workloads, one cold worker: the first miss triggers a
+            # prefetch of the other workload, whose need_trace is then
+            # answered from the prefetched frame.
+            assert backend.prefetch_hits >= 1
+            # The amortization contract is untouched: prefetch fills the
+            # same memoized provider, so still one generation per workload.
+            assert backend.last_provider is not None
+            assert backend.last_provider.generations == 2
+
+    def test_prefetch_disabled_still_bit_identical(
+        self, requests, serial_fingerprints
+    ):
+        with WorkerAgent() as agent:
+            backend = RemoteBackend([agent.address], prefetch=False)
+            stats = backend.run(requests)
+            assert [s.fingerprint() for s in stats] == serial_fingerprints
+            assert backend.prefetch_hits == 0
+
+    def test_single_workload_sweep_never_prefetches(self):
+        # Nothing to build ahead: every queued cell shares the current key.
+        cells = small_spec(workloads=("gcc",), n_configs=3).cells()
+        with WorkerAgent() as agent:
+            backend = RemoteBackend([agent.address])
+            backend.run(cells)
+            assert backend.prefetch_hits == 0
+            assert backend.last_provider is not None
+            assert backend.last_provider.generations == 1
+
+
 class TestWorkerMemoization:
     def test_repeat_cells_answered_from_memo(
         self, tmp_path, requests, serial_fingerprints

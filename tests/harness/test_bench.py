@@ -14,10 +14,12 @@ from repro.harness.bench import (
     compare_bench,
     load_bench,
     render_bench,
+    render_gate,
     run_bench,
     write_bench,
 )
 from repro.pipeline.config import LSUKind
+from repro.workloads.synthetic import TRACE_EPOCH
 
 
 def _tiny_payload():
@@ -97,6 +99,56 @@ class TestCheckFingerprints:
             row["workload"] = "elsewhere"
         with pytest.raises(ValueError, match="no overlapping"):
             check_fingerprints(baseline, payload)
+
+    def test_payload_records_runtime_provenance(self):
+        import numpy
+
+        payload = _tiny_payload()
+        assert payload["numpy"] == numpy.__version__
+        assert payload["vectorization"] in {"scalar", "numpy", "column"}
+        assert payload["trace_epoch"] == TRACE_EPOCH == 2
+
+    def test_pre_epoch_snapshot_fails_with_epoch_message(self):
+        """A v1-era snapshot predates the trace_epoch key entirely; the
+        gate must name the deliberate break, not report every cell."""
+        payload = _tiny_payload()
+        baseline = copy.deepcopy(payload)
+        del baseline["trace_epoch"]
+        with pytest.raises(
+            ValueError, match=r"epoch mismatch \(v1 snapshot vs v2 core\)"
+        ):
+            check_fingerprints(baseline, payload)
+
+    def test_render_gate_fails_cleanly_across_the_break(self):
+        payload = _tiny_payload()
+        baseline = copy.deepcopy(payload)
+        baseline["trace_epoch"] = 1
+        passed, message = render_gate(baseline, payload)
+        assert not passed
+        assert "fingerprint epoch mismatch (v1 snapshot vs v2 core)" in message
+
+    def test_cli_check_across_the_break_fails_without_overwriting(self, tmp_path):
+        """`svw-repro bench --check V1_SNAPSHOT` across the epoch break:
+        exit 1 with the epoch message, snapshot left intact."""
+        from repro.harness.cli import main
+
+        path = tmp_path / "BENCH_core.json"
+        baseline = run_bench(workloads=["gcc"], n_insts=1000, repeats=1, lsus=["nlq"])
+        v1_era = copy.deepcopy(baseline)
+        v1_era["trace_epoch"] = 1
+        write_bench(v1_era, str(path))
+        args = [
+            "bench",
+            "--workloads", "gcc",
+            "--lsus", "nlq",
+            "--insts", "1000",
+            "--repeats", "1",
+            "--check", str(path),
+            "--out", str(path),
+            "--quiet",
+        ]
+        assert main(args) == 1
+        assert load_bench(str(path))["trace_epoch"] == 1
 
     def test_cli_gate_reads_baseline_before_overwriting_it(self, tmp_path):
         """Regression: `svw-repro bench --check BENCH_core.json` (no --out)

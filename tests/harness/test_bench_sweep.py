@@ -42,6 +42,16 @@ def test_all_backends_bit_identical(tiny_payload):
     assert tiny_payload["equivalence"]["identical"], tiny_payload["equivalence"]
 
 
+def test_payload_records_runtime_provenance(tiny_payload):
+    import numpy
+
+    from repro.workloads.synthetic import TRACE_EPOCH
+
+    assert tiny_payload["numpy"] == numpy.__version__
+    assert tiny_payload["vectorization"] in {"scalar", "numpy", "column"}
+    assert tiny_payload["trace_epoch"] == TRACE_EPOCH
+
+
 def test_generation_amortized_across_modes(tiny_payload):
     """serial/pool_shared/batch share one trace cache: one generation for
     the whole benchmark; the pre-PR mode regenerates per cell."""

@@ -12,6 +12,11 @@ from repro.harness.runner import run_matrix
 from repro.harness.configs import fig5_configs
 
 INSTS = 8_000
+#: Figure 7 asserts a *performance ordering* (+SVW vs RLE), not just
+#: re-execution rates; under the epoch-v2 workloads that delta is within
+#: run-to-run noise at 8k instructions and only resolves with a larger
+#: sample.
+FIG7_INSTS = 16_000
 
 
 @pytest.fixture(scope="module")
@@ -26,7 +31,7 @@ def fig6():
 
 @pytest.fixture(scope="module")
 def fig7():
-    return figure7(benchmarks=["crafty", "vortex"], n_insts=INSTS)
+    return figure7(benchmarks=["crafty", "vortex"], n_insts=FIG7_INSTS)
 
 
 class TestFigure5Claims:

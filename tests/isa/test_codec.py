@@ -195,6 +195,35 @@ class TestCorruption:
         assert roundtrip_equal(all_opclass_trace(), clone)
 
 
+class TestDualVersionDecode:
+    """v1 and v2 share one byte layout; both epochs must stay decodable
+    (archived v1-era cache entries, oracle suites, tooling)."""
+
+    def test_decodes_every_supported_version(self):
+        from repro.isa.codec import SUPPORTED_VERSIONS
+
+        trace = all_opclass_trace()
+        data = bytearray(encode_trace(trace))
+        assert data[4] == CODEC_VERSION == 2
+        assert SUPPORTED_VERSIONS == {1, 2}
+        for version in sorted(SUPPORTED_VERSIONS):
+            data[4] = version
+            clone = decode_trace(bytes(data))
+            assert roundtrip_equal(trace, clone), version
+
+    def test_v1_era_cache_entry_decodes(self):
+        # A frozen-v1-generator trace framed as version 1 is exactly what
+        # a v1-era on-disk cache entry holds; re-encoding the decode must
+        # give the current-version frame of the same columns.
+        from repro.workloads.synthetic_v1 import generate_trace_v1
+
+        trace = generate_trace_v1(spec_profile("gcc"), 800)
+        current_frame = encode_trace(trace)
+        v1_frame = bytearray(current_frame)
+        v1_frame[4] = 1
+        assert encode_trace(decode_trace(bytes(v1_frame))) == current_frame
+
+
 class TestMetaHooks:
     def test_attach_meta_rejects_size_mismatch(self):
         trace = all_opclass_trace()

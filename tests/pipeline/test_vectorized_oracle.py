@@ -1,0 +1,127 @@
+"""Column-vs-kernel self-consistency oracle (the epoch-v2 counterpart of
+the v1-vs-v1 generator oracle).
+
+The processor's ``vectorize`` flag selects between the per-seq column
+kernels (SSBF probe indices, L1D bank bits, precomputed in ``__init__``)
+and the scalar per-access arithmetic they replace.  The two paths must be
+*bit-identical*: same statistics fingerprint, same SVW filter counters,
+for every LSU kind, re-execution mode, and SSBF organization -- including
+the ones the fast path must decline (dual/banked/infinite tables, disabled
+filters) and the ones that stress its table-rebinding contract (SSN wrap
+drains flash-clear and rebind the SSBF table mid-run).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.ssbf import BankedSSBF, DualBloomSSBF, InfiniteSSBF, SimpleSSBF
+from repro.core.svw import SVWConfig, SVWEngine
+from repro.harness.bench import bench_configs
+from repro.pipeline.config import LSUKind, RexMode, eight_wide
+from repro.pipeline.processor import Processor
+from repro.workloads.spec2000 import spec_profile
+from repro.workloads.synthetic import generate_trace
+
+N = 4000
+
+#: Beyond the bench trio: configurations that exercise the fast path's
+#: edge contracts (wrap-drain table rebinding, atomic update stalls, the
+#: SVW-as-replacement mode) and the organizations it must fall back on.
+EXTRA_CONFIGS = {
+    "svw-only": eight_wide(
+        "svw-only", lsu=LSUKind.NLQ, rex_mode=RexMode.SVW_ONLY, rex_stages=2,
+        store_issue=2, svw=SVWConfig(),
+    ),
+    "tiny-ssn": eight_wide(
+        "tiny-ssn", lsu=LSUKind.NLQ, rex_mode=RexMode.REEXECUTE, rex_stages=2,
+        store_issue=2, svw=SVWConfig(ssn_bits=6),
+    ),
+    "atomic": eight_wide(
+        "atomic", lsu=LSUKind.SSQ, rex_mode=RexMode.REEXECUTE, rex_stages=2,
+        load_latency=2, svw=SVWConfig(speculative_updates=False),
+    ),
+    "dual-ssbf": eight_wide(
+        "dual-ssbf", lsu=LSUKind.NLQ, rex_mode=RexMode.REEXECUTE, rex_stages=2,
+        store_issue=2, svw=SVWConfig(ssbf_kind="dual"),
+    ),
+    "banked-ssbf": eight_wide(
+        "banked-ssbf", lsu=LSUKind.NLQ, rex_mode=RexMode.REEXECUTE, rex_stages=2,
+        store_issue=2, svw=SVWConfig(ssbf_kind="banked"),
+    ),
+    "disabled-svw": eight_wide(
+        "disabled-svw", lsu=LSUKind.NLQ, rex_mode=RexMode.REEXECUTE, rex_stages=2,
+        store_issue=2, svw=SVWConfig(enabled=False),
+    ),
+}
+
+ALL_CONFIGS = {
+    **{kind: config for kind, (_, config) in bench_configs().items()},
+    **EXTRA_CONFIGS,
+}
+
+
+@pytest.mark.parametrize("name", sorted(ALL_CONFIGS))
+@pytest.mark.parametrize("workload", ["gcc", "mcf"])
+def test_vectorized_matches_scalar(name, workload):
+    """Same trace, same config: fingerprints and filter counters match."""
+    config = ALL_CONFIGS[name]
+    trace = generate_trace(spec_profile(workload), N)
+    vec = Processor(config, trace, warmup=500, vectorize=True)
+    scalar = Processor(config, trace, warmup=500, vectorize=False)
+    vec_stats = vec.run()
+    scalar_stats = scalar.run()
+    assert vec_stats.fingerprint() == scalar_stats.fingerprint(), name
+    if vec.svw is not None:
+        assert vec.svw.filter_tests == scalar.svw.filter_tests, name
+        assert vec.svw.filter_hits == scalar.svw.filter_hits, name
+
+
+def test_fast_path_engages_only_for_flat_simple_tables():
+    """The kernel precompute exists exactly when it is sound."""
+    trace = generate_trace(spec_profile("gcc"), 500)
+    nlq = ALL_CONFIGS["nlq"]
+    assert Processor(nlq, trace, vectorize=True)._ssbf_i1 is not None
+    assert Processor(nlq, trace, vectorize=False)._ssbf_i1 is None
+    for name in ("dual-ssbf", "banked-ssbf", "disabled-svw", "conventional"):
+        assert Processor(ALL_CONFIGS[name], trace, vectorize=True)._ssbf_i1 is None
+
+
+def test_probe_columns_match_scalar_indices():
+    """``SimpleSSBF.probe_columns`` == ``_indices`` element by element."""
+    trace = generate_trace(spec_profile("vortex"), 2000)
+    addrs = list(trace.addr)
+    sizes = list(trace.size)
+    for entries, granularity in ((512, 8), (128, 8), (2048, 8), (1024, 4)):
+        ssbf = SimpleSSBF(entries=entries, granularity=granularity)
+        first, second = ssbf.probe_columns(addrs, sizes)
+        assert len(first) == len(second) == len(addrs)
+        for addr, size, got_first, got_second in zip(addrs, sizes, first, second):
+            indices = ssbf._indices(addr, size)
+            assert got_first == indices[0]
+            assert got_second == (indices[1] if len(indices) > 1 else -1)
+
+
+def test_engine_probe_columns_gating():
+    """The engine only offers columns for enabled flat-table organizations."""
+    addrs, sizes = [8, 16], [8, 4]
+    assert SVWEngine(SVWConfig()).probe_columns(addrs, sizes) is not None
+    assert SVWEngine(SVWConfig(enabled=False)).probe_columns(addrs, sizes) is None
+    for kind in ("dual", "infinite", "banked"):
+        engine = SVWEngine(SVWConfig(ssbf_kind=kind))
+        assert engine.probe_columns(addrs, sizes) is None
+        assert isinstance(
+            engine.ssbf, (DualBloomSSBF, InfiniteSSBF, BankedSSBF)
+        )
+
+
+def test_bank_bits_match_inline_arithmetic():
+    """The precomputed L1D bank-bit column equals the per-access formula."""
+    trace = generate_trace(spec_profile("twolf"), 2000)
+    config = ALL_CONFIGS["conventional"]
+    processor = Processor(config, trace, vectorize=True)
+    line_bytes = config.hierarchy.l1d.line_bytes
+    bank_mask = config.hierarchy.l1d.banks - 1
+    assert processor._bank_bits == [
+        1 << ((addr // line_bytes) & bank_mask) for addr in trace.hot().addr
+    ]

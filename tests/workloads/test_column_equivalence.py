@@ -1,10 +1,16 @@
-"""Golden equivalence of the column-native pipeline vs the object path.
+"""Golden equivalence of the frozen v1 pair: column-native vs object path.
+
+Since the epoch-v2 fingerprint break, this suite is the **v1-vs-v1
+oracle**: both sides are frozen (neither is the live generator), and
+their draw-exact agreement pins the v1 trace identity forever.  The live
+epoch-v2 generator is gated separately by its golden fingerprints in
+``tests/workloads/test_v2_goldens.py``.
 
 Two guarantees are pinned here:
 
-1. **Generator equivalence**: the column-native generator
-   (:func:`repro.workloads.synthetic.generate_trace`) emits bit-identical
-   traces to the frozen object-path reference
+1. **Generator equivalence**: the frozen v1 column-native generator
+   (:func:`repro.workloads.synthetic_v1.generate_trace_v1`) emits
+   bit-identical traces to the frozen object-path reference
    (:func:`repro.workloads.reference.generate_trace_objects`) for every
    shipped workload profile x 3 seeds -- proven at the strongest level
    available, equality of the encoded wire bytes (which covers every
@@ -30,7 +36,7 @@ from repro.workloads.kernels import kernel_trace
 from repro.workloads.profile import WorkloadProfile
 from repro.workloads.reference import generate_trace_objects
 from repro.workloads.spec2000 import SPEC_ORDER, spec_profile
-from repro.workloads.synthetic import generate_trace
+from repro.workloads.synthetic_v1 import generate_trace_v1 as generate_trace
 
 INSTS = 1500
 SEED_SHIFTS = (0, 1, 2)
@@ -70,7 +76,7 @@ class TestGeneratorEquivalence:
         ceiling division for the candidate count: ``heap_bytes`` is only
         required to be a multiple of 8, so the half-heap widths need not
         divide 8 evenly and flooring would drop the last candidate."""
-        from repro.workloads.synthetic import _Generator
+        from repro.workloads.synthetic_v1 import _Generator
 
         profile = dataclasses.replace(
             WorkloadProfile(name="odd-heap"), heap_bytes=(1 << 14) + 8
