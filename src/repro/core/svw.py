@@ -32,6 +32,7 @@ vulnerable to the largest window, i.e. ``SVW = MIN(svw_a, svw_b)``.
 from __future__ import annotations
 
 import dataclasses
+import os
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
@@ -88,12 +89,18 @@ class SVWConfig:
 class SVWEngine:
     """Run-time SVW state: SSN counters, the SSBF, and the filter test."""
 
-    __slots__ = ("config", "ssn", "ssbf", "on_drain", "filter_tests", "filter_hits", "invalidations")
+    __slots__ = ("config", "ssn", "ssbf", "on_drain", "filter_tests", "filter_hits", "invalidations", "weak_upd")
 
     def __init__(self, config: SVWConfig | None = None) -> None:
         self.config = config or SVWConfig()
         self.ssn = SSNState(self.config.ssn_bits)
         self.ssbf = self.config.build_ssbf()
+        #: Test-only planted mutant for the differential-fuzz smoke gate:
+        #: ``SVW_FUZZ_WEAK_UPD=1`` weakens the ``+UPD`` rule to widen a
+        #: forwarding load's SVW to ``SSN_RENAME`` instead of the supplying
+        #: store's SSN, silently excusing loads from re-execution they owe.
+        #: Never set outside the fuzz-smoke harness.
+        self.weak_upd = os.environ.get("SVW_FUZZ_WEAK_UPD", "") == "1"
         #: Hooks run at wrap-around drains (e.g. RLE flash-clears its IT).
         self.on_drain: list[Callable[[], None]] = []
         # Statistics.
@@ -115,6 +122,10 @@ class SVWEngine:
         """
         if not self.config.update_on_forward:
             return current_svw
+        if self.weak_upd:
+            # Planted mutant (fuzz-smoke only): claims invulnerability to
+            # every store renamed so far, not just the one forwarded from.
+            return max(current_svw, self.ssn.rename)
         return max(current_svw, store_ssn)
 
     def must_reexecute(self, addr: int, size: int, svw: int) -> bool:

@@ -12,16 +12,21 @@ each (config, workload) cell reduces to a :class:`RunRequest` whose
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Mapping
 
 from repro.fingerprint import stable_digest
 from repro.isa.coltrace import ColumnTrace
 from repro.isa.inst import Trace
 from repro.pipeline.config import MachineConfig
+from repro.workloads.phased import PhasedWorkload
 from repro.workloads.profile import WorkloadProfile
-from repro.workloads.spec2000 import SPEC_ORDER, SPEC_SHORT_NAMES, spec_profile
-from repro.workloads.synthetic import generate_trace
+from repro.workloads.registry import (  # noqa: F401  (re-exported API)
+    WorkloadSpec,
+    _trace_digest,
+    resolve_workload,
+)
+from repro.workloads.spec2000 import SPEC_ORDER, SPEC_SHORT_NAMES
 
 #: Default instruction budget per (config, workload) run.  The paper uses
 #: 10M-instruction samples; rates and relative IPCs stabilize far earlier
@@ -40,111 +45,6 @@ def resolve_benchmarks(benchmarks: Iterable[str] | None) -> list[str]:
         return list(SPEC_ORDER)
     short_to_full = {short: full for full, short in SPEC_SHORT_NAMES.items()}
     return [short_to_full.get(name, name) for name in benchmarks]
-
-
-def _trace_digest(trace: Trace | ColumnTrace) -> str:
-    insts = [
-        (
-            inst.seq,
-            inst.pc,
-            int(inst.op),
-            inst.src_seqs,
-            inst.dst_reg,
-            inst.addr,
-            inst.size,
-            inst.store_value,
-            inst.store_data_seq,
-            inst.taken,
-            inst.base_seq,
-            inst.offset,
-        )
-        for inst in trace.insts
-    ]
-    return stable_digest(
-        {
-            "name": trace.name,
-            "insts": insts,
-            "initial_memory": sorted(trace.initial_memory.items()),
-            "wrong_path": sorted(trace.wrong_path_addrs.items()),
-        }
-    )
-
-
-@dataclass(frozen=True, slots=True)
-class WorkloadSpec:
-    """One workload of a sweep: a profile to generate from, or a fixed trace.
-
-    Profile workloads regenerate their trace deterministically from
-    ``(profile, n_insts)`` wherever they run, which is what makes cells
-    picklable and cacheable without shipping instruction streams around.
-    Trace workloads (kernels, hand-built streams) carry the trace itself;
-    its content digest -- not the unpicklable/unstable object identity --
-    stands in for it in hashing, equality, and fingerprints.
-    """
-
-    name: str
-    profile: WorkloadProfile | None = None
-    trace: Trace | ColumnTrace | None = field(default=None, compare=False)
-    trace_digest: str | None = None
-
-    def __post_init__(self) -> None:
-        if (self.profile is None) == (self.trace is None):
-            raise ValueError(f"workload {self.name!r} needs a profile or a trace")
-        if self.trace is not None and self.trace_digest is None:
-            object.__setattr__(self, "trace_digest", _trace_digest(self.trace))
-
-    @classmethod
-    def from_name(cls, name: str) -> "WorkloadSpec":
-        """A SPEC2000 workload by full or short benchmark name."""
-        profile = spec_profile(name)
-        return cls(name=profile.name, profile=profile)
-
-    @classmethod
-    def from_profile(cls, profile: WorkloadProfile) -> "WorkloadSpec":
-        return cls(name=profile.name, profile=profile)
-
-    @classmethod
-    def from_trace(cls, name: str, trace: Trace | ColumnTrace) -> "WorkloadSpec":
-        return cls(name=name, trace=trace)
-
-    def fingerprint(self) -> str:
-        """Stable digest of the workload's dynamic instruction stream."""
-        if self.profile is not None:
-            return self.profile.fingerprint()
-        assert self.trace_digest is not None
-        return self.trace_digest
-
-    def to_payload(self) -> dict[str, object]:
-        """JSON-safe wire form (campaign submissions); profiles only.
-
-        Fixed-trace workloads would need their instruction stream shipped
-        alongside the JSON; until a campaign trace-upload path exists they
-        are rejected loudly rather than silently dropped.
-        """
-        if self.profile is None:
-            raise ValueError(
-                f"workload {self.name!r} is a fixed trace; campaign "
-                "submissions carry profile workloads only"
-            )
-        return {"name": self.name, "profile": self.profile.to_dict()}
-
-    @classmethod
-    def from_payload(cls, payload: Mapping[str, object]) -> "WorkloadSpec":
-        profile = payload.get("profile")
-        if not isinstance(profile, dict):
-            raise ValueError("workload payload has no profile object")
-        return cls(
-            name=str(payload["name"]),
-            profile=WorkloadProfile.from_dict(profile),
-        )
-
-    def materialize(self, n_insts: int) -> Trace | ColumnTrace:
-        """The trace to simulate (column-native for profiles, as-is for
-        fixed traces)."""
-        if self.trace is not None:
-            return self.trace
-        assert self.profile is not None
-        return generate_trace(self.profile, n_insts)
 
 
 @dataclass(frozen=True, slots=True)
@@ -349,19 +249,18 @@ class ExperimentBuilder:
         return self
 
     def workload(
-        self, workload: str | WorkloadProfile | WorkloadSpec
+        self, workload: str | WorkloadProfile | PhasedWorkload | WorkloadSpec
     ) -> "ExperimentBuilder":
-        if isinstance(workload, WorkloadSpec):
-            spec = workload
-        elif isinstance(workload, WorkloadProfile):
-            spec = WorkloadSpec.from_profile(workload)
-        else:
-            spec = WorkloadSpec.from_name(workload)
-        self._workloads.append(spec)
+        # Everything workload-shaped funnels through the registry, so
+        # phased-catalog names and ingest references work wherever a
+        # benchmark name does.
+        self._workloads.append(resolve_workload(workload))
         return self
 
     def workloads(
-        self, workloads: Iterable[str | WorkloadProfile | WorkloadSpec] | None
+        self,
+        workloads: Iterable[str | WorkloadProfile | PhasedWorkload | WorkloadSpec]
+        | None,
     ) -> "ExperimentBuilder":
         """Add workloads; ``None`` adds the full SPEC2000int suite."""
         if workloads is None:

@@ -27,15 +27,9 @@ from repro.experiments.spec import RunRequest, WorkloadSpec
 from repro.isa.codec import TraceCodecError, decode_trace, encode_trace, verify_encoded
 from repro.isa.coltrace import ColumnTrace
 from repro.isa.inst import Trace
+from repro.workloads.registry import workload_key  # noqa: F401  (re-exported API)
 from repro.workloads.synthetic import generate_trace
-from repro.workloads.trace_cache import TraceCache, trace_key
-
-
-def workload_key(workload: WorkloadSpec, n_insts: int) -> str:
-    """Content identity of a workload's materialized trace within a sweep."""
-    if workload.profile is not None:
-        return trace_key(workload.profile, n_insts)
-    return f"{workload.fingerprint()}-fixed"
+from repro.workloads.trace_cache import TraceCache
 
 
 def request_key(request: RunRequest) -> str:
@@ -69,7 +63,7 @@ class TraceProvider:
         data = self._encoded.get(key)
         if data is not None:
             return data
-        if self.cache is not None and workload.profile is not None:
+        if self.cache is not None and workload.persistable:
             data = self.cache.load(key)
             if data is not None:
                 try:
@@ -89,7 +83,7 @@ class TraceProvider:
                 trace = self._generate(workload, n_insts)
                 self._remember_decoded(key, trace)
             data = encode_trace(trace)
-            if self.cache is not None and workload.profile is not None:
+            if self.cache is not None and workload.persistable:
                 self.cache.save(key, data)
         self._encoded[key] = data
         return data
@@ -129,7 +123,7 @@ class TraceProvider:
             self._encoded.pop(key, None)
             trace = self._generate(workload, n_insts)
             self._encoded[key] = encode_trace(trace)
-            if self.cache is not None and workload.profile is not None:
+            if self.cache is not None and workload.persistable:
                 self.cache.save(key, self._encoded[key])
         self._remember_decoded(key, trace)
         return trace
@@ -148,7 +142,7 @@ class TraceProvider:
             return True
         return (
             self.cache is not None
-            and workload.profile is not None
+            and workload.persistable
             and self.cache.path_for(key).is_file()
         )
 
@@ -160,9 +154,13 @@ class TraceProvider:
             # caches the columns) on encode, and simulators derive their
             # metadata from the columns, so nothing needs pre-building.
             return workload.trace
-        assert workload.profile is not None
         self.generations += 1
-        return generate_trace(workload.profile, n_insts)
+        if workload.profile is not None and workload.mutation is None:
+            # Plain profiles keep the historical module-level seam (the
+            # amortization tests patch it to count generator invocations).
+            return generate_trace(workload.profile, n_insts)
+        # Any other regenerable registry form (phased, mutated base).
+        return workload.materialize(n_insts)
 
     def _remember_decoded(self, key: str, trace: Trace | ColumnTrace) -> None:
         self._decoded[key] = trace

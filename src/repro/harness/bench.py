@@ -29,6 +29,7 @@ Methodology:
       "numpy": "2.4.6", "vectorization": "numpy", "trace_epoch": 2,
       "n_insts": 30000, "repeats": 3,
       "workloads": ["bzip2", ...],
+      "workload_taxonomy": {"bzip2": "profile", ...},
       "results": [
         {"lsu": "nlq", "config": "+SVW+UPD", "workload": "gcc",
          "committed": 30000, "cycles": 46652, "wall_seconds": 0.25,
@@ -53,6 +54,7 @@ from repro.harness.configs import fig5_configs, fig6_configs
 from repro.ioutil import atomic_write_text
 from repro.pipeline.config import MachineConfig
 from repro.pipeline.processor import Processor, vectorization_mode
+from repro.workloads.registry import workload_taxonomy
 from repro.workloads.spec2000 import spec_profile
 from repro.workloads.synthetic import TRACE_EPOCH, generate_trace
 
@@ -191,6 +193,10 @@ def run_bench(
         "n_insts": n_insts,
         "repeats": repeats,
         "workloads": list(workloads),
+        # Additive provenance (schema 1 tolerant): which registry-taxonomy
+        # class each workload resolved to, so a snapshot against phased or
+        # ingested workloads is never mistaken for a plain-profile run.
+        "workload_taxonomy": workload_taxonomy(workloads),
         "results": results,
         "aggregate": aggregate,
     }

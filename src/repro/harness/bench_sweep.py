@@ -284,6 +284,9 @@ def run_sweep_bench(
         "n_insts": spec.n_insts,
         "repeats": max(1, repeats),
         "workloads": spec.benchmark_names,
+        # Additive provenance: the registry-taxonomy class per workload
+        # (same key as BENCH_core; readers tolerate absence).
+        "workload_taxonomy": {w.name: w.taxonomy for w in spec.workloads},
         "configs": spec.config_order,
         "n_cells": len(requests),
         "remote_workers": list(remote_workers) if remote_workers else [],

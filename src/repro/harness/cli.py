@@ -27,6 +27,10 @@ Examples::
     svw-repro fig5 --campaign hostD:7500 --fallback local  # degrade, don't die
     svw-repro fsck --cache-dir ~/.cache/svw --fix          # scrub caches
     svw-repro worker --port 7501 --fault-plan seed=7,crash_after=3  # chaos
+    svw-repro fuzz --seed 42 --rounds 3    # differential re-execution fuzzing
+    svw-repro fuzz --seed 42 --remote-workers auto:2 --json -
+    svw-repro ingest capture.svwt --ingest-dir runs/ingest # check a trace in
+    svw-repro fuzz --workloads ingest:3f2a --ingest-dir runs/ingest
 """
 
 from __future__ import annotations
@@ -53,10 +57,13 @@ from repro.experiments.faults import FaultPlan
 from repro.experiments.pool import shutdown_session_pools
 from repro.experiments.remote import RemoteBackend, WorkerAgent, resolve_worker_fleet
 from repro.experiments.results import FigureResult
+from repro.experiments.fuzz import FUZZ_INSTS, FUZZ_WORKLOADS, run_fuzz
 from repro.experiments.spec import DEFAULT_INSTS
 from repro.experiments.store import ResultStore
 from repro.harness import bench, bench_sweep, figures
 from repro.harness.report import render_claims, render_figure
+from repro.workloads.ingest import IngestError, IngestStore
+from repro.workloads.registry import resolve_workload
 from repro.workloads.trace_cache import TraceCache
 
 _EXPERIMENTS: dict[str, Callable[..., FigureResult]] = {
@@ -148,8 +155,14 @@ def _run_fsck(args) -> int:
     never data.  Exits non-zero while problems remain (after a ``--fix``
     run, each scrubbed area is re-scanned to confirm the repairs took).
     """
-    if args.cache_dir is None and args.trace_cache_dir is None:
-        raise SystemExit("fsck: --cache-dir and/or --trace-cache-dir is required")
+    if (
+        args.cache_dir is None
+        and args.trace_cache_dir is None
+        and args.ingest_dir is None
+    ):
+        raise SystemExit(
+            "fsck: --cache-dir, --trace-cache-dir, and/or --ingest-dir is required"
+        )
     failures: list[str] = []
 
     def check(label: str, scrub, healthy) -> None:
@@ -173,6 +186,12 @@ def _run_fsck(args) -> int:
     if args.trace_cache_dir is not None:
         cache = TraceCache(args.trace_cache_dir)
         check(f"trace cache {cache.root}", cache.scrub, lambda r: r.ok)
+    if args.ingest_dir is not None:
+        # Ingested traces are source data, not a recomputable cache, so
+        # the health bar is stricter (orphans count) and --fix deletion is
+        # the operator's explicit choice, same flag, higher stakes.
+        ingest = IngestStore(args.ingest_dir)
+        check(f"ingest store {ingest.root}", ingest.scrub, lambda r: r.ok)
     if failures:
         hint = "" if args.fix else " (re-run with --fix to repair)"
         print(
@@ -303,6 +322,7 @@ def main(argv: list[str] | None = None) -> int:
         "experiment",
         choices=sorted(_EXPERIMENTS)
         + ["all", "bench", "bench-sweep", "worker", "campaignd", "fsck"]
+        + ["fuzz", "ingest"]
         + list(_CAMPAIGN_COMMANDS),
         help="which table/figure to regenerate ('bench' runs the "
         "core-simulator throughput benchmark, 'bench-sweep' the "
@@ -310,14 +330,18 @@ def main(argv: list[str] | None = None) -> int:
         "a remote execution agent serving sweeps over TCP, 'campaignd' a "
         "long-lived campaign daemon; 'submit'/'status'/'fetch'/'cancel' "
         "talk to a campaign daemon about one campaign; 'fsck' scrubs the "
-        "on-disk caches for crash/bit-rot damage)",
+        "on-disk caches for crash/bit-rot damage; 'fuzz' runs the seeded "
+        "differential re-execution fuzzer over the machine matrix; "
+        "'ingest' validates and checks an external trace file into the "
+        "ingest store)",
     )
     parser.add_argument(
         "target",
         nargs="?",
         default=None,
         help="submit/fetch: the experiment to run as a campaign; "
-        "status/cancel: an experiment name or a raw campaign id",
+        "status/cancel: an experiment name or a raw campaign id; "
+        "ingest: the trace file to check in",
     )
     parser.add_argument(
         "--insts",
@@ -456,6 +480,34 @@ def main(argv: list[str] | None = None) -> int:
         help="fsck only: delete/compact the damaged entries found (caches "
         "are recomputable, so a repair costs regeneration, never data)",
     )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="fuzz only: campaign seed; the whole mutation plan and every "
+        "verdict are a pure function of it (default 0)",
+    )
+    parser.add_argument(
+        "--rounds",
+        type=int,
+        default=3,
+        help="fuzz only: mutated trials per run (default 3)",
+    )
+    parser.add_argument(
+        "--ingest-dir",
+        type=str,
+        default=None,
+        help="ingest store root (validated external traces, addressed as "
+        "ingest:<digest>); used by 'ingest', workload resolution, and the "
+        "fsck scrub",
+    )
+    parser.add_argument(
+        "--name",
+        type=str,
+        default=None,
+        help="ingest only: display name for the checked-in trace "
+        "(default: the trace's own encoded name)",
+    )
     parser.add_argument("--quiet", action="store_true", help="suppress progress output")
     parser.add_argument(
         "--quick",
@@ -504,11 +556,33 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    if args.target is not None and args.experiment not in _CAMPAIGN_COMMANDS:
+    if args.target is not None and args.experiment not in (
+        *_CAMPAIGN_COMMANDS,
+        "ingest",
+    ):
         parser.error(f"unexpected argument {args.target!r} after {args.experiment!r}")
 
     if args.experiment == "fsck":
         return _run_fsck(args)
+
+    if args.experiment == "ingest":
+        if args.target is None:
+            raise SystemExit("ingest: a trace file path is required")
+        if args.ingest_dir is None:
+            raise SystemExit("ingest: --ingest-dir is required")
+        try:
+            record = IngestStore(args.ingest_dir).ingest_file(
+                args.target, name=args.name
+            )
+        except IngestError as exc:
+            print(f"svw-repro ingest: {exc}", file=sys.stderr)
+            return 1
+        print(
+            f"ingested {record.name!r}: {record.n_insts} insts, "
+            f"{record.nbytes} bytes"
+        )
+        print(f"  workload reference: ingest:{record.digest[:12]}")
+        return 0
 
     if args.fallback is not None and args.campaign is None:
         parser.error("--fallback requires --campaign")
@@ -579,6 +653,56 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.experiment in _CAMPAIGN_COMMANDS:
         return _run_campaign_command(args, benchmarks)
+
+    if args.experiment == "fuzz":
+        # Differential fuzzing over the machine matrix on any backend; the
+        # plan, the verdicts, and the report fingerprint are a pure
+        # function of (--seed, --rounds, --workloads, budget).
+        ingest = IngestStore(args.ingest_dir) if args.ingest_dir else None
+        fuzz_names = list(workloads) if workloads else list(FUZZ_WORKLOADS)
+        n_insts = FUZZ_INSTS if args.insts == DEFAULT_INSTS else args.insts
+        trace_cache = TraceCache(args.trace_cache_dir) if args.trace_cache_dir else None
+        with contextlib.ExitStack() as stack:
+            if args.campaign is not None and args.remote_workers is not None:
+                raise SystemExit(
+                    "--campaign and --remote-workers are mutually exclusive "
+                    "(the campaign daemon owns its own worker fleet)"
+                )
+            remote = _resolve_remote_workers(
+                args.remote_workers, stack, args.trace_cache_dir
+            )
+            if args.campaign is not None:
+                backend = CampaignBackend(args.campaign, fallback=args.fallback)
+            elif remote is not None:
+                backend = RemoteBackend(remote, trace_cache=trace_cache)
+            else:
+                backend = make_backend(args.jobs, trace_cache=trace_cache)
+            try:
+                report = run_fuzz(
+                    args.seed,
+                    rounds=args.rounds,
+                    workloads=fuzz_names,
+                    n_insts=n_insts,
+                    backend=backend,
+                    progress=None if args.quiet else _progress,
+                    store=ingest,
+                )
+            except (ValueError, IngestError) as exc:
+                raise SystemExit(f"fuzz: {exc}") from exc
+        if args.json is not None:
+            payload = json.dumps(report.to_dict(), indent=1, sort_keys=True)
+            if args.json == "-":
+                print(payload)
+            else:
+                with open(args.json, "w") as handle:
+                    handle.write(payload + "\n")
+        if args.json != "-":
+            print(report.describe())
+            print(f"  fingerprint: {report.fingerprint()}")
+            for div in report.divergences:
+                print(f"  {div.cell} [{div.kind}]: {div.error}")
+                print(f"    reproducer: {json.dumps(div.reproducer, sort_keys=True)}")
+        return 0 if report.ok else 1
 
     def emit_benchmark(
         payload: dict, render, write, default_out: str, protect: str | None = None

@@ -183,6 +183,18 @@ def _checked_payload(header: dict, payload: memoryview) -> memoryview:
     return payload
 
 
+def peek_encoded(buf) -> dict:
+    """The validated header of an encoded trace (name, instruction count)
+    without touching the column payload.
+
+    Ingestion manifests and scrubbers need the self-described identity of
+    a trace file at header cost; use :func:`verify_encoded` when the
+    payload checksum must be proven too.
+    """
+    header, _ = _read_header(buf)
+    return {"name": header["name"], "n_insts": header["n_insts"]}
+
+
 def verify_encoded(buf) -> None:
     """Validate an encoded trace without materializing it.
 

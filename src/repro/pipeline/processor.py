@@ -160,6 +160,8 @@ class Processor:
         "_rex_port_busy_until",
         "_unresolved",
         "_uncommitted_loads",
+        "_svw_retried",
+        "_svw_weak_upd",
         "_last_commit_cycle",
         "_committed_total",
         # skip-ahead scheduler
@@ -307,6 +309,10 @@ class Processor:
         self.store_words: dict[int, list[InFlight]] = {}
         self._unresolved: list[tuple[int, InFlight]] = []
         self._uncommitted_loads: deque[int] = deque()
+        #: Seqs already flushed once by `_svw_only_flush`; a repeat positive
+        #: filter test on a refetched load is a false positive (see the
+        #: SVW_ONLY decision in `_rex_stage`) and must not flush again.
+        self._svw_retried: set[int] = set()
         self._last_commit_cycle = 0
         self._committed_total = 0
 
@@ -356,6 +362,7 @@ class Processor:
         self._svw_upd = (
             self.svw is not None and self.svw.config.update_on_forward
         )
+        self._svw_weak_upd = self._svw_upd and self.svw.weak_upd
         # Devirtualize the per-instruction LSU hooks: variants that keep
         # the base no-op pay nothing per event, overriding variants get a
         # pre-bound method (no attribute chase in the loops).
@@ -975,6 +982,17 @@ class Processor:
                         must = True
                     if rex_mode is RexMode.SVW_ONLY:
                         # Config validation guarantees svw is present here.
+                        if must and self._svw_retried:
+                            # A load refetched by `_svw_only_flush` restarted
+                            # fetch at its own seq: everything older has
+                            # committed, so the re-issued access read committed
+                            # memory and is architecturally correct.  A repeat
+                            # positive test is stale SSBF state (e.g.
+                            # wrong-path pollution re-injected by the flush
+                            # itself) and flushing again would livelock.
+                            if entry.seq in self._svw_retried:
+                                self._svw_retried.discard(entry.seq)
+                                must = False
                         entry.rex_state = _SVW_FLUSH if must else _FILTERED
                         self._worked = True
                     elif not must:
@@ -1030,6 +1048,7 @@ class Processor:
         execute_load = self._execute_load
         load_access = self._load_access
         svw_upd = self._svw_upd
+        svw_weak = self._svw_weak_upd
         load_base_latency = self._load_latency - self._l1d_latency
         store_latency = self._store_latency
         completes = self._completes
@@ -1086,7 +1105,9 @@ class Processor:
                 execute_load(entry)
                 if svw_upd and entry.forwarded_ssn > entry.svw:
                     # ``+UPD``: forwarding shrinks the vulnerability window.
-                    entry.svw = entry.forwarded_ssn
+                    entry.svw = (
+                        self.svw.ssn.rename if svw_weak else entry.forwarded_ssn
+                    )
                 # Timing: the configured load-to-use latency covers the
                 # L1D + SQ path; anything beyond the L1 adds the
                 # hierarchy's miss penalty.
@@ -1400,6 +1421,12 @@ class Processor:
         self.lsu.on_rex_failure(load, store_pc)
         if self.store_sets is not None and store_pc is not None:
             self.store_sets.train(load.pc, store_pc)
+        # The refetched copy must not re-integrate a stale reuse value (its
+        # re-issued access alone is guaranteed correct), and must not flush
+        # a second time on the same stale SSBF state (forward progress).
+        if self.it is not None and load.it_signature is not None:
+            self.it.invalidate(load.it_signature)
+        self._svw_retried.add(load.seq)
         self._squash_from(load.seq)
 
     def _squash_from(self, flush_seq: int) -> None:

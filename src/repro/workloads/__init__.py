@@ -10,20 +10,53 @@ described in DESIGN.md:
   the studied mechanisms are sensitive to.
 - :mod:`repro.workloads.synthetic` -- the generator that turns a profile
   into a deterministic dynamic trace.
+- :mod:`repro.workloads.phased` -- phase-structured workloads composing
+  profiles into static/dynamic/oscillating hot sets and scan storms.
+- :mod:`repro.workloads.registry` -- the unified :class:`WorkloadSpec`
+  union with :func:`resolve_workload` / :func:`workload_key` content
+  addressing; ``generate_trace`` re-exported here is the registry's
+  normalized form (a plain profile passed positionally behaves exactly
+  as the historical signature did).
+- :mod:`repro.workloads.mutate` -- deterministic trace mutations for the
+  differential fuzzer.
+- :mod:`repro.workloads.ingest` -- validated, content-addressed ingestion
+  of external trace files.
 - :mod:`repro.workloads.kernels` -- real algorithmic kernels written for the
   toy ISA, used by examples and end-to-end correctness tests.
 """
 
+from repro.workloads.ingest import IngestStore
 from repro.workloads.kernels import KERNELS, kernel_trace
+from repro.workloads.mutate import MutationOp, TraceMutation, apply_mutation
+from repro.workloads.phased import (
+    PHASED_CATALOG,
+    PhasedWorkload,
+    generate_phased_trace,
+)
 from repro.workloads.profile import WorkloadProfile
+from repro.workloads.registry import (
+    WorkloadSpec,
+    generate_trace,
+    resolve_workload,
+    workload_key,
+)
 from repro.workloads.spec2000 import SPEC2000_PROFILES, spec_profile
-from repro.workloads.synthetic import generate_trace
 
 __all__ = [
     "KERNELS",
+    "MutationOp",
+    "PHASED_CATALOG",
+    "PhasedWorkload",
+    "IngestStore",
     "SPEC2000_PROFILES",
+    "TraceMutation",
     "WorkloadProfile",
+    "WorkloadSpec",
+    "apply_mutation",
+    "generate_phased_trace",
     "generate_trace",
     "kernel_trace",
+    "resolve_workload",
     "spec_profile",
+    "workload_key",
 ]

@@ -98,8 +98,8 @@ class TestSpec:
                 workloads=(WorkloadSpec.from_name("gcc"),),
             )
 
-    def test_workload_needs_profile_or_trace(self):
-        with pytest.raises(ValueError, match="profile or a trace"):
+    def test_workload_needs_exactly_one_base(self):
+        with pytest.raises(ValueError, match="exactly one of profile"):
             WorkloadSpec(name="empty")
 
 

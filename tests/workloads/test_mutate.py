@@ -1,0 +1,144 @@
+"""Trace mutations: validity preservation, determinism, targeted effects.
+
+The fuzzer's whole oracle rests on one property: every mutation keeps the
+trace *valid*, so golden re-execution semantics stay well-defined and any
+simulator divergence on a mutated trace is a simulator bug.  These tests
+pin that property per mutation kind, plus the determinism that makes
+reproducers portable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa.ops import OpClass
+from repro.workloads.mutate import (
+    MUTATION_KINDS,
+    MutationOp,
+    POOL_BASE,
+    POOL_SLOTS,
+    TraceMutation,
+    apply_mutation,
+)
+from repro.workloads.registry import generate_trace
+
+N = 2000
+
+
+@pytest.fixture(scope="module")
+def base_trace():
+    return generate_trace("gcc", N)
+
+
+def one(kind: str, rate: float = 0.3, seed: int = 7) -> TraceMutation:
+    return TraceMutation((MutationOp(kind=kind, rate=rate, seed=seed),))
+
+
+@pytest.mark.parametrize("kind", MUTATION_KINDS)
+class TestPerKind:
+    def test_result_is_valid(self, kind, base_trace):
+        mutated = apply_mutation(base_trace, one(kind))
+        mutated.validate()
+        assert len(mutated) == len(base_trace)
+
+    def test_deterministic(self, kind, base_trace):
+        a = apply_mutation(base_trace, one(kind))
+        b = apply_mutation(base_trace, one(kind))
+        assert a.addr.tolist() == b.addr.tolist()
+        assert a.op.tolist() == b.op.tolist()
+        assert a.pc.tolist() == b.pc.tolist()
+
+    def test_seed_changes_choices(self, kind, base_trace):
+        a = apply_mutation(base_trace, one(kind, seed=1))
+        b = apply_mutation(base_trace, one(kind, seed=2))
+        assert (
+            a.addr.tolist() != b.addr.tolist()
+            or a.op.tolist() != b.op.tolist()
+            or a.pc.tolist() != b.pc.tolist()
+            or a.size.tolist() != b.size.tolist()
+        )
+
+    def test_base_trace_untouched(self, kind, base_trace):
+        before = base_trace.addr.tolist()
+        apply_mutation(base_trace, one(kind))
+        assert base_trace.addr.tolist() == before
+
+
+class TestEffects:
+    def test_alias_concentrates_on_pool(self, base_trace):
+        mutated = apply_mutation(base_trace, one("alias", rate=0.4))
+        pool = [
+            a
+            for a in mutated.addr.tolist()
+            if POOL_BASE <= a < POOL_BASE + POOL_SLOTS * 8
+        ]
+        mem_rows = sum(
+            1
+            for op in base_trace.op.tolist()
+            if op in (int(OpClass.LOAD), int(OpClass.STORE))
+        )
+        assert len(pool) > 0.25 * mem_rows
+        assert not any(
+            POOL_BASE <= a < POOL_BASE + POOL_SLOTS * 8
+            for a in base_trace.addr.tolist()
+        ), "the pool must be generator-untouched for remapping to be safe"
+
+    def test_wrap_converts_branches_to_stores(self, base_trace):
+        mutated = apply_mutation(base_trace, one("wrap", rate=0.5))
+        count = lambda t, op: sum(1 for v in t.op.tolist() if v == int(op))  # noqa: E731
+        assert count(mutated, OpClass.STORE) > count(base_trace, OpClass.STORE)
+        assert count(mutated, OpClass.BRANCH) < count(base_trace, OpClass.BRANCH)
+
+    def test_sizemix_respects_alignment(self, base_trace):
+        mutated = apply_mutation(base_trace, one("sizemix", rate=0.3))
+        for addr, size, op in zip(
+            mutated.addr.tolist(), mutated.size.tolist(), mutated.op.tolist()
+        ):
+            if op in (int(OpClass.LOAD), int(OpClass.STORE)) and size == 8:
+                assert addr % 8 == 0
+
+    def test_storeset_collapses_pcs(self, base_trace):
+        mutated = apply_mutation(base_trace, one("storeset", rate=0.9))
+        mem = [
+            pc
+            for pc, op in zip(mutated.pc.tolist(), mutated.op.tolist())
+            if op in (int(OpClass.LOAD), int(OpClass.STORE))
+        ]
+        base_mem = [
+            pc
+            for pc, op in zip(base_trace.pc.tolist(), base_trace.op.tolist())
+            if op in (int(OpClass.LOAD), int(OpClass.STORE))
+        ]
+        assert len(set(mem)) < len(set(base_mem))
+
+
+class TestSpecShapes:
+    def test_ops_compose_in_order_and_fingerprint(self, base_trace):
+        mutation = TraceMutation(
+            (
+                MutationOp(kind="alias", rate=0.2, seed=1),
+                MutationOp(kind="wrap", rate=0.2, seed=2),
+            )
+        )
+        mutated = apply_mutation(base_trace, mutation)
+        mutated.validate()
+        assert mutation.fingerprint()[:8] in mutated.name
+
+    def test_round_trip(self):
+        mutation = TraceMutation(
+            (
+                MutationOp(kind="sizemix", rate=0.15, seed=3),
+                MutationOp(kind="storeset", rate=0.25, seed=4),
+            )
+        )
+        clone = TraceMutation.from_dict(mutation.to_dict())
+        assert clone == mutation
+        assert clone.fingerprint() == mutation.fingerprint()
+
+    def test_validation_rejects_bad_ops(self):
+        with pytest.raises(ValueError, match="unknown mutation kind"):
+            TraceMutation((MutationOp(kind="nope", rate=0.1, seed=0),)).validate()
+        with pytest.raises(ValueError, match="out of"):
+            TraceMutation((MutationOp(kind="alias", rate=1.5, seed=0),)).validate()
+        with pytest.raises(ValueError, match="at least one op"):
+            TraceMutation(()).validate()

@@ -1,0 +1,199 @@
+"""Phase-structured workloads: goldens, composition invariants, budgets.
+
+The golden fingerprints here pin the *phased* trace identity the same way
+``test_v2_goldens.py`` pins the stationary epoch-v2 identity: one
+``SimStats.fingerprint()`` per catalog class x LSU kind.  Any change to
+the phase composer (segment seeding, producer shifting, budget split) or
+to a catalog definition moves these and must be deliberate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.svw import SVWConfig
+from repro.isa.inst import NO_PRODUCER
+from repro.pipeline.config import LSUKind, RexMode, eight_wide
+from repro.pipeline.processor import Processor
+from repro.workloads.phased import (
+    PHASE_KINDS,
+    PHASED_CATALOG,
+    PhasedWorkload,
+    generate_phased_trace,
+    split_budget,
+)
+from repro.workloads.spec2000 import spec_profile
+
+N = 4000
+WARMUP = 500
+
+#: Catalog class x LSU kind @ 4000 insts, warmup 500 (SVW+REEXECUTE for
+#: the split-LSU kinds -- the paper's headline mechanism is always on).
+GOLDEN_FINGERPRINTS = {
+    ("hot-dynamic", "conventional"): "8f98016c6c2ffa1641f2e4a5b8c9667300a91bf36be6a00d988ee7cb2d262785",
+    ("hot-dynamic", "nlq"): "fb81dc2643c9acccd81bf3f189140896d40385674c376a10741d16170212fefe",
+    ("hot-dynamic", "ssq"): "4c36f05afc1d2c9e0e0151d6ad12201352dead831add39439a4e44325d0fe474",
+    ("hot-oscillating", "conventional"): "a5070c506805fdbd3f1be6a214ec6b751d2d4ae63b164d2ab43b706995719673",
+    ("hot-oscillating", "nlq"): "248361f50661f1d71f14ba55b697360cd4b1a415b1fcab869f807a9a558e3482",
+    ("hot-oscillating", "ssq"): "4b50eb2f0699428d9214091af2fe3c222fa69ea93abfa0b7d90bbef6b1998ce6",
+    ("hot-static", "conventional"): "96750077192149458b21326cefc991243b7b12da124a799749daff7fe6c05dcd",
+    ("hot-static", "nlq"): "cfd7e06c3067e1a367599543a3d4aa848f184b9564a62a85008df609d0f1eb7e",
+    ("hot-static", "ssq"): "284fa62fb157fa6c46d77153b316d74d37c45ccc88eb828bff267293f5c862db",
+    ("scan-storm", "conventional"): "3b642b035df8ef4296290ae94974fb9a7b564e4249e76646ae1279cae3dac949",
+    ("scan-storm", "nlq"): "50f63165c9bea2ed6e4855cf69e7c0203eff616b4e393aeb47eaacfbefcfe77d",
+    ("scan-storm", "ssq"): "20513a9227e3017275c6145e1aee1cab584ca9fb2d5b04524bc241a7ce7fdeb7",
+}
+
+
+def lsu_configs():
+    return {
+        "conventional": eight_wide("conventional"),
+        "nlq": eight_wide(
+            "nlq",
+            lsu=LSUKind.NLQ,
+            store_issue=2,
+            rex_mode=RexMode.REEXECUTE,
+            rex_stages=2,
+            svw=SVWConfig(),
+        ),
+        "ssq": eight_wide(
+            "ssq",
+            lsu=LSUKind.SSQ,
+            load_latency=2,
+            rex_mode=RexMode.REEXECUTE,
+            rex_stages=2,
+            svw=SVWConfig(),
+        ),
+    }
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return {
+        name: generate_phased_trace(PHASED_CATALOG[name], N)
+        for name in PHASED_CATALOG
+    }
+
+
+class TestCatalog:
+    def test_one_class_per_taxonomy_kind(self):
+        assert sorted(w.kind for w in PHASED_CATALOG.values()) == sorted(PHASE_KINDS)
+
+    def test_catalog_validates(self):
+        for workload in PHASED_CATALOG.values():
+            workload.validate()
+
+    def test_round_trip(self):
+        for workload in PHASED_CATALOG.values():
+            clone = PhasedWorkload.from_dict(workload.to_dict())
+            assert clone == workload
+            assert clone.fingerprint() == workload.fingerprint()
+
+    def test_goldens_cover_catalog(self):
+        assert sorted({name for name, _ in GOLDEN_FINGERPRINTS}) == sorted(
+            PHASED_CATALOG
+        )
+
+
+@pytest.mark.parametrize(
+    "name,lsu", sorted(GOLDEN_FINGERPRINTS), ids=lambda v: str(v)
+)
+def test_phased_golden_fingerprint(name, lsu, traces):
+    stats = Processor(lsu_configs()[lsu], traces[name], warmup=WARMUP).run()
+    assert stats.fingerprint() == GOLDEN_FINGERPRINTS[name, lsu], (
+        f"{name} x {lsu}: phased golden fingerprint moved -- if this is a "
+        "deliberate phase-composer or catalog change, regenerate the goldens"
+    )
+
+
+class TestComposition:
+    def test_traces_are_valid_and_sized(self, traces):
+        for name, trace in traces.items():
+            trace.validate()
+            assert len(trace) == N, name
+
+    def test_deterministic(self):
+        workload = PHASED_CATALOG["hot-oscillating"]
+        a = generate_phased_trace(workload, 2000)
+        b = generate_phased_trace(workload, 2000)
+        assert a.pc.tolist() == b.pc.tolist()
+        assert a.addr.tolist() == b.addr.tolist()
+
+    def test_seed_override_changes_stream(self):
+        workload = PHASED_CATALOG["hot-dynamic"]
+        a = generate_phased_trace(workload, 2000)
+        b = generate_phased_trace(workload, 2000, seed=999)
+        assert a.addr.tolist() != b.addr.tolist()
+
+    def test_no_cross_segment_producers(self):
+        """Producer references never cross a segment boundary (a phase
+        change behaves like a call into fresh code)."""
+        workload = PHASED_CATALOG["hot-dynamic"]
+        n = 3000
+        budgets = split_budget(
+            [w for _, w in workload.segments()], n
+        )
+        trace = generate_phased_trace(workload, n)
+        bounds = []
+        start = 0
+        for budget in budgets:
+            bounds.append((start, start + budget))
+            start += budget
+        segment_of = {}
+        for index, (lo, hi) in enumerate(bounds):
+            for seq in range(lo, hi):
+                segment_of[seq] = index
+        offsets = trace.src_offsets.tolist()
+        flat = trace.src_flat.tolist()
+        for seq in range(n):
+            for ref in (
+                int(trace.base_seq[seq]),
+                int(trace.store_data_seq[seq]),
+                *flat[offsets[seq] : offsets[seq + 1]],
+            ):
+                if ref == NO_PRODUCER:
+                    continue
+                assert ref < seq
+                assert segment_of[ref] == segment_of[seq], (seq, ref)
+
+    def test_single_phase_matches_plain_generator_structure(self):
+        """The degenerate static case still goes through segment seeding,
+        so it differs from the raw profile stream -- but stays valid and
+        exactly sized (the property the taxonomy needs)."""
+        phased = PhasedWorkload(
+            name="solo",
+            kind="static",
+            phases=((spec_profile("gcc"), 1.0),),
+            seed=7,
+        )
+        trace = generate_phased_trace(phased, 1500)
+        trace.validate()
+        assert len(trace) == 1500
+
+
+class TestSplitBudget:
+    def test_proportional_and_exact(self):
+        out = split_budget([3.0, 1.0], 4000)
+        assert sum(out) == 4000
+        assert out[0] == 3000
+
+    def test_every_segment_gets_at_least_one(self):
+        out = split_budget([1000.0, 0.001, 0.001], 100)
+        assert sum(out) == 100
+        assert min(out) >= 1
+
+    def test_too_small_budget_rejected(self):
+        with pytest.raises(ValueError, match="cannot cover"):
+            split_budget([1.0, 1.0, 1.0], 2)
+
+    def test_validate_rejects_bad_shapes(self):
+        with pytest.raises(ValueError, match="unknown phase kind"):
+            PhasedWorkload(
+                name="x", kind="nope", phases=((spec_profile("gcc"), 1.0),)
+            ).validate()
+        with pytest.raises(ValueError, match="at least one phase"):
+            PhasedWorkload(name="x", kind="static", phases=()).validate()
+        with pytest.raises(ValueError, match="must be > 0"):
+            PhasedWorkload(
+                name="x", kind="static", phases=((spec_profile("gcc"), 0.0),)
+            ).validate()
